@@ -1,0 +1,394 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Each benchmark runs the corresponding
+// experiment (internal/experiments) and prints the same rows or series
+// the paper reports; custom metrics expose the headline numbers.
+//
+// The benchmarks run at ScaleTiny by default so the whole suite
+// finishes in minutes; set MNPUSIM_SCALE=small or =paper for larger
+// systems, and MNPUSIM_QUAD_SAMPLE=0 to evaluate all 330 quad mixes.
+//
+// Results are cached across benchmarks within one `go test -bench` run
+// (the Ideal baselines and the 36 dual-core mixes feed Figs 4, 6, 8,
+// 13, 14, and 17/18 alike), so run the whole suite together:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mnpusim/internal/config"
+	"mnpusim/internal/dram"
+	"mnpusim/internal/experiments"
+	"mnpusim/internal/metrics"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+func dramEnergy() dram.EnergyParams { return dram.DefaultHBM2Energy() }
+
+var (
+	runnerOnce sync.Once
+	runner     *experiments.Runner
+)
+
+// sharedRunner returns the process-wide experiment runner, so cached
+// simulations are reused across benchmarks.
+func sharedRunner() *experiments.Runner {
+	runnerOnce.Do(func() {
+		opts := experiments.DefaultOptions()
+		if s := os.Getenv("MNPUSIM_SCALE"); s != "" {
+			scale, err := config.ParseScale(s)
+			if err != nil {
+				panic(err)
+			}
+			opts.Scale = scale
+		}
+		if q := os.Getenv("MNPUSIM_QUAD_SAMPLE"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil {
+				panic(err)
+			}
+			opts.QuadSample = n
+		}
+		runner = experiments.NewRunner(opts)
+	})
+	return runner
+}
+
+func BenchmarkFig02Burstiness(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Burstiness(r, "ncf")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("[fig2b] %s\n", res)
+			b.ReportMetric(res.Peak/res.Mean, "peak/mean")
+		}
+	}
+}
+
+func benchSharing(b *testing.B, quad bool) experiments.SharingResult {
+	b.Helper()
+	r := sharedRunner()
+	var res experiments.SharingResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if quad {
+			res, err = experiments.QuadCoreSharing(r)
+		} else {
+			res, err = experiments.DualCoreSharing(r)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkFig04DualPerf(b *testing.B) {
+	res := benchSharing(b, false)
+	for _, lv := range res.Levels {
+		per := res.PerWorkloadGeomean(lv)
+		fmt.Printf("[fig4] %-7s geomean=%.3f |", lv, res.OverallGeomean(lv))
+		for _, w := range workloads.Names() {
+			fmt.Printf(" %s=%.2f", w, per[w])
+		}
+		fmt.Println()
+	}
+	b.ReportMetric(res.OverallGeomean(sim.ShareD), "+D")
+	b.ReportMetric(res.OverallGeomean(sim.ShareDW), "+DW")
+	b.ReportMetric(res.OverallGeomean(sim.Static), "Static")
+}
+
+func BenchmarkFig05QuadPerfCDF(b *testing.B) {
+	res := benchSharing(b, true)
+	for _, lv := range res.Levels {
+		vals := res.GeomeanCDFValues(lv)
+		fmt.Printf("[fig5] %-7s mixes=%d p25=%.3f median=%.3f p75=%.3f geomean=%.3f\n",
+			lv, len(vals), metrics.Percentile(vals, 25), metrics.Percentile(vals, 50),
+			metrics.Percentile(vals, 75), res.OverallGeomean(lv))
+	}
+	b.ReportMetric(res.OverallGeomean(sim.ShareDW), "+DW")
+}
+
+func BenchmarkFig06DualFairness(b *testing.B) {
+	res := benchSharing(b, false)
+	for _, lv := range res.Levels {
+		fmt.Printf("[fig6] %-7s fairness=%.3f\n", lv, res.OverallFairness(lv))
+	}
+	b.ReportMetric(res.OverallFairness(sim.Static), "Static")
+	b.ReportMetric(res.OverallFairness(sim.ShareDWT), "+DWT")
+}
+
+func BenchmarkFig07QuadFairnessCDF(b *testing.B) {
+	res := benchSharing(b, true)
+	for _, lv := range res.Levels {
+		vals := res.FairnessCDFValues(lv)
+		fmt.Printf("[fig7] %-7s p25=%.3f median=%.3f p75=%.3f mean=%.3f\n",
+			lv, metrics.Percentile(vals, 25), metrics.Percentile(vals, 50),
+			metrics.Percentile(vals, 75), res.OverallFairness(lv))
+	}
+}
+
+func BenchmarkFig08Sensitivity(b *testing.B) {
+	r := sharedRunner()
+	var res experiments.SensitivityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.ContentionSensitivity(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, w := range workloads.Names() {
+		fmt.Printf("[fig8] %-6s %s\n", w, res.Boxes[w])
+	}
+}
+
+func benchBWPartition(b *testing.B) experiments.BWPartitionResult {
+	b.Helper()
+	r := sharedRunner()
+	var res experiments.BWPartitionResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.BandwidthPartitioning(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkFig09BWPartitionPerf(b *testing.B) {
+	res := benchBWPartition(b)
+	for _, s := range res.Schemes {
+		fmt.Printf("[fig9] %-8s geomean=%.3f\n", s, res.OverallGeomean(s))
+	}
+	fmt.Printf("[fig9] dynamic/equal-static = %.3fx\n",
+		res.OverallGeomean("dynamic")/res.OverallGeomean("4:4"))
+	b.ReportMetric(res.OverallGeomean("dynamic"), "dynamic")
+	b.ReportMetric(res.OverallGeomean("4:4"), "4:4")
+}
+
+func BenchmarkFig10BWPartitionFairness(b *testing.B) {
+	res := benchBWPartition(b)
+	for _, s := range res.Schemes {
+		fmt.Printf("[fig10] %-8s fairness=%.3f\n", s, res.OverallFairness(s))
+	}
+}
+
+func BenchmarkFig11BWSweep(b *testing.B) {
+	r := sharedRunner()
+	var res experiments.BWSweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.BandwidthSweep(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, w := range workloads.Names() {
+		fmt.Printf("[fig11] %-6s", w)
+		for i, f := range res.Factors {
+			fmt.Printf(" x%d=%.2f", f, res.Speedup[w][i])
+		}
+		fmt.Println()
+	}
+}
+
+func BenchmarkFig12BWTimeline(b *testing.B) {
+	r := sharedRunner()
+	var res experiments.BWTimelineResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.BandwidthTimeline(r, "ds2", "gpt2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fmt.Printf("[fig12] %s\n", res)
+	b.ReportMetric(res.FracSumAbovePeak, "P(sum>peak)")
+}
+
+func benchPTWPartition(b *testing.B) experiments.PTWPartitionResult {
+	b.Helper()
+	r := sharedRunner()
+	var res experiments.PTWPartitionResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.PTWPartitioning(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkFig13PTWPartitionPerf(b *testing.B) {
+	res := benchPTWPartition(b)
+	for _, s := range res.Schemes {
+		fmt.Printf("[fig13] %-8s geomean=%.3f\n", s, res.OverallGeomean(s))
+	}
+	b.ReportMetric(res.OverallGeomean("dynamic"), "dynamic")
+}
+
+func BenchmarkFig14PTWPartitionFairness(b *testing.B) {
+	res := benchPTWPartition(b)
+	for _, s := range res.Schemes {
+		fmt.Printf("[fig14] %-8s fairness=%.3f\n", s, res.OverallFairness(s))
+	}
+}
+
+func BenchmarkFig15PageSizeSingle(b *testing.B) {
+	r := sharedRunner()
+	var res experiments.PageSizeSingleResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.PageSizeSingle(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mid, big []float64
+	for _, w := range workloads.Names() {
+		sp := res.Speedup[w]
+		fmt.Printf("[fig15] %-6s %s=%.3f %s=%.3f\n", w, res.Pages[1], sp[1], res.Pages[2], sp[2])
+		mid = append(mid, sp[1])
+		big = append(big, sp[2])
+	}
+	b.ReportMetric(metrics.MustGeomean(mid), "midpage")
+	b.ReportMetric(metrics.MustGeomean(big), "bigpage")
+}
+
+func BenchmarkFig16PageSizeMulti(b *testing.B) {
+	r := sharedRunner()
+	var res experiments.PageSizeMultiResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.PageSizeMulti(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, cores := range []int{2, 4} {
+		fmt.Printf("[fig16] %d-core perf: %s=%.3f %s=%.3f | fairness: %.3f %.3f %.3f\n",
+			cores, res.Pages[1], res.Perf[cores][1], res.Pages[2], res.Perf[cores][2],
+			res.Fairness[cores][0], res.Fairness[cores][1], res.Fairness[cores][2])
+	}
+}
+
+func benchMapping(b *testing.B) experiments.MappingResult {
+	b.Helper()
+	r := sharedRunner()
+	var res experiments.MappingResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.WorkloadMapping(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkFig17MappingPerf(b *testing.B) {
+	res := benchMapping(b)
+	fmt.Printf("[fig17] %s\n", res)
+	b.ReportMetric(100*res.PredictedBeatsRandomPerf, "beats-random-%")
+}
+
+func BenchmarkFig18MappingFairness(b *testing.B) {
+	res := benchMapping(b)
+	fmt.Printf("[fig18] predictor beats random fairness in %.1f%% of %d sets\n",
+		100*res.PredictedBeatsRandomFair, res.Sets)
+	b.ReportMetric(100*res.PredictedBeatsRandomFair, "beats-random-%")
+}
+
+func benchAblation(b *testing.B, f func(*experiments.Runner) (experiments.SweepResult, error), tag string) {
+	b.Helper()
+	r := sharedRunner()
+	var res experiments.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = f(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, l := range res.Labels {
+		fmt.Printf("[%s] %-10s geomean=%.3f fairness=%.3f\n", tag, l, res.Geomeans[i], res.Fairness[i])
+	}
+}
+
+func BenchmarkAblationTLBAssoc(b *testing.B) {
+	benchAblation(b, experiments.TLBAssociativity, "ablate-tlb")
+}
+
+func BenchmarkAblationWalkerCount(b *testing.B) {
+	benchAblation(b, experiments.WalkerCount, "ablate-ptw")
+}
+
+func BenchmarkAblationDoubleBuffer(b *testing.B) {
+	benchAblation(b, experiments.DoubleBuffering, "ablate-dbuf")
+}
+
+func BenchmarkAblationScheduling(b *testing.B) {
+	benchAblation(b, experiments.SchedulingPolicy, "ablate-sched")
+}
+
+func BenchmarkAblationWalkModel(b *testing.B) {
+	benchAblation(b, experiments.WalkMemoryModel, "ablate-walk")
+}
+
+func BenchmarkAblationDMAWidth(b *testing.B) {
+	benchAblation(b, experiments.DMAIssueWidth, "ablate-dma")
+}
+
+func BenchmarkAblationDataflow(b *testing.B) {
+	benchAblation(b, experiments.Dataflows, "ablate-dataflow")
+}
+
+func BenchmarkAblationWalkerStealing(b *testing.B) {
+	benchAblation(b, experiments.WalkerStealing, "ablate-dws")
+}
+
+// BenchmarkEnergy compares off-chip energy per bit between static
+// partitioning and full sharing on one mixed pair: sharing finishes
+// sooner (less background energy) but interleaved streams cause more
+// row activates; the pJ/bit metric makes the trade-off visible.
+func BenchmarkEnergy(b *testing.B) {
+	r := sharedRunner()
+	p := dramEnergy()
+	var perBit [2]float64
+	for i := 0; i < b.N; i++ {
+		for li, lv := range []sim.Sharing{sim.Static, sim.ShareDWT} {
+			res, err := r.Dual("sfrnn", "gpt2", lv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			perBit[li] = res.DRAM.EnergyPerBit(p, res.GlobalCycles)
+		}
+	}
+	fmt.Printf("[energy] sfrnn+gpt2 pJ/bit: static=%.2f +DWT=%.2f\n", perBit[0], perBit[1])
+	b.ReportMetric(perBit[0], "static-pJ/bit")
+	b.ReportMetric(perBit[1], "+DWT-pJ/bit")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: one
+// dual-core mix simulation per iteration (uncached), reporting simulated
+// cycles per wall second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	opts := sharedRunner().Options()
+	cfg, err := sim.NewWorkloadConfig(opts.Scale, sim.ShareDWT, "ncf", "ncf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.GlobalCycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestExperimentTableCoversEveryFigure(t *testing.T) {
+	want := []string{
+		"fig2b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"ablate",
+	}
+	have := map[string]bool{}
+	for _, e := range table() {
+		if e.run == nil || e.about == "" {
+			t.Errorf("experiment %q incomplete", e.name)
+		}
+		if have[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		have[e.name] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("missing experiment %q", w)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no -exp accepted")
+	}
+	if err := run([]string{"-exp", "fig4", "-scale", "mega"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestListMode(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("-list failed: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+// Command mnpusim runs one multi-core NPU simulation, mirroring the
+// original simulator's command line and result files.
+//
+// Two invocation styles are supported.
+//
+// Artifact style (positional, like the original):
+//
+//	mnpusim <arch_list> <network_list> <dram_config> <npumem_config> <result_dir> <misc_config>
+//
+// Flag style (built-in benchmarks and presets):
+//
+//	mnpusim -workloads res,gpt2 -scale tiny -sharing +dwt -out result_dir
+//
+// The result directory receives, per core, the avg_cycle,
+// memory_footprint, execution_cycle, and utilization summaries the
+// original writes, plus a run summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mnpusim/internal/config"
+	"mnpusim/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mnpusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mnpusim", flag.ContinueOnError)
+	var (
+		workloadsFlag = fs.String("workloads", "", "comma-separated benchmark names, one per core (e.g. res,gpt2)")
+		scaleFlag     = fs.String("scale", "tiny", "system scale: tiny, small, or paper")
+		sharingFlag   = fs.String("sharing", "+dwt", "resource sharing level: static, +d, +dw, +dwt")
+		noXlat        = fs.Bool("no-translation", false, "remove address translation (bandwidth isolation mode)")
+		outFlag       = fs.String("out", "", "result directory (omit to print to stdout only)")
+		idealFlag     = fs.Bool("ideal", false, "also run each workload on the Ideal baseline and report speedups")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: mnpusim -workloads a,b [-scale s] [-sharing l] [-out dir]")
+		fmt.Fprintln(fs.Output(), "   or: mnpusim <arch_list> <net_list> <dram_config> <npumem_config> <result_dir> <misc_config>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg sim.Config
+	out := *outFlag
+	switch {
+	case *workloadsFlag != "":
+		scale, err := config.ParseScale(*scaleFlag)
+		if err != nil {
+			return err
+		}
+		sharing, err := config.ParseSharing(*sharingFlag)
+		if err != nil {
+			return err
+		}
+		names := strings.Split(*workloadsFlag, ",")
+		cfg, err = sim.NewWorkloadConfig(scale, sharing, names...)
+		if err != nil {
+			return err
+		}
+		cfg.NoTranslation = *noXlat
+	case fs.NArg() == 6:
+		a := fs.Args()
+		var err error
+		cfg, err = config.LoadSystem(a[0], a[1], a[2], a[3], a[5])
+		if err != nil {
+			return err
+		}
+		out = a[4]
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -workloads or six positional config arguments")
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	var ideal []sim.CoreResult
+	if *idealFlag {
+		if ideal, err = sim.RunIdeal(cfg); err != nil {
+			return err
+		}
+	}
+	printSummary(cfg, res, ideal)
+	if out != "" {
+		if err := writeResults(out, cfg, res); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s/result\n", out)
+	}
+	return nil
+}
+
+func printSummary(cfg sim.Config, res sim.Result, ideal []sim.CoreResult) {
+	fmt.Printf("%s | %d cores | sharing=%s | %d global cycles\n",
+		cfg.DRAM.Name, cfg.Cores(), cfg.Sharing, res.GlobalCycles)
+	for i, c := range res.Cores {
+		fmt.Printf("core %d %-8s avg_cycle=%-10d util=%.3f footprint=%s traffic=%s tlb_hit=%.3f walks=%d\n",
+			i, c.Net, c.Cycles, c.Utilization, human(c.FootprintBytes), human(c.TrafficBytes), c.TLBHitRate, c.MMU.Walks)
+		if ideal != nil {
+			fmt.Printf("       speedup vs Ideal: %.3f (ideal avg_cycle=%d)\n",
+				float64(ideal[i].Cycles)/float64(c.Cycles), ideal[i].Cycles)
+		}
+	}
+	t := res.DRAM.Totals()
+	fmt.Printf("dram: reads=%d writes=%d row_hit=%.2f bytes=%s refreshes=%d\n",
+		t.Reads, t.Writes, res.DRAM.RowHitRate(), human(t.BytesMoved), t.Refreshes)
+}
+
+// writeResults mirrors the original simulator's result directory: one
+// summary file per output kind per core.
+func writeResults(dir string, cfg sim.Config, res sim.Result) error {
+	rdir := filepath.Join(dir, "result")
+	if err := os.MkdirAll(rdir, 0o755); err != nil {
+		return err
+	}
+	for i, c := range res.Cores {
+		tag := fmt.Sprintf("arch_%s%d_%s%d", cfg.Arch[i].Name, i, c.Net, i)
+		files := map[string]string{
+			"avg_cycle_" + tag + ".txt":        fmt.Sprintf("%d\n", c.Cycles),
+			"memory_footprint_" + tag + ".txt": fmt.Sprintf("%d\n", c.FootprintBytes),
+			"utilization_" + tag + ".txt":      fmt.Sprintf("%.6f\n", c.Utilization),
+		}
+		var layers strings.Builder
+		for l := 0; l < len(cfg.Nets[i].Layers); l++ {
+			if end, ok := c.LayerEndCycles[l]; ok {
+				fmt.Fprintf(&layers, "%d %s %d\n", l, cfg.Nets[i].Layers[l].Name, end)
+			}
+		}
+		files["execution_cycle_"+tag+".txt"] = layers.String()
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(rdir, name), []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func human(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWithWorkloadFlags(t *testing.T) {
+	out := t.TempDir()
+	err := run([]string{"-workloads", "ncf", "-scale", "tiny", "-sharing", "+dwt", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(out, "result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), "avg_cycle_"):
+			want["avg"] = true
+		case strings.HasPrefix(e.Name(), "memory_footprint_"):
+			want["fp"] = true
+		case strings.HasPrefix(e.Name(), "execution_cycle_"):
+			want["exec"] = true
+		case strings.HasPrefix(e.Name(), "utilization_"):
+			want["util"] = true
+		}
+	}
+	for _, k := range []string{"avg", "fp", "exec", "util"} {
+		if !want[k] {
+			t.Errorf("missing %s result file; have %v", k, entries)
+		}
+	}
+	// avg_cycle must contain a positive integer.
+	files, _ := filepath.Glob(filepath.Join(out, "result", "avg_cycle_*"))
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) == "" || strings.HasPrefix(string(data), "0") {
+		t.Errorf("avg_cycle content: %q", data)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},                                   // neither style
+		{"-workloads", "nope"},               // unknown workload
+		{"-workloads", "ncf", "-scale", "x"}, // bad scale
+		{"-workloads", "ncf", "-sharing", "y"},
+		{"one", "two", "three"}, // wrong positional arity
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[int64]string{
+		5:       "5B",
+		2048:    "2.0KB",
+		3 << 20: "3.0MB",
+		1 << 31: "2.0GB",
+		1536:    "1.5KB",
+	}
+	for in, want := range cases {
+		if got := human(in); got != want {
+			t.Errorf("human(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLogMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "req.log")
+	if err := run([]string{"-mode", "log", "-workload", "ncf", "-out", out, "-limit", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("log has %d lines, want 100", len(lines))
+	}
+	// Each record: cycle, vaddr, core, class+kind.
+	fields := strings.Fields(lines[0])
+	if len(fields) != 4 || !strings.HasPrefix(fields[1], "0x") {
+		t.Errorf("record format: %q", lines[0])
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "weird"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"-mode", "rate", "-scale", "giga"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-mode", "rate", "-workload", "nope"}); err == nil {
+		t.Error("bad workload accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Dual-core contention study: measure how sensitive one workload is to
+// its co-runner (the paper's Fig 8 question) and inspect the memory
+// system counters that explain it.
+//
+//	go run ./examples/dualcore_contention [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mnpusim/internal/metrics"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+func main() {
+	victim := "dlrm"
+	if len(os.Args) > 1 {
+		victim = os.Args[1]
+	}
+	if _, err := workloads.ByName(victim, workloads.ScaleTiny); err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := sim.NewWorkloadConfig(workloads.ScaleTiny, sim.ShareDWT, victim, victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idealRes, err := sim.Run(sim.IdealFor(base, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ideal := idealRes.Cores[0]
+	fmt.Printf("%s alone (Ideal): %d cycles, util=%.3f, %d page walks, TLB hit=%.3f\n\n",
+		victim, ideal.Cycles, ideal.Utilization, ideal.MMU.Walks, ideal.TLBHitRate)
+
+	fmt.Printf("%-8s %9s %9s %11s %10s %9s\n",
+		"co-run", "speedup", "walks", "avg walk", "pt bytes", "row hit")
+	var speedups []float64
+	for _, co := range workloads.Names() {
+		cfg, err := sim.NewWorkloadConfig(workloads.ScaleTiny, sim.ShareDWT, victim, co)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Cores[0]
+		s := metrics.Speedup(ideal.Cycles, c.Cycles)
+		speedups = append(speedups, s)
+		fmt.Printf("%-8s %9.3f %9d %11.0f %10d %9.2f\n",
+			co, s, c.MMU.Walks, c.MMU.AvgWalkCycles(), c.PTBytes, res.DRAM.RowHitRate())
+	}
+
+	box := metrics.Box(speedups)
+	fmt.Printf("\n%s sensitivity across co-runners (+DWT): %s\n", victim, box)
+	fmt.Printf("performance range (max-min): %.3f — wider means more contention-sensitive\n", box.Range())
+}

@@ -1,0 +1,66 @@
+// Heterogeneous cores: mNPUsim supports per-core architectures and
+// clock frequencies (§3.1). This example pairs a big 1 GHz core with a
+// small 500 MHz core sharing one memory system, and also contrasts the
+// two systolic dataflows.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/dram"
+	"mnpusim/internal/npu"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/systolic"
+	"mnpusim/internal/workloads"
+)
+
+func main() {
+	big := npu.TinyCore()
+	big.Name = "big"
+	big.Array = systolic.Array{Rows: 32, Cols: 32}
+	big.SPMBytes = 512 << 10
+
+	little := npu.TinyCore()
+	little.Name = "little"
+	little.FreqHz = 500 * clock.MHz
+
+	res := workloads.MustByName("res", workloads.ScaleTiny).Net
+	ncf := workloads.MustByName("ncf", workloads.ScaleTiny).Net
+
+	cfg := sim.NewConfig(workloads.ScaleTiny, sim.ShareDWT, res, ncf)
+	cfg.Arch = []npu.ArchConfig{big, little}
+
+	r, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("heterogeneous dual-core (+DWT), global clock = DRAM @1GHz:")
+	for i, c := range r.Cores {
+		a := cfg.Arch[i]
+		fmt.Printf("  core %d %-7s %s @%v: %s took %d local cycles (util %.3f)\n",
+			i, a.Name, a.Array, a.FreqHz, c.Net, c.Cycles, c.Utilization)
+	}
+	fmt.Printf("  system finished at global cycle %d\n\n", r.GlobalCycles)
+
+	fmt.Println("dataflow comparison on the big core (res alone):")
+	for _, df := range []systolic.Dataflow{systolic.OutputStationary, systolic.WeightStationary} {
+		solo := sim.NewConfig(workloads.ScaleTiny, sim.Static, res)
+		arch := big
+		arch.Dataflow = df
+		solo.Arch = []npu.ArchConfig{arch}
+		sr, err := sim.Run(sim.IdealFor(solo, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %8d cycles, util %.3f\n", df, sr.Cores[0].Cycles, sr.Cores[0].Utilization)
+	}
+
+	fmt.Println("\noff-chip energy of the heterogeneous run:")
+	e := r.DRAMEnergy(dram.DefaultHBM2Energy())
+	fmt.Printf("  activate=%.1fnJ read=%.1fnJ write=%.1fnJ refresh=%.1fnJ background=%.1fnJ total=%.1fnJ\n",
+		e.ActivatePJ/1000, e.ReadPJ/1000, e.WritePJ/1000, e.RefreshPJ/1000, e.BackgroundPJ/1000, e.TotalNJ())
+}

@@ -1,0 +1,75 @@
+// Workload mapping: place eight inference jobs onto four dual-core NPUs
+// (the paper's §4.6). Compares the worst, random, predicted, and oracle
+// pairings for a few example job sets, using the regression model
+// trained on random networks.
+//
+//	go run ./examples/workload_mapping
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnpusim/internal/experiments"
+	"mnpusim/internal/predictor"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+func main() {
+	opts := experiments.Options{Scale: workloads.ScaleTiny, Seed: 7}
+	r := experiments.NewRunner(opts)
+
+	fmt.Println("measuring the 36 dual-core pair results (+DWT)...")
+	table, err := experiments.BuildPairTable(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles, err := experiments.WorkloadProfiles(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training the mapping predictor on random networks...")
+	model, samples, err := predictor.Train(predictor.TrainConfig{
+		Scale:   workloads.ScaleTiny,
+		Pairs:   16,
+		Seed:    opts.Seed,
+		Sharing: sim.ShareDWT,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model R2 on training pairs: %.3f\n\n", model.Evaluate(samples))
+
+	names := workloads.Names()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	sets := [][]string{
+		{"res", "yt", "alex", "gpt2", "sfrnn", "ds2", "dlrm", "ncf"}, // one of each
+		{"sfrnn", "sfrnn", "dlrm", "dlrm", "gpt2", "gpt2", "yt", "yt"},
+		{"dlrm", "dlrm", "dlrm", "dlrm", "res", "res", "res", "res"},
+	}
+	for _, set := range sets {
+		ids := make([]int, len(set))
+		for i, n := range set {
+			ids[i] = idx[n]
+		}
+		o, err := predictor.EvaluateSet(ids, table, model, profiles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("set %v\n", set)
+		fmt.Printf("  worst     perf=%.3f fairness=%.3f\n", o.Worst.Perf, o.Worst.Fairness)
+		fmt.Printf("  random    perf=%.3f fairness=%.3f (expectation over 105 pairings)\n", o.Random.Perf, o.Random.Fairness)
+		fmt.Printf("  predicted perf=%.3f fairness=%.3f\n", o.Predicted.Perf, o.Predicted.Fairness)
+		fmt.Printf("  oracle    perf=%.3f fairness=%.3f, pairing:", o.Oracle.Perf, o.Oracle.Fairness)
+		for _, p := range o.Oracle.Pairing {
+			fmt.Printf(" (%s,%s)", set[p[0]], set[p[1]])
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

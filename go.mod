@@ -1,0 +1,3 @@
+module mnpusim
+
+go 1.22

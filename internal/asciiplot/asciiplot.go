@@ -1,0 +1,148 @@
+// Package asciiplot renders the experiment results as plain-text charts
+// for the CLI tools: horizontal bar charts (Figs 4, 6, 9, 10, 13-16),
+// CDF curves (Figs 5, 7, 17, 18), box plots (Fig 8), and time series
+// (Figs 2b, 12).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mnpusim/internal/metrics"
+)
+
+// Bar renders one labelled horizontal bar scaled so that maxValue spans
+// width characters.
+func Bar(label string, value, maxValue float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	n := 0
+	if maxValue > 0 {
+		n = int(math.Round(value / maxValue * float64(width)))
+	}
+	n = max(0, min(n, width))
+	return fmt.Sprintf("%-12s %s%s %.3f", label, strings.Repeat("█", n), strings.Repeat("·", width-n), value)
+}
+
+// BarChart renders a series of labelled bars, scaled to the maximum
+// value (or to 1.0 if normalize is true — suitable for speedups).
+func BarChart(labels []string, values []float64, normalize bool, width int) string {
+	maxV := 1.0
+	if !normalize {
+		maxV = 0
+		for _, v := range values {
+			maxV = math.Max(maxV, v)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		b.WriteString(Bar(l, values[i], maxV, width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CDFChart renders an empirical CDF as a fixed-size character grid.
+// Values are plotted on the x axis from lo to hi; the y axis is the
+// cumulative fraction.
+func CDFChart(xs []float64, lo, hi float64, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		v := lo + (hi-lo)*float64(col)/float64(width-1)
+		f := metrics.CDFAt(xs, v)
+		row := int(math.Round((1 - f) * float64(height-1)))
+		row = max(0, min(row, height-1))
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&b, "      %-*.3g%*.3g\n", width/2, lo, width-width/2, hi)
+	return b.String()
+}
+
+// BoxPlot renders a five-number summary on a [lo,hi] axis of the given
+// width: `---[  |  ]---` with min/max whiskers, quartile box, and
+// median bar.
+func BoxPlot(label string, b metrics.BoxStats, lo, hi float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	pos := func(v float64) int {
+		if hi <= lo {
+			return 0
+		}
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		return max(0, min(p, width-1))
+	}
+	line := []byte(strings.Repeat(" ", width))
+	for i := pos(b.Min); i <= pos(b.Max); i++ {
+		line[i] = '-'
+	}
+	for i := pos(b.Q1); i <= pos(b.Q3); i++ {
+		line[i] = '='
+	}
+	line[pos(b.Min)] = '|'
+	line[pos(b.Max)] = '|'
+	line[pos(b.Median)] = '#'
+	return fmt.Sprintf("%-8s [%s] med=%.3f range=%.3f", label, string(line), b.Median, b.Range())
+}
+
+// Series renders a time series as a column-sparkline grid: each column
+// is one sample (downsampled to width), scaled to maxY.
+func Series(ys []float64, maxY float64, width, height int) string {
+	if len(ys) == 0 {
+		return "(empty series)\n"
+	}
+	if width <= 0 {
+		width = 70
+	}
+	if height <= 0 {
+		height = 10
+	}
+	cols := make([]float64, width)
+	for c := 0; c < width; c++ {
+		loI := c * len(ys) / width
+		hiI := max(loI+1, (c+1)*len(ys)/width)
+		s := 0.0
+		for i := loI; i < hiI; i++ {
+			s += ys[i]
+		}
+		cols[c] = s / float64(hiI-loI)
+	}
+	if maxY <= 0 {
+		for _, v := range cols {
+			maxY = math.Max(maxY, v)
+		}
+		if maxY == 0 {
+			maxY = 1
+		}
+	}
+	var b strings.Builder
+	for r := height - 1; r >= 0; r-- {
+		thresh := maxY * (float64(r) + 0.5) / float64(height)
+		fmt.Fprintf(&b, "%6.2f |", maxY*float64(r+1)/float64(height))
+		for _, v := range cols {
+			if v >= thresh {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+
+	"mnpusim/internal/metrics"
+)
+
+func TestBarScaling(t *testing.T) {
+	full := Bar("x", 1.0, 1.0, 10)
+	if strings.Count(full, "█") != 10 {
+		t.Errorf("full bar: %q", full)
+	}
+	half := Bar("x", 0.5, 1.0, 10)
+	if strings.Count(half, "█") != 5 {
+		t.Errorf("half bar: %q", half)
+	}
+	empty := Bar("x", 0, 1.0, 10)
+	if strings.Count(empty, "█") != 0 {
+		t.Errorf("empty bar: %q", empty)
+	}
+	// Overflow clamps.
+	over := Bar("x", 2.0, 1.0, 10)
+	if strings.Count(over, "█") != 10 {
+		t.Errorf("over bar: %q", over)
+	}
+	// Zero width falls back to the default.
+	if Bar("x", 1, 1, 0) == "" {
+		t.Error("zero-width bar empty")
+	}
+}
+
+func TestBarChartNormalized(t *testing.T) {
+	out := BarChart([]string{"a", "b"}, []float64{0.5, 1.0}, true, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if strings.Count(lines[0], "█") != 10 || strings.Count(lines[1], "█") != 20 {
+		t.Errorf("normalized chart:\n%s", out)
+	}
+}
+
+func TestBarChartAutoScale(t *testing.T) {
+	out := BarChart([]string{"a", "b"}, []float64{2, 4}, false, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") != 20 {
+		t.Errorf("max bar should fill: %q", lines[1])
+	}
+}
+
+func TestCDFChartShape(t *testing.T) {
+	xs := []float64{0.2, 0.4, 0.6, 0.8}
+	out := CDFChart(xs, 0, 1, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Error("no curve drawn")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // 8 rows + axis
+		t.Errorf("%d lines", len(lines))
+	}
+}
+
+func TestBoxPlotMarks(t *testing.T) {
+	b := metrics.BoxStats{Min: 0.2, Q1: 0.4, Median: 0.5, Q3: 0.6, Max: 0.9}
+	out := BoxPlot("w", b, 0, 1, 40)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") || !strings.Contains(out, "|") {
+		t.Errorf("box plot missing marks: %q", out)
+	}
+	if !strings.Contains(out, "med=0.500") {
+		t.Errorf("median label: %q", out)
+	}
+}
+
+func TestBoxPlotDegenerateRange(t *testing.T) {
+	b := metrics.BoxStats{Min: 0.5, Q1: 0.5, Median: 0.5, Q3: 0.5, Max: 0.5}
+	if out := BoxPlot("w", b, 1, 1, 10); out == "" {
+		t.Error("degenerate axis panicked or empty")
+	}
+}
+
+func TestSeriesDownsamples(t *testing.T) {
+	ys := make([]float64, 1000)
+	for i := range ys {
+		ys[i] = float64(i % 100)
+	}
+	out := Series(ys, 100, 50, 6)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("%d rows", len(lines))
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no data rendered")
+	}
+}
+
+func TestSeriesEmptyAndAutoScale(t *testing.T) {
+	if !strings.Contains(Series(nil, 0, 10, 4), "empty") {
+		t.Error("empty series not flagged")
+	}
+	if out := Series([]float64{0, 0}, 0, 10, 4); out == "" {
+		t.Error("all-zero series with auto scale failed")
+	}
+}

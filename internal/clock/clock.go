@@ -1,0 +1,95 @@
+// Package clock models the clock domains of a multi-core NPU system.
+//
+// mNPUsim distinguishes a single global clock, running at the DRAM
+// frequency, from per-core local clocks running at each NPU core's
+// frequency. Requests that cross from a core into the shared memory
+// system are synchronized to the global clock, and latencies observed on
+// the global clock are translated back into local cycles.
+package clock
+
+import "fmt"
+
+// Hz is a clock frequency in hertz.
+type Hz int64
+
+// Common frequencies.
+const (
+	MHz Hz = 1_000_000
+	GHz Hz = 1_000_000_000
+)
+
+func (f Hz) String() string {
+	switch {
+	case f >= GHz && f%GHz == 0:
+		return fmt.Sprintf("%dGHz", f/GHz)
+	case f >= MHz && f%MHz == 0:
+		return fmt.Sprintf("%dMHz", f/MHz)
+	default:
+		return fmt.Sprintf("%dHz", int64(f))
+	}
+}
+
+// Domain converts cycle counts between a local clock and the global
+// (DRAM) clock. The zero value is unusable; use NewDomain.
+type Domain struct {
+	local  Hz
+	global Hz
+	// lr and gr are the GCD-reduced ratio terms, kept small so cycle
+	// conversions cannot overflow for any realistic cycle count.
+	lr, gr int64
+}
+
+// NewDomain returns a Domain for a component running at local hertz in a
+// system whose global clock runs at global hertz. Both must be positive.
+func NewDomain(local, global Hz) Domain {
+	if local <= 0 || global <= 0 {
+		panic(fmt.Sprintf("clock: non-positive frequency local=%d global=%d", local, global))
+	}
+	g := gcd(int64(local), int64(global))
+	return Domain{local: local, global: global, lr: int64(local) / g, gr: int64(global) / g}
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Local returns the local frequency.
+func (d Domain) Local() Hz { return d.local }
+
+// Global returns the global frequency.
+func (d Domain) Global() Hz { return d.global }
+
+// ToGlobal converts a local cycle count to global cycles, rounding up so
+// a request never appears at the shared resource before it was issued.
+func (d Domain) ToGlobal(localCycles int64) int64 {
+	return ceilDiv(localCycles*d.gr, d.lr)
+}
+
+// ToLocal converts a global cycle count to local cycles, rounding up so
+// a response never arrives at the core before the resource produced it.
+func (d Domain) ToLocal(globalCycles int64) int64 {
+	return ceilDiv(globalCycles*d.lr, d.gr)
+}
+
+// LocalFloor returns how many full local cycles have elapsed by global
+// cycle g. Cores use it to find how many local cycles to process when
+// ticked on the global clock.
+func (d Domain) LocalFloor(g int64) int64 {
+	if g <= 0 {
+		return 0
+	}
+	return g * d.lr / d.gr
+}
+
+// Ratio reports local/global as a float, useful for diagnostics.
+func (d Domain) Ratio() float64 { return float64(d.local) / float64(d.global) }
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,349 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnpusim/internal/model"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+func parseKV(t *testing.T, text string) *KV {
+	t.Helper()
+	kv, err := ParseKV(strings.NewReader(text), "test.cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kv
+}
+
+func TestParseKVBasics(t *testing.T) {
+	kv := parseKV(t, `
+# comment
+name = tpu
+Rows = 16   # trailing comment
+spm = 36MB
+flag = true
+list = 1, 2K, 3
+`)
+	if kv.Str("name", "") != "tpu" {
+		t.Error("string value")
+	}
+	if v, _ := kv.Int("rows", 0); v != 16 {
+		t.Error("case-insensitive int")
+	}
+	if v, _ := kv.Int("spm", 0); v != 36<<20 {
+		t.Errorf("size suffix: %d", v)
+	}
+	if v, _ := kv.Bool("flag", false); !v {
+		t.Error("bool value")
+	}
+	vs, _ := kv.Ints("list")
+	if len(vs) != 3 || vs[1] != 2048 {
+		t.Errorf("list: %v", vs)
+	}
+	if !kv.Has("name") || kv.Has("absent") {
+		t.Error("Has wrong")
+	}
+	if err := kv.CheckFullyUsed(); err != nil {
+		t.Errorf("all keys used but: %v", err)
+	}
+}
+
+func TestParseKVDefaults(t *testing.T) {
+	kv := parseKV(t, "")
+	if kv.Str("x", "d") != "d" {
+		t.Error("string default")
+	}
+	if v, _ := kv.Int("x", 7); v != 7 {
+		t.Error("int default")
+	}
+	if v, _ := kv.Bool("x", true); !v {
+		t.Error("bool default")
+	}
+	if vs, _ := kv.Ints("x"); vs != nil {
+		t.Error("ints default")
+	}
+}
+
+func TestParseKVErrors(t *testing.T) {
+	if _, err := ParseKV(strings.NewReader("novalue"), "t"); err == nil {
+		t.Error("missing = accepted")
+	}
+	if _, err := ParseKV(strings.NewReader("a=1\na=2"), "t"); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	kv := parseKV(t, "n = abc\nb = maybe")
+	if _, err := kv.Int("n", 0); err == nil {
+		t.Error("bad int accepted")
+	}
+	if _, err := kv.Bool("b", false); err == nil {
+		t.Error("bad bool accepted")
+	}
+}
+
+func TestUnusedKeysReported(t *testing.T) {
+	kv := parseKV(t, "a = 1\ntypo = 2")
+	kv.Int("a", 0)
+	err := kv.CheckFullyUsed()
+	if err == nil || !strings.Contains(err.Error(), "typo") {
+		t.Errorf("unused key not reported: %v", err)
+	}
+}
+
+func TestParseSizeSuffixes(t *testing.T) {
+	cases := map[string]int64{
+		"5":    5,
+		"2K":   2048,
+		"2KB":  2048,
+		"3MB":  3 << 20,
+		"1GB":  1 << 30,
+		" 4M ": 4 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parseSize("x5"); err == nil {
+		t.Error("garbage size accepted")
+	}
+}
+
+func TestParseNetworkLayers(t *testing.T) {
+	text := `
+name mynet
+conv c1 3 16 16 8 3 3 1 1
+fc   f1 4 8 16
+gemm g1 2 2 2
+rnn  r1 8 8 3
+embedding e1 100 8 16
+attention a1 16 8 2 1
+`
+	net, err := ParseNetwork(strings.NewReader(text), "net.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "mynet" || len(net.Layers) != 6 {
+		t.Fatalf("parsed: %s %d layers", net.Name, len(net.Layers))
+	}
+	kinds := []model.Kind{model.Conv, model.FC, model.GEMM, model.RNNCell, model.Embedding, model.Attention}
+	for i, k := range kinds {
+		if net.Layers[i].Kind != k {
+			t.Errorf("layer %d kind = %v, want %v", i, net.Layers[i].Kind, k)
+		}
+	}
+}
+
+func TestParseNetworkWorkloadLine(t *testing.T) {
+	net, err := ParseNetwork(strings.NewReader("workload gpt2 tiny"), "w.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workloads.MustByName("gpt2", workloads.ScaleTiny).Net
+	if net.Name != want.Name || len(net.Layers) != len(want.Layers) {
+		t.Errorf("workload line: got %s/%d layers", net.Name, len(net.Layers))
+	}
+}
+
+func TestParseNetworkErrors(t *testing.T) {
+	bad := []string{
+		"conv c1 3 16",               // wrong arity
+		"fc f1 a b c",                // non-numeric
+		"warp w1 1 2 3",              // unknown kind
+		"workload nope",              // unknown workload
+		"workload gpt2 huge",         // unknown scale
+		"fc f1 0 1 1",                // invalid dims (validation)
+		"fc f1 1 1 1\nworkload gpt2", // mixing forms
+	}
+	for _, text := range bad {
+		if _, err := ParseNetwork(strings.NewReader(text), "bad.txt"); err == nil {
+			t.Errorf("accepted: %q", text)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]workloads.Scale{
+		"tiny": workloads.ScaleTiny, "SMALL": workloads.ScaleSmall, "paper": workloads.ScalePaper,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("mega"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestParseSharing(t *testing.T) {
+	for in, want := range map[string]sim.Sharing{
+		"static": sim.Static, "+d": sim.ShareD, "DW": sim.ShareDW, "+dwt": sim.ShareDWT, "ideal": sim.Ideal,
+	} {
+		got, err := ParseSharing(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSharing(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSharing("all"); err == nil {
+		t.Error("unknown sharing accepted")
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadListFile(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.cfg", "")
+	list := writeFile(t, dir, "list.txt", "# per-core configs\na.cfg\n"+filepath.Join(dir, "a.cfg")+"\n")
+	paths, err := ReadListFile(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0] != filepath.Join(dir, "a.cfg") {
+		t.Errorf("paths: %v", paths)
+	}
+	empty := writeFile(t, dir, "empty.txt", "# nothing\n")
+	if _, err := ReadListFile(empty); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestLoadArchAndDRAMAndNPUMem(t *testing.T) {
+	dir := t.TempDir()
+	arch := writeFile(t, dir, "arch.cfg", "name = big\narray_rows = 32\narray_cols = 32\nspm = 1MB\nfreq_mhz = 500\n")
+	a, err := LoadArch(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "big" || a.Array.Rows != 32 || a.SPMBytes != 1<<20 || a.FreqHz != 500_000_000 {
+		t.Errorf("arch: %+v", a)
+	}
+	badArch := writeFile(t, dir, "bad.cfg", "warp_speed = 9\n")
+	if _, err := LoadArch(badArch); err == nil {
+		t.Error("unknown arch key accepted")
+	}
+
+	dcfg := writeFile(t, dir, "dram.cfg", "preset = hbm2\nchannels = 4\nbl2 = 8\ncapacity_per_core = 128MB\npolicy = fcfs\n")
+	d, capacity, err := LoadDRAM(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Channels != 4 || d.Timing.BL2 != 8 || capacity != 128<<20 {
+		t.Errorf("dram: %+v cap=%d", d, capacity)
+	}
+
+	ncfg := writeFile(t, dir, "npumem.cfg", "tlb_entries = 64\nptw = 8\npage = 4KB\nwalk_levels = 4\n")
+	nm, err := LoadNPUMem(ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.TLBEntries != 64 || nm.PTWs != 8 || nm.PageBytes != 4096 {
+		t.Errorf("npumem: %+v", nm)
+	}
+}
+
+func TestLoadMisc(t *testing.T) {
+	dir := t.TempDir()
+	m, err := LoadMisc(writeFile(t, dir, "misc.cfg",
+		"sharing = +dw\nstart_cycles = 0, 100\nptw_min = 2,2\nptw_max = 6,6\nmax_cycles = 1000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sharing != sim.ShareDW || m.StartCycles[1] != 100 || m.WalkerMax[0] != 6 || m.MaxCycles != 1000000 {
+		t.Errorf("misc: %+v", m)
+	}
+}
+
+func TestLoadSystemEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "tiny.cfg", "name = tiny\n")
+	writeFile(t, dir, "net1.txt", "name a\nfc f1 8 16 8\n")
+	writeFile(t, dir, "net2.txt", "workload ncf tiny\n")
+	archList := writeFile(t, dir, "archs.txt", "tiny.cfg\ntiny.cfg\n")
+	netList := writeFile(t, dir, "nets.txt", "net1.txt\nnet2.txt\n")
+	dramPath := writeFile(t, dir, "dram.cfg", "channels = 4\nbl2 = 16\ncapacity_per_core = 64MB\n")
+	npumemPath := writeFile(t, dir, "npumem.cfg", "tlb_entries = 32\nptw = 2\npage = 2KB\n")
+	miscPath := writeFile(t, dir, "misc.cfg", "sharing = +dwt\n")
+
+	cfg, err := LoadSystem(archList, netList, dramPath, npumemPath, miscPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores() != 2 || cfg.Sharing != sim.ShareDWT || cfg.DRAM.Channels != 4 {
+		t.Errorf("system: cores=%d sharing=%v", cfg.Cores(), cfg.Sharing)
+	}
+	// The loaded system must actually run.
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores[0].Cycles <= 0 || res.Cores[1].Cycles <= 0 {
+		t.Errorf("run produced no cycles: %+v", res.Cores)
+	}
+}
+
+func TestLoadSystemChannelSplit(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "tiny.cfg", "")
+	writeFile(t, dir, "net.txt", "fc f 8 16 8\n")
+	archList := writeFile(t, dir, "archs.txt", "tiny.cfg\ntiny.cfg\n")
+	netList := writeFile(t, dir, "nets.txt", "net.txt\nnet.txt\n")
+	dramPath := writeFile(t, dir, "dram.cfg", "channels = 8\nbl2 = 16\ncapacity_per_core = 64MB\n")
+	npumemPath := writeFile(t, dir, "npumem.cfg", "")
+	miscPath := writeFile(t, dir, "misc.cfg", "sharing = static\nchannel_split = 2, 6\n")
+	cfg, err := LoadSystem(archList, netList, dramPath, npumemPath, miscPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.ChannelPartition[0]) != 2 || len(cfg.ChannelPartition[1]) != 6 {
+		t.Errorf("split: %v", cfg.ChannelPartition)
+	}
+	// A split not summing to the channel count must fail.
+	badMisc := writeFile(t, dir, "bad.cfg", "channel_split = 2, 2\n")
+	if _, err := LoadSystem(archList, netList, dramPath, npumemPath, badMisc); err == nil {
+		t.Error("bad channel split accepted")
+	}
+}
+
+func TestLoadSystemMismatchedLists(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "tiny.cfg", "")
+	writeFile(t, dir, "net.txt", "fc f 8 16 8\n")
+	archList := writeFile(t, dir, "archs.txt", "tiny.cfg\n")
+	netList := writeFile(t, dir, "nets.txt", "net.txt\nnet.txt\n")
+	dramPath := writeFile(t, dir, "dram.cfg", "")
+	npumemPath := writeFile(t, dir, "npumem.cfg", "")
+	miscPath := writeFile(t, dir, "misc.cfg", "")
+	if _, err := LoadSystem(archList, netList, dramPath, npumemPath, miscPath); err == nil {
+		t.Error("mismatched list lengths accepted")
+	}
+}
+
+func TestLoadArchDataflow(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "ws.cfg", "dataflow = ws\n")
+	a, err := LoadArch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataflow.String() != "weight-stationary" {
+		t.Errorf("dataflow = %v", a.Dataflow)
+	}
+	bad := writeFile(t, dir, "bad.cfg", "dataflow = diagonal\n")
+	if _, err := LoadArch(bad); err == nil {
+		t.Error("unknown dataflow accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzzing guards the text parsers against panics on malformed input;
+// the seed corpus runs in ordinary `go test` as well.
+
+func FuzzParseKV(f *testing.F) {
+	for _, seed := range []string{
+		"a = 1\n", "# comment\nkey = 36MB\n", "broken", "x = ,\n",
+		"a=1\na=2", "k = 9999999999999999999GB",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		kv, err := ParseKV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		// Accessors must be total on whatever parsed.
+		kv.Str("a", "")
+		_, _ = kv.Int("a", 0)
+		_, _ = kv.Bool("a", false)
+		_, _ = kv.Ints("a")
+		_ = kv.Unused()
+	})
+}
+
+func FuzzParseNetwork(f *testing.F) {
+	for _, seed := range []string{
+		"fc f 1 2 3\n",
+		"conv c 3 8 8 4 3 3 1 1\n",
+		"workload ncf tiny\n",
+		"rnn r 4 4 2\nembedding e 10 4 4\n",
+		"attention a 8 8 2 1\n",
+		"name x\ngemm g -1 0 5\n",
+		"fc f 99999999 99999999 99999999\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := ParseNetwork(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		// Anything the parser accepts must be a valid network whose
+		// lowering does not panic.
+		if err := net.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid network: %v", err)
+		}
+		net.Lower()
+	})
+}

@@ -1,0 +1,213 @@
+// Package config parses the five kinds of configuration files the
+// original mNPUsim takes as input — arch_config, network_config,
+// npumem_config, dram_config, and misc_config — and assembles them into
+// a sim.Config. List files (one path per line) supply the per-core
+// arch/network/npumem configurations for multi-core runs, mirroring the
+// artifact's command line.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// KV is a parsed key-value configuration file. Keys are
+// case-insensitive and stored lower-cased.
+type KV struct {
+	Path   string
+	values map[string]string
+	used   map[string]bool
+}
+
+// ParseKV reads a key=value file: one pair per line, '#' comments,
+// blank lines ignored.
+func ParseKV(r io.Reader, path string) (*KV, error) {
+	kv := &KV{Path: path, values: map[string]string{}, used: map[string]bool{}}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if s == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(s, "=")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: expected key = value, got %q", path, line, s)
+		}
+		key := strings.ToLower(strings.TrimSpace(k))
+		if _, dup := kv.values[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate key %q", path, line, key)
+		}
+		kv.values[key] = strings.TrimSpace(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return kv, nil
+}
+
+// LoadKV parses the file at path.
+func LoadKV(path string) (*KV, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseKV(f, path)
+}
+
+// Has reports whether key is present.
+func (kv *KV) Has(key string) bool {
+	_, ok := kv.values[strings.ToLower(key)]
+	return ok
+}
+
+// Str returns the raw value, or def if absent.
+func (kv *KV) Str(key, def string) string {
+	k := strings.ToLower(key)
+	if v, ok := kv.values[k]; ok {
+		kv.used[k] = true
+		return v
+	}
+	return def
+}
+
+// Int returns an integer value (supports size suffixes KB/MB/GB and
+// K/M/G multipliers), or def if absent. The error names the file and
+// key.
+func (kv *KV) Int(key string, def int64) (int64, error) {
+	k := strings.ToLower(key)
+	v, ok := kv.values[k]
+	if !ok {
+		return def, nil
+	}
+	kv.used[k] = true
+	n, err := parseSize(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: key %q: %w", kv.Path, key, err)
+	}
+	return n, nil
+}
+
+// Bool returns a boolean value, or def if absent.
+func (kv *KV) Bool(key string, def bool) (bool, error) {
+	k := strings.ToLower(key)
+	v, ok := kv.values[k]
+	if !ok {
+		return def, nil
+	}
+	kv.used[k] = true
+	switch strings.ToLower(v) {
+	case "true", "1", "yes", "on":
+		return true, nil
+	case "false", "0", "no", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("%s: key %q: invalid boolean %q", kv.Path, key, v)
+}
+
+// Ints returns a comma-separated integer list, or nil if absent.
+func (kv *KV) Ints(key string) ([]int64, error) {
+	k := strings.ToLower(key)
+	v, ok := kv.values[k]
+	if !ok {
+		return nil, nil
+	}
+	kv.used[k] = true
+	parts := strings.Split(v, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		n, err := parseSize(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%s: key %q: %w", kv.Path, key, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Unused returns keys that were never read — typos surface as errors at
+// the call site.
+func (kv *KV) Unused() []string {
+	var out []string
+	for k := range kv.values {
+		if !kv.used[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// CheckFullyUsed returns an error naming any unread key.
+func (kv *KV) CheckFullyUsed() error {
+	if u := kv.Unused(); len(u) > 0 {
+		return fmt.Errorf("%s: unknown key(s): %s", kv.Path, strings.Join(u, ", "))
+	}
+	return nil
+}
+
+// parseSize parses "123", "4KB", "36MB", "4GB", "2K", "1M", "1G".
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	for _, sfx := range []struct {
+		tag string
+		m   int64
+	}{
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+	} {
+		if strings.HasSuffix(u, sfx.tag) {
+			u = strings.TrimSuffix(u, sfx.tag)
+			mult = sfx.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid number %q", s)
+	}
+	return n * mult, nil
+}
+
+// ReadListFile reads a list file: one path per line (relative paths are
+// resolved against the list file's directory), '#' comments allowed.
+func ReadListFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dir := filepath.Dir(path)
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		s := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if s == "" {
+			continue
+		}
+		if !filepath.IsAbs(s) {
+			s = filepath.Join(dir, s)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list file", path)
+	}
+	return out, nil
+}

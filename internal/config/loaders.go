@@ -1,0 +1,306 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/dram"
+	"mnpusim/internal/model"
+	"mnpusim/internal/npu"
+	"mnpusim/internal/systolic"
+	"mnpusim/internal/workloads"
+)
+
+// LoadArch parses an arch_config file into an npu.ArchConfig.
+//
+// Keys: name, array_rows, array_cols, spm, dtype_bytes, freq_mhz,
+// dma_issue, dma_inflight, block_bytes. Unset keys default to the tiny
+// preset's values.
+func LoadArch(path string) (npu.ArchConfig, error) {
+	kv, err := LoadKV(path)
+	if err != nil {
+		return npu.ArchConfig{}, err
+	}
+	a := npu.TinyCore()
+	a.Name = kv.Str("name", a.Name)
+	ints := []struct {
+		key string
+		dst *int
+	}{
+		{"array_rows", &a.Array.Rows},
+		{"array_cols", &a.Array.Cols},
+		{"dtype_bytes", &a.DTypeBytes},
+		{"dma_issue", &a.DMAIssuePerCycle},
+		{"dma_inflight", &a.DMAMaxInflight},
+		{"block_bytes", &a.BlockBytes},
+	}
+	for _, f := range ints {
+		v, err := kv.Int(f.key, int64(*f.dst))
+		if err != nil {
+			return npu.ArchConfig{}, err
+		}
+		*f.dst = int(v)
+	}
+	if v, err := kv.Int("spm", a.SPMBytes); err != nil {
+		return npu.ArchConfig{}, err
+	} else {
+		a.SPMBytes = v
+	}
+	if v, err := kv.Int("freq_mhz", int64(a.FreqHz)/int64(clock.MHz)); err != nil {
+		return npu.ArchConfig{}, err
+	} else {
+		a.FreqHz = clock.Hz(v) * clock.MHz
+	}
+	if kv.Has("dataflow") {
+		df, err := systolic.ParseDataflow(strings.ToLower(kv.Str("dataflow", "os")))
+		if err != nil {
+			return npu.ArchConfig{}, fmt.Errorf("%s: %w", path, err)
+		}
+		a.Dataflow = df
+	}
+	if err := kv.CheckFullyUsed(); err != nil {
+		return npu.ArchConfig{}, err
+	}
+	return a, a.Validate()
+}
+
+// LoadNetwork parses a network_config file.
+//
+// Two forms are accepted. A single line `workload <short> [scale]`
+// selects a built-in benchmark (Table 1). Otherwise each line declares
+// a layer:
+//
+//	conv      <name> <inC> <inH> <inW> <outC> <kh> <kw> <stride> <pad>
+//	fc        <name> <M> <K> <N>
+//	gemm      <name> <M> <K> <N>
+//	rnn       <name> <hidden> <input> <steps>
+//	embedding <name> <rows> <dim> <lookups>
+//	attention <name> <seq> <dim> <heads> <blocks>
+func LoadNetwork(path string) (model.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return model.Network{}, err
+	}
+	defer f.Close()
+	return ParseNetwork(f, path)
+}
+
+// ParseNetwork parses the network format from r; path is used in
+// errors.
+func ParseNetwork(r io.Reader, path string) (model.Network, error) {
+	name := strings.TrimSuffix(baseName(path), ".txt")
+	net := model.Network{Name: name}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		s := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if s == "" {
+			continue
+		}
+		fields := strings.Fields(s)
+		bad := func(want int) error {
+			return fmt.Errorf("%s:%d: %s needs %d args, got %d", path, lineNo, fields[0], want, len(fields)-1)
+		}
+		atoi := func(i int) (int, error) {
+			v, err := strconv.Atoi(fields[i])
+			if err != nil {
+				return 0, fmt.Errorf("%s:%d: field %d: %w", path, lineNo, i, err)
+			}
+			return v, nil
+		}
+		nums := func(from, to int) ([]int, error) {
+			out := make([]int, 0, to-from+1)
+			for i := from; i <= to; i++ {
+				v, err := atoi(i)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		}
+		switch strings.ToLower(fields[0]) {
+		case "name":
+			if len(fields) != 2 {
+				return net, bad(1)
+			}
+			net.Name = fields[1]
+		case "workload":
+			if len(fields) < 2 || len(fields) > 3 {
+				return net, fmt.Errorf("%s:%d: workload needs 1-2 args", path, lineNo)
+			}
+			scale := workloads.ScaleTiny
+			if len(fields) == 3 {
+				var err error
+				scale, err = ParseScale(fields[2])
+				if err != nil {
+					return net, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+				}
+			}
+			w, err := workloads.ByName(fields[1], scale)
+			if err != nil {
+				return net, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			if len(net.Layers) > 0 {
+				return net, fmt.Errorf("%s:%d: workload cannot be mixed with layer lines", path, lineNo)
+			}
+			return w.Net, nil
+		case "conv":
+			if len(fields) != 10 {
+				return net, bad(9)
+			}
+			v, err := nums(2, 9)
+			if err != nil {
+				return net, err
+			}
+			net.Layers = append(net.Layers, model.Layer{
+				Name: fields[1], Kind: model.Conv,
+				InC: v[0], InH: v[1], InW: v[2], OutC: v[3],
+				KH: v[4], KW: v[5], Stride: v[6], Pad: v[7],
+			})
+		case "fc", "gemm":
+			if len(fields) != 5 {
+				return net, bad(4)
+			}
+			v, err := nums(2, 4)
+			if err != nil {
+				return net, err
+			}
+			kind := model.FC
+			if strings.EqualFold(fields[0], "gemm") {
+				kind = model.GEMM
+			}
+			net.Layers = append(net.Layers, model.Layer{
+				Name: fields[1], Kind: kind, M: v[0], K: v[1], N: v[2],
+			})
+		case "rnn":
+			if len(fields) != 5 {
+				return net, bad(4)
+			}
+			v, err := nums(2, 4)
+			if err != nil {
+				return net, err
+			}
+			net.Layers = append(net.Layers, model.Layer{
+				Name: fields[1], Kind: model.RNNCell, Hidden: v[0], Input: v[1], Repeat: v[2],
+			})
+		case "embedding":
+			if len(fields) != 5 {
+				return net, bad(4)
+			}
+			v, err := nums(2, 4)
+			if err != nil {
+				return net, err
+			}
+			net.Layers = append(net.Layers, model.Layer{
+				Name: fields[1], Kind: model.Embedding, TableRows: v[0], EmbDim: v[1], Lookups: v[2],
+			})
+		case "attention":
+			if len(fields) != 6 {
+				return net, bad(5)
+			}
+			v, err := nums(2, 5)
+			if err != nil {
+				return net, err
+			}
+			net.Layers = append(net.Layers, model.Layer{
+				Name: fields[1], Kind: model.Attention, SeqLen: v[0], ModelDim: v[1], Heads: v[2], Repeat: v[3],
+			})
+		default:
+			return net, fmt.Errorf("%s:%d: unknown layer kind %q", path, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return net, fmt.Errorf("%s: %w", path, err)
+	}
+	return net, net.Validate()
+}
+
+// ParseScale parses "tiny", "small", or "paper".
+func ParseScale(s string) (workloads.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return workloads.ScaleTiny, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	}
+	return 0, fmt.Errorf("config: unknown scale %q (want tiny, small, or paper)", s)
+}
+
+// LoadDRAM parses a dram_config file.
+//
+// Keys: preset (hbm2 or ddr4), channels, bl2, queue_depth, policy
+// (frfcfs or fcfs), starvation_cap, pt_priority, capacity_per_core.
+func LoadDRAM(path string) (dram.Config, uint64, error) {
+	kv, err := LoadKV(path)
+	if err != nil {
+		return dram.Config{}, 0, err
+	}
+	channels, err := kv.Int("channels", 4)
+	if err != nil {
+		return dram.Config{}, 0, err
+	}
+	var cfg dram.Config
+	switch p := strings.ToLower(kv.Str("preset", "hbm2")); p {
+	case "hbm2":
+		cfg = dram.HBM2(int(channels))
+	case "ddr4":
+		cfg = dram.DDR4(int(channels))
+	default:
+		return dram.Config{}, 0, fmt.Errorf("%s: unknown preset %q", path, p)
+	}
+	if v, err := kv.Int("bl2", int64(cfg.Timing.BL2)); err != nil {
+		return dram.Config{}, 0, err
+	} else if int(v) != cfg.Timing.BL2 {
+		cfg = dram.HBM2Scaled(int(channels), int(v))
+	}
+	if v, err := kv.Int("queue_depth", int64(cfg.QueueDepth)); err != nil {
+		return dram.Config{}, 0, err
+	} else {
+		cfg.QueueDepth = int(v)
+	}
+	if v, err := kv.Int("starvation_cap", int64(cfg.StarvationCap)); err != nil {
+		return dram.Config{}, 0, err
+	} else {
+		cfg.StarvationCap = int(v)
+	}
+	if v, err := kv.Bool("pt_priority", cfg.PTPriority); err != nil {
+		return dram.Config{}, 0, err
+	} else {
+		cfg.PTPriority = v
+	}
+	switch p := strings.ToLower(kv.Str("policy", "frfcfs")); p {
+	case "frfcfs", "fr-fcfs":
+		cfg.Policy = dram.FRFCFS
+	case "fcfs":
+		cfg.Policy = dram.FCFS
+	default:
+		return dram.Config{}, 0, fmt.Errorf("%s: unknown policy %q", path, p)
+	}
+	capacity, err := kv.Int("capacity_per_core", 256<<20)
+	if err != nil {
+		return dram.Config{}, 0, err
+	}
+	if err := kv.CheckFullyUsed(); err != nil {
+		return dram.Config{}, 0, err
+	}
+	return cfg, uint64(capacity), cfg.Validate()
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

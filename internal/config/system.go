@@ -1,0 +1,229 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"mnpusim/internal/mmu"
+	"mnpusim/internal/model"
+	"mnpusim/internal/npu"
+	"mnpusim/internal/sim"
+)
+
+// NPUMem holds the parsed npumem_config: the memory-side per-core
+// hardware (TLB and page-table walkers).
+type NPUMem struct {
+	TLBEntries      int
+	TLBAssoc        int
+	PTWs            int
+	PageBytes       int64
+	WalkLevels      int
+	WalkLatency     int
+	TLBPorts        int
+	MaxPendingWalks int
+}
+
+// LoadNPUMem parses an npumem_config file. Keys: tlb_entries,
+// tlb_assoc, ptw, page, walk_levels, walk_latency, tlb_ports,
+// max_pending_walks.
+func LoadNPUMem(path string) (NPUMem, error) {
+	kv, err := LoadKV(path)
+	if err != nil {
+		return NPUMem{}, err
+	}
+	m := NPUMem{
+		TLBEntries:      32,
+		TLBAssoc:        8,
+		PTWs:            4,
+		PageBytes:       1 << 10,
+		WalkLevels:      4,
+		WalkLatency:     100,
+		TLBPorts:        4,
+		MaxPendingWalks: 32,
+	}
+	fields := []struct {
+		key string
+		dst *int
+	}{
+		{"tlb_entries", &m.TLBEntries},
+		{"tlb_assoc", &m.TLBAssoc},
+		{"ptw", &m.PTWs},
+		{"walk_levels", &m.WalkLevels},
+		{"walk_latency", &m.WalkLatency},
+		{"tlb_ports", &m.TLBPorts},
+		{"max_pending_walks", &m.MaxPendingWalks},
+	}
+	for _, f := range fields {
+		v, err := kv.Int(f.key, int64(*f.dst))
+		if err != nil {
+			return NPUMem{}, err
+		}
+		*f.dst = int(v)
+	}
+	if v, err := kv.Int("page", m.PageBytes); err != nil {
+		return NPUMem{}, err
+	} else {
+		m.PageBytes = v
+	}
+	return m, kv.CheckFullyUsed()
+}
+
+// Misc holds the parsed misc_config: the execution mode.
+type Misc struct {
+	Sharing       sim.Sharing
+	NoTranslation bool
+	StartCycles   []int64
+	MaxCycles     int64
+	WalkerMin     []int
+	WalkerMax     []int
+	ChannelSplit  []int64 // channels per core for explicit partitioning
+}
+
+// LoadMisc parses a misc_config file. Keys: sharing (static, +d, +dw,
+// +dwt), no_translation, start_cycles (comma list), max_cycles,
+// ptw_min/ptw_max (comma lists), channel_split (comma list of channel
+// counts per core).
+func LoadMisc(path string) (Misc, error) {
+	kv, err := LoadKV(path)
+	if err != nil {
+		return Misc{}, err
+	}
+	m := Misc{Sharing: sim.ShareDWT}
+	if kv.Has("sharing") {
+		s, err := ParseSharing(kv.Str("sharing", ""))
+		if err != nil {
+			return Misc{}, fmt.Errorf("%s: %w", path, err)
+		}
+		m.Sharing = s
+	}
+	if m.NoTranslation, err = kv.Bool("no_translation", false); err != nil {
+		return Misc{}, err
+	}
+	if m.StartCycles, err = kv.Ints("start_cycles"); err != nil {
+		return Misc{}, err
+	}
+	if m.MaxCycles, err = kv.Int("max_cycles", 0); err != nil {
+		return Misc{}, err
+	}
+	toInts := func(key string) ([]int, error) {
+		vs, err := kv.Ints(key)
+		if err != nil || vs == nil {
+			return nil, err
+		}
+		out := make([]int, len(vs))
+		for i, v := range vs {
+			out[i] = int(v)
+		}
+		return out, nil
+	}
+	if m.WalkerMin, err = toInts("ptw_min"); err != nil {
+		return Misc{}, err
+	}
+	if m.WalkerMax, err = toInts("ptw_max"); err != nil {
+		return Misc{}, err
+	}
+	if m.ChannelSplit, err = kv.Ints("channel_split"); err != nil {
+		return Misc{}, err
+	}
+	return m, kv.CheckFullyUsed()
+}
+
+// ParseSharing parses a sharing level name.
+func ParseSharing(s string) (sim.Sharing, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "static":
+		return sim.Static, nil
+	case "+d", "d":
+		return sim.ShareD, nil
+	case "+dw", "dw":
+		return sim.ShareDW, nil
+	case "+dwt", "dwt":
+		return sim.ShareDWT, nil
+	case "ideal":
+		return sim.Ideal, nil
+	}
+	return 0, fmt.Errorf("config: unknown sharing level %q (want static, +d, +dw, +dwt, ideal)", s)
+}
+
+// LoadSystem assembles a full sim.Config from the artifact-style inputs:
+// list files of per-core arch and network configs, one npumem config (or
+// a list), one dram config, and one misc config.
+func LoadSystem(archList, netList, dramPath, npumemPath, miscPath string) (sim.Config, error) {
+	archPaths, err := ReadListFile(archList)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("config: arch list: %w", err)
+	}
+	netPaths, err := ReadListFile(netList)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("config: network list: %w", err)
+	}
+	if len(archPaths) != len(netPaths) {
+		return sim.Config{}, fmt.Errorf("config: %d arch configs but %d networks", len(archPaths), len(netPaths))
+	}
+	arch := make([]npu.ArchConfig, len(archPaths))
+	for i, p := range archPaths {
+		if arch[i], err = LoadArch(p); err != nil {
+			return sim.Config{}, err
+		}
+	}
+	nets := make([]model.Network, len(netPaths))
+	for i, p := range netPaths {
+		if nets[i], err = LoadNetwork(p); err != nil {
+			return sim.Config{}, err
+		}
+	}
+	dcfg, capacity, err := LoadDRAM(dramPath)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	nm, err := LoadNPUMem(npumemPath)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	misc, err := LoadMisc(miscPath)
+	if err != nil {
+		return sim.Config{}, err
+	}
+
+	cfg := sim.Config{
+		Arch:                arch,
+		Nets:                nets,
+		Sharing:             misc.Sharing,
+		DRAM:                dcfg,
+		PageSize:            mmu.PageSize(nm.PageBytes),
+		WalkLevels:          nm.WalkLevels,
+		TLBEntriesPerCore:   nm.TLBEntries,
+		TLBAssoc:            nm.TLBAssoc,
+		PTWPerCore:          nm.PTWs,
+		WalkLatencyPerLevel: nm.WalkLatency,
+		TLBPorts:            nm.TLBPorts,
+		MaxPendingWalks:     nm.MaxPendingWalks,
+		NoTranslation:       misc.NoTranslation,
+		PhysBytesPerCore:    capacity,
+		StartCycles:         misc.StartCycles,
+		MaxGlobalCycles:     misc.MaxCycles,
+		WalkerMin:           misc.WalkerMin,
+		WalkerMax:           misc.WalkerMax,
+	}
+	if cfg.MaxGlobalCycles == 0 {
+		cfg.MaxGlobalCycles = 1_000_000_000
+	}
+	if misc.ChannelSplit != nil {
+		if len(misc.ChannelSplit) != len(arch) {
+			return sim.Config{}, fmt.Errorf("config: channel_split has %d entries for %d cores", len(misc.ChannelSplit), len(arch))
+		}
+		part := make([][]int, len(arch))
+		next := 0
+		for i, n := range misc.ChannelSplit {
+			for k := int64(0); k < n; k++ {
+				part[i] = append(part[i], next)
+				next++
+			}
+		}
+		if next != dcfg.Channels {
+			return sim.Config{}, fmt.Errorf("config: channel_split sums to %d, device has %d channels", next, dcfg.Channels)
+		}
+		cfg.ChannelPartition = part
+	}
+	return cfg, cfg.Validate()
+}

@@ -1,0 +1,440 @@
+package dram
+
+import (
+	"mnpusim/internal/mem"
+)
+
+// pending pairs a queued request with its decoded location.
+type pending struct {
+	req    *mem.Request
+	loc    Location
+	seq    uint64 // arrival order for FCFS tie-breaking
+	bypass int    // times a younger request was serviced first
+}
+
+// completion is a data transfer scheduled to finish in the future.
+type completion struct {
+	at  int64
+	req *mem.Request
+}
+
+// bank is the per-bank state machine. openRow == -1 means precharged.
+type bank struct {
+	openRow       int64
+	nextActivate  int64
+	nextRead      int64
+	nextWrite     int64
+	nextPrecharge int64
+}
+
+// channel is one memory controller plus its DRAM channel.
+type channel struct {
+	cfg   Config
+	id    int
+	banks []bank
+
+	queue       []pending
+	completions []completion
+
+	// Data-bus and CAS-spacing state.
+	busFreeAt   int64
+	lastWasRead bool
+	// nextCASGroup[rank*bankGroups+bg] enforces tCCDL within a bank
+	// group; nextCASAny enforces tCCDS across groups.
+	nextCASGroup []int64
+	nextCASAny   int64
+
+	// Activation spacing (tRRD, tFAW) per rank.
+	lastActivate []int64   // per rank
+	actWindow    [][]int64 // per rank, last 4 activate cycles (ring)
+	actWindowPos []int
+
+	// Refresh state per rank.
+	nextRefresh []int64
+	refreshing  []int64 // busy-until cycle; 0 when idle
+
+	stats ChannelStats
+}
+
+// ChannelStats aggregates per-channel counters.
+type ChannelStats struct {
+	Reads      int64
+	Writes     int64
+	RowHits    int64
+	RowMisses  int64
+	Activates  int64
+	Precharges int64
+	Refreshes  int64
+	BytesMoved int64
+	// BusBusyCycles counts controller clocks the data bus carried data.
+	BusBusyCycles int64
+	// QueueFullRejects counts enqueue attempts refused for lack of space.
+	QueueFullRejects int64
+}
+
+func newChannel(cfg Config, id int) *channel {
+	ch := &channel{
+		cfg:          cfg,
+		id:           id,
+		banks:        make([]bank, cfg.BanksPerChannel()),
+		nextCASGroup: make([]int64, cfg.Ranks*cfg.BankGroups),
+		lastActivate: make([]int64, cfg.Ranks),
+		actWindow:    make([][]int64, cfg.Ranks),
+		actWindowPos: make([]int, cfg.Ranks),
+		nextRefresh:  make([]int64, cfg.Ranks),
+		refreshing:   make([]int64, cfg.Ranks),
+	}
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	ch.lastWasRead = true
+	for r := range ch.lastActivate {
+		ch.lastActivate[r] = -1 << 40
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		ch.actWindow[r] = make([]int64, 4)
+		for j := range ch.actWindow[r] {
+			ch.actWindow[r][j] = -1 << 40
+		}
+		if cfg.Timing.REFI > 0 {
+			ch.nextRefresh[r] = int64(cfg.Timing.REFI)
+		} else {
+			ch.nextRefresh[r] = 1 << 62
+		}
+	}
+	return ch
+}
+
+// canAccept reports whether the controller queue has space.
+func (c *channel) canAccept() bool { return len(c.queue) < c.cfg.QueueDepth }
+
+// enqueue admits a request; the caller must have checked canAccept.
+func (c *channel) enqueue(req *mem.Request, loc Location, seq uint64) {
+	c.queue = append(c.queue, pending{req: req, loc: loc, seq: seq})
+}
+
+// busy reports whether the channel has queued work or in-flight data.
+func (c *channel) busy() bool {
+	return len(c.queue) > 0 || len(c.completions) > 0
+}
+
+// tick advances the controller by one global cycle: retire completions,
+// handle refresh, then issue at most one DRAM command.
+func (c *channel) tick(now int64) {
+	c.retire(now)
+	if c.handleRefresh(now) {
+		return
+	}
+	if len(c.queue) == 0 {
+		return
+	}
+	idx := c.pick(now)
+	if idx < 0 {
+		return
+	}
+	c.issue(now, idx)
+}
+
+func (c *channel) retire(now int64) {
+	out := c.completions[:0]
+	for _, cmp := range c.completions {
+		if cmp.at <= now {
+			cmp.req.Complete(now)
+		} else {
+			out = append(out, cmp)
+		}
+	}
+	c.completions = out
+}
+
+// handleRefresh performs refresh management for all ranks. It returns
+// true if it consumed the command slot this cycle.
+func (c *channel) handleRefresh(now int64) bool {
+	t := c.cfg.Timing
+	for r := 0; r < c.cfg.Ranks; r++ {
+		if c.refreshing[r] > now {
+			continue // refresh in progress; bank constraints already set
+		}
+		if now < c.nextRefresh[r] {
+			continue
+		}
+		// Refresh due: precharge any open bank in this rank first.
+		base := r * c.cfg.BankGroups * c.cfg.BanksPerGroup
+		n := c.cfg.BankGroups * c.cfg.BanksPerGroup
+		for b := base; b < base+n; b++ {
+			bk := &c.banks[b]
+			if bk.openRow >= 0 {
+				if now < bk.nextPrecharge {
+					return false // wait; keep the command slot idle
+				}
+				c.precharge(now, b)
+				return true
+			}
+		}
+		// All banks precharged and past tRP: start refresh.
+		ready := true
+		for b := base; b < base+n; b++ {
+			if now < c.banks[b].nextActivate {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			return false
+		}
+		c.refreshing[r] = now + int64(t.RFC)
+		c.nextRefresh[r] = now + int64(t.REFI)
+		for b := base; b < base+n; b++ {
+			c.banks[b].nextActivate = now + int64(t.RFC)
+		}
+		c.stats.Refreshes++
+		return true
+	}
+	return false
+}
+
+// pick selects a queue index to service, or -1 if nothing can issue a
+// useful command this cycle.
+//
+// Scheduling order:
+//  1. Strict age order once the oldest request has been bypassed
+//     StarvationCap times (anti-starvation guard).
+//  2. With PTPriority, the oldest page-table-walk read that can make
+//     progress this cycle.
+//  3. FR-FCFS: the oldest request whose row is open and whose CAS can
+//     fire right now.
+//  4. The oldest request overall (to make forward progress with
+//     activates/precharges).
+//
+// Under FCFS only the head request is considered.
+func (c *channel) pick(now int64) int {
+	if c.cfg.Policy == FCFS {
+		return 0
+	}
+	starved := c.cfg.StarvationCap > 0 && c.queue[0].bypass >= c.cfg.StarvationCap
+	if starved && c.canProgress(now, &c.queue[0]) {
+		return 0
+	}
+	// A starved head whose bank is mid-precharge/activate does not
+	// freeze the channel: other banks keep issuing below, which cannot
+	// delay the head's own bank preparation.
+	if c.cfg.PTPriority {
+		for i := range c.queue {
+			p := &c.queue[i]
+			if p.req.Class == mem.PageTable && c.canProgress(now, p) {
+				c.notePick(i, starved)
+				return i
+			}
+		}
+	}
+	for i := range c.queue {
+		p := &c.queue[i]
+		b := &c.banks[c.cfg.BankIndex(p.loc)]
+		if b.openRow == p.loc.Row && c.casReady(now, p) {
+			c.notePick(i, starved)
+			return i
+		}
+	}
+	// No CAS can fire: let the oldest request that can make any
+	// progress prepare its bank, overlapping with in-flight data.
+	for i := range c.queue {
+		if c.canProgress(now, &c.queue[i]) {
+			c.notePick(i, starved)
+			return i
+		}
+	}
+	return -1
+}
+
+// notePick charges a bypass to the queue head when a younger request is
+// chosen ahead of it; an already-starved head (whose bank is being
+// prepared) is not charged further.
+func (c *channel) notePick(i int, starved bool) {
+	if i > 0 && !starved {
+		c.queue[0].bypass++
+	}
+}
+
+// canProgress reports whether the request could issue any useful command
+// (CAS, precharge, or activate) this cycle.
+func (c *channel) canProgress(now int64, p *pending) bool {
+	b := &c.banks[c.cfg.BankIndex(p.loc)]
+	switch {
+	case b.openRow == p.loc.Row:
+		return c.casReady(now, p)
+	case b.openRow >= 0:
+		return now >= b.nextPrecharge
+	default:
+		return c.canActivate(now, p.loc)
+	}
+}
+
+// casReady reports whether the column command for p could issue at now.
+// The data bus is pipelined: a CAS may issue while earlier data is still
+// in flight, as long as its own data window (starting CL or CWL cycles
+// later) begins after the bus frees, plus a turnaround bubble when the
+// transfer direction changes.
+func (c *channel) casReady(now int64, p *pending) bool {
+	b := &c.banks[c.cfg.BankIndex(p.loc)]
+	if b.openRow != p.loc.Row {
+		return false
+	}
+	grp := p.loc.Rank*c.cfg.BankGroups + p.loc.BankGroup
+	if now < c.nextCASGroup[grp] || now < c.nextCASAny {
+		return false
+	}
+	if p.req.Kind == mem.Read {
+		if now < b.nextRead {
+			return false
+		}
+		return now+int64(c.cfg.Timing.CL) >= c.busNeededAt(true)
+	}
+	if now < b.nextWrite {
+		return false
+	}
+	return now+int64(c.cfg.Timing.CWL) >= c.busNeededAt(false)
+}
+
+// busNeededAt returns the earliest cycle the data bus may start a new
+// transfer in the given direction.
+func (c *channel) busNeededAt(read bool) int64 {
+	at := c.busFreeAt
+	if read != c.lastWasRead {
+		at += 2 // bus turnaround bubble
+	}
+	return at
+}
+
+// issue advances the chosen request by one command (precharge, activate,
+// or CAS). CAS removes the request from the queue and schedules its
+// completion.
+func (c *channel) issue(now int64, idx int) {
+	t := c.cfg.Timing
+	p := &c.queue[idx]
+	bi := c.cfg.BankIndex(p.loc)
+	b := &c.banks[bi]
+
+	switch {
+	case b.openRow == p.loc.Row:
+		if !c.casReady(now, p) {
+			return
+		}
+		grp := p.loc.Rank*c.cfg.BankGroups + p.loc.BankGroup
+		c.nextCASGroup[grp] = now + int64(t.CCDL)
+		c.nextCASAny = now + int64(t.CCDS)
+		if p.req.Kind == mem.Read {
+			dataAt := max64(now+int64(t.CL), c.busNeededAt(true))
+			c.busFreeAt = dataAt + int64(t.BL2)
+			c.lastWasRead = true
+			if nb := now + int64(t.RTP); nb > b.nextPrecharge {
+				b.nextPrecharge = nb
+			}
+			c.finishAt(c.busFreeAt, p.req)
+			c.stats.Reads++
+		} else {
+			dataAt := max64(now+int64(t.CWL), c.busNeededAt(false))
+			c.busFreeAt = dataAt + int64(t.BL2)
+			c.lastWasRead = false
+			if nb := dataAt + int64(t.BL2) + int64(t.WR); nb > b.nextPrecharge {
+				b.nextPrecharge = nb
+			}
+			c.finishAt(dataAt+int64(t.BL2), p.req)
+			c.stats.Writes++
+		}
+		c.stats.RowHits++
+		c.stats.BytesMoved += int64(p.req.Size)
+		c.stats.BusBusyCycles += int64(t.BL2)
+		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+
+	case b.openRow >= 0:
+		// Row conflict: precharge when legal.
+		if now >= b.nextPrecharge {
+			c.precharge(now, bi)
+			c.stats.RowMisses++
+		}
+
+	default:
+		// Bank closed: activate when legal.
+		if c.canActivate(now, p.loc) {
+			c.activate(now, p.loc)
+		}
+	}
+}
+
+func (c *channel) precharge(now int64, bankIdx int) {
+	b := &c.banks[bankIdx]
+	b.openRow = -1
+	b.nextActivate = max64(b.nextActivate, now+int64(c.cfg.Timing.RP))
+	c.stats.Precharges++
+}
+
+func (c *channel) canActivate(now int64, loc Location) bool {
+	b := &c.banks[c.cfg.BankIndex(loc)]
+	if now < b.nextActivate {
+		return false
+	}
+	t := c.cfg.Timing
+	if now < c.lastActivate[loc.Rank]+int64(t.RRDS) {
+		return false
+	}
+	// tFAW: the 4th-most-recent activate must be at least FAW ago.
+	w := c.actWindow[loc.Rank]
+	oldest := w[c.actWindowPos[loc.Rank]]
+	return now >= oldest+int64(t.FAW)
+}
+
+func (c *channel) activate(now int64, loc Location) {
+	t := c.cfg.Timing
+	b := &c.banks[c.cfg.BankIndex(loc)]
+	b.openRow = loc.Row
+	b.nextRead = now + int64(t.RCD)
+	b.nextWrite = now + int64(t.RCD)
+	b.nextPrecharge = now + int64(t.RAS)
+	c.lastActivate[loc.Rank] = now
+	w := c.actWindow[loc.Rank]
+	w[c.actWindowPos[loc.Rank]] = now
+	c.actWindowPos[loc.Rank] = (c.actWindowPos[loc.Rank] + 1) % 4
+	c.stats.Activates++
+}
+
+func (c *channel) finishAt(at int64, req *mem.Request) {
+	c.completions = append(c.completions, completion{at: at, req: req})
+}
+
+// nextEventAfter returns the earliest future cycle at which this channel
+// needs attention, for fast-forwarding. If the channel still has queued
+// commands it returns now+1 (command scheduling is cycle-by-cycle); with
+// only in-flight completions it returns the earliest completion.
+func (c *channel) nextEventAfter(now int64) int64 {
+	if len(c.queue) > 0 {
+		return now + 1
+	}
+	next := int64(1) << 62
+	for _, cmp := range c.completions {
+		if cmp.at < next {
+			next = cmp.at
+		}
+	}
+	return next
+}
+
+// skipTo fast-forwards refresh bookkeeping across an idle interval.
+// Refreshes that would have occurred while fully idle are treated as
+// performed in the background.
+func (c *channel) skipTo(now int64) {
+	for r := range c.nextRefresh {
+		if c.cfg.Timing.REFI > 0 {
+			for c.nextRefresh[r] <= now {
+				c.nextRefresh[r] += int64(c.cfg.Timing.REFI)
+				c.stats.Refreshes++
+			}
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

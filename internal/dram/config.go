@@ -1,0 +1,250 @@
+// Package dram implements a cycle-level DRAM model in the spirit of
+// DRAMsim3, which the original mNPUsim integrates for its off-chip
+// memory. The model simulates per-channel memory controllers with
+// FR-FCFS scheduling, bank and bank-group timing constraints, row-buffer
+// state, shared data buses, and periodic refresh.
+//
+// Bandwidth sharing and partitioning — the core subject of the paper —
+// is expressed at channel granularity: each NPU core is assigned a set
+// of channels, and its physical blocks interleave across that set. A
+// fully shared configuration (+D) gives every core the full channel set;
+// a static partition gives each core a disjoint subset (4:4, 1:7, ...).
+package dram
+
+import "fmt"
+
+// Timing holds DRAM timing parameters in DRAM clock cycles.
+//
+// The parameter names follow JEDEC conventions: tCL (CAS latency), tRCD
+// (row-to-column delay), tRP (precharge), tRAS (row active time), tCCDL/
+// tCCDS (CAS-to-CAS, same/different bank group), tRRDS (ACT-to-ACT),
+// tFAW (four-activate window), tWR (write recovery), tRTP (read to
+// precharge), tCWL (CAS write latency), tREFI (refresh interval), tRFC
+// (refresh cycle time). BL2 is the data-bus occupancy of one burst in
+// controller clocks (burst length / 2 for DDR signaling).
+type Timing struct {
+	CL   int
+	CWL  int
+	RCD  int
+	RP   int
+	RAS  int
+	CCDL int
+	CCDS int
+	RRDS int
+	FAW  int
+	WR   int
+	RTP  int
+	BL2  int
+	REFI int
+	RFC  int
+}
+
+// Validate reports an error if any timing parameter is non-positive in a
+// way that would wedge the state machines.
+func (t Timing) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"CL", t.CL}, {"CWL", t.CWL}, {"RCD", t.RCD}, {"RP", t.RP},
+		{"RAS", t.RAS}, {"CCDL", t.CCDL}, {"CCDS", t.CCDS}, {"RRDS", t.RRDS},
+		{"WR", t.WR}, {"RTP", t.RTP}, {"BL2", t.BL2},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("dram: timing %s must be positive, got %d", c.name, c.v)
+		}
+	}
+	if t.REFI < 0 || t.RFC < 0 {
+		return fmt.Errorf("dram: refresh timing must be non-negative")
+	}
+	if t.REFI > 0 && t.RFC >= t.REFI {
+		return fmt.Errorf("dram: tRFC (%d) must be below tREFI (%d)", t.RFC, t.REFI)
+	}
+	return nil
+}
+
+// SchedulingPolicy selects the command scheduler of each channel
+// controller.
+type SchedulingPolicy uint8
+
+const (
+	// FRFCFS prioritizes row-buffer hits over older requests
+	// (first-ready, first-come-first-served). This is the default and
+	// matches DRAMsim3's standard policy.
+	FRFCFS SchedulingPolicy = iota
+	// FCFS services requests strictly in arrival order; used by the
+	// scheduler ablation.
+	FCFS
+)
+
+func (p SchedulingPolicy) String() string {
+	if p == FCFS {
+		return "FCFS"
+	}
+	return "FR-FCFS"
+}
+
+// Config describes one DRAM device (all channels behind one set of
+// memory controllers).
+type Config struct {
+	// Name labels the configuration in logs, e.g. "HBM2_8ch".
+	Name string
+
+	Channels      int
+	Ranks         int
+	BankGroups    int
+	BanksPerGroup int
+
+	// RowBytes is the row-buffer size per bank in bytes.
+	RowBytes int
+	// BlockBytes is the transaction granularity (one burst), typically 64.
+	BlockBytes int
+	// QueueDepth bounds each channel controller's request queue.
+	QueueDepth int
+
+	Timing Timing
+	Policy SchedulingPolicy
+
+	// StarvationCap bounds how many times the oldest queued request may
+	// be bypassed by younger row-hit requests before the controller
+	// falls back to strict age order. Without it, a streaming
+	// co-runner's row-hit train can starve another core's requests
+	// indefinitely. Zero disables the guard (pure FR-FCFS).
+	StarvationCap int
+
+	// PTPriority services page-table-walk reads ahead of data
+	// requests. Walks are short, latency-critical, and serialized
+	// (level i+1 depends on level i), so queueing them behind bulk DMA
+	// bursts multiplies translation latency; IOMMU designs such as
+	// NeuMMU prioritize them.
+	PTPriority bool
+
+	// FreqHz is the DRAM clock frequency; with the paper's baseline the
+	// global simulator clock equals this frequency.
+	FreqHz int64
+}
+
+// Validate checks structural and timing sanity.
+func (c Config) Validate() error {
+	if c.Channels <= 0 || c.Ranks <= 0 || c.BankGroups <= 0 || c.BanksPerGroup <= 0 {
+		return fmt.Errorf("dram: geometry must be positive: %+v", c)
+	}
+	if c.BlockBytes <= 0 || c.RowBytes < c.BlockBytes {
+		return fmt.Errorf("dram: need RowBytes >= BlockBytes > 0 (row=%d block=%d)", c.RowBytes, c.BlockBytes)
+	}
+	if c.RowBytes%c.BlockBytes != 0 {
+		return fmt.Errorf("dram: RowBytes (%d) must be a multiple of BlockBytes (%d)", c.RowBytes, c.BlockBytes)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("dram: QueueDepth must be positive, got %d", c.QueueDepth)
+	}
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("dram: FreqHz must be positive, got %d", c.FreqHz)
+	}
+	return c.Timing.Validate()
+}
+
+// BanksPerChannel returns ranks * bank groups * banks per group.
+func (c Config) BanksPerChannel() int {
+	return c.Ranks * c.BankGroups * c.BanksPerGroup
+}
+
+// PeakBandwidth returns the aggregate peak bandwidth in bytes/second:
+// each channel moves BlockBytes every BL2 controller clocks.
+func (c Config) PeakBandwidth() float64 {
+	perChannel := float64(c.BlockBytes) / float64(c.Timing.BL2) * float64(c.FreqHz)
+	return perChannel * float64(c.Channels)
+}
+
+// HBM2 returns an HBM2-like configuration with the given number of
+// channels. At 1 GHz controller clock and 64 B bursts occupying 2
+// clocks, each channel peaks at 32 GB/s, so 8 channels give the paper's
+// 256 GB/s baseline (Table 2).
+func HBM2(channels int) Config {
+	return Config{
+		Name:          fmt.Sprintf("HBM2_%dch", channels),
+		Channels:      channels,
+		Ranks:         1,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		RowBytes:      2048,
+		BlockBytes:    64,
+		QueueDepth:    32,
+		FreqHz:        1_000_000_000,
+		Policy:        FRFCFS,
+		StarvationCap: 16,
+		PTPriority:    true,
+		Timing: Timing{
+			CL:   14,
+			CWL:  7,
+			RCD:  14,
+			RP:   14,
+			RAS:  33,
+			CCDL: 4,
+			CCDS: 2,
+			RRDS: 4,
+			FAW:  16,
+			WR:   16,
+			RTP:  7,
+			BL2:  2,
+			REFI: 3900,
+			RFC:  260,
+		},
+	}
+}
+
+// HBM2Scaled returns an HBM2-like configuration whose per-channel
+// bandwidth is narrowed by stretching the burst occupancy to bl2
+// controller clocks (peak = 64/bl2 bytes per clock per channel). The
+// scaled-down system presets use it to keep the compute-to-bandwidth
+// balance of each core equal to the paper's cloud-scale balance
+// (128 MACs per byte) while every structure shrinks.
+func HBM2Scaled(channels, bl2 int) Config {
+	cfg := HBM2(channels)
+	cfg.Name = fmt.Sprintf("HBM2_%dch_bl%d", channels, bl2)
+	cfg.Timing.BL2 = bl2
+	// Keep worst-case queueing delay (depth x burst occupancy)
+	// comparable to the unscaled device so dependent accesses such as
+	// page walks see proportionate latency.
+	if d := 64 / bl2; d < cfg.QueueDepth {
+		cfg.QueueDepth = max(8, d)
+	}
+	return cfg
+}
+
+// DDR4 returns a DDR4-3200-like configuration. One channel moves a 64 B
+// burst in 4 controller clocks (BL8 over a 64-bit bus), peaking at
+// 25.6 GB/s per channel at 1.6 GHz.
+func DDR4(channels int) Config {
+	return Config{
+		Name:          fmt.Sprintf("DDR4_%dch", channels),
+		Channels:      channels,
+		Ranks:         2,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		RowBytes:      8192,
+		BlockBytes:    64,
+		QueueDepth:    32,
+		FreqHz:        1_600_000_000,
+		Policy:        FRFCFS,
+		StarvationCap: 16,
+		PTPriority:    true,
+		Timing: Timing{
+			CL:   22,
+			CWL:  16,
+			RCD:  22,
+			RP:   22,
+			RAS:  52,
+			CCDL: 8,
+			CCDS: 4,
+			RRDS: 7,
+			FAW:  32,
+			WR:   24,
+			RTP:  12,
+			BL2:  4,
+			REFI: 12480,
+			RFC:  560,
+		},
+	}
+}

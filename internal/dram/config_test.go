@@ -1,0 +1,85 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []Config{HBM2(1), HBM2(8), HBM2Scaled(2, 8), HBM2Scaled(8, 16), DDR4(2)} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestHBM2PeakBandwidth(t *testing.T) {
+	// One channel: 64 B per 2 clocks at 1 GHz = 32 GB/s.
+	if got := HBM2(1).PeakBandwidth(); got != 32e9 {
+		t.Errorf("HBM2(1) peak = %g, want 32e9", got)
+	}
+	// Table 2 baseline: 8 channels = 256 GB/s.
+	if got := HBM2(8).PeakBandwidth(); got != 256e9 {
+		t.Errorf("HBM2(8) peak = %g, want 256e9", got)
+	}
+}
+
+func TestHBM2ScaledBandwidthAndDepth(t *testing.T) {
+	cfg := HBM2Scaled(2, 8)
+	if got := cfg.PeakBandwidth(); got != 2*8e9 {
+		t.Errorf("scaled peak = %g, want 16e9", got)
+	}
+	if cfg.QueueDepth != 8 {
+		t.Errorf("scaled queue depth = %d, want 8", cfg.QueueDepth)
+	}
+	// bl2=2 keeps the full depth.
+	if d := HBM2Scaled(4, 2).QueueDepth; d != 32 {
+		t.Errorf("unscaled depth = %d, want 32", d)
+	}
+}
+
+func TestBanksPerChannel(t *testing.T) {
+	if got := HBM2(1).BanksPerChannel(); got != 16 {
+		t.Errorf("HBM2 banks/channel = %d, want 16", got)
+	}
+	if got := DDR4(1).BanksPerChannel(); got != 32 {
+		t.Errorf("DDR4 banks/channel = %d, want 32", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := HBM2(2)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		frag   string
+	}{
+		{"zero channels", func(c *Config) { c.Channels = 0 }, "geometry"},
+		{"zero ranks", func(c *Config) { c.Ranks = 0 }, "geometry"},
+		{"row smaller than block", func(c *Config) { c.RowBytes = 32 }, "RowBytes"},
+		{"row not multiple of block", func(c *Config) { c.RowBytes = 100 }, "multiple"},
+		{"zero queue", func(c *Config) { c.QueueDepth = 0 }, "QueueDepth"},
+		{"zero freq", func(c *Config) { c.FreqHz = 0 }, "FreqHz"},
+		{"zero CL", func(c *Config) { c.Timing.CL = 0 }, "CL"},
+		{"negative refresh", func(c *Config) { c.Timing.REFI = -1 }, "refresh"},
+		{"rfc >= refi", func(c *Config) { c.Timing.RFC = c.Timing.REFI }, "tRFC"},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FRFCFS.String() != "FR-FCFS" || FCFS.String() != "FCFS" {
+		t.Errorf("policy strings: %q %q", FRFCFS, FCFS)
+	}
+}

@@ -1,0 +1,198 @@
+package dram
+
+import (
+	"fmt"
+
+	"mnpusim/internal/mem"
+)
+
+// TransferFunc observes every completed data burst; used by the
+// bandwidth-timeline instrumentation (Fig. 12).
+type TransferFunc func(now int64, core int, bytes int, class mem.Class)
+
+// Memory is one DRAM device: a set of channels with per-channel
+// controllers, plus per-core channel routing for bandwidth sharing and
+// partitioning.
+type Memory struct {
+	cfg      Config
+	channels []*channel
+	mappers  []Mapper // indexed by core
+	seq      uint64
+	inflight int
+
+	// OnTransfer, if non-nil, is called when a request's data burst
+	// completes.
+	OnTransfer TransferFunc
+}
+
+// New creates a Memory. Every core that issues requests must be routed
+// with SetCoreChannels before the first Enqueue; cores without an
+// explicit assignment share all channels.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{cfg: cfg}
+	m.channels = make([]*channel, cfg.Channels)
+	for i := range m.channels {
+		m.channels[i] = newChannel(cfg, i)
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on error; for tests and presets known valid.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the device configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// SetCoreChannels routes core's physical blocks across the given channel
+// set. Passing nil or an empty set assigns all channels.
+func (m *Memory) SetCoreChannels(core int, channels []int) {
+	if core < 0 {
+		panic("dram: negative core")
+	}
+	for core >= len(m.mappers) {
+		m.mappers = append(m.mappers, Mapper{})
+	}
+	if len(channels) == 0 {
+		channels = make([]int, m.cfg.Channels)
+		for i := range channels {
+			channels[i] = i
+		}
+	}
+	m.mappers[core] = NewMapper(m.cfg, channels)
+}
+
+func (m *Memory) mapperFor(core int) Mapper {
+	if core >= 0 && core < len(m.mappers) && len(m.mappers[core].channels) > 0 {
+		return m.mappers[core]
+	}
+	all := make([]int, m.cfg.Channels)
+	for i := range all {
+		all[i] = i
+	}
+	mp := NewMapper(m.cfg, all)
+	m.SetCoreChannels(core, all)
+	return mp
+}
+
+// CanAccept reports whether a request from core to addr would be
+// admitted right now.
+func (m *Memory) CanAccept(core int, addr uint64) bool {
+	loc := m.mapperFor(core).Locate(addr)
+	return m.channels[loc.Channel].canAccept()
+}
+
+// Enqueue admits r into its channel's controller queue. It returns false
+// (and leaves r untouched) if the queue is full; the caller should retry
+// on a later cycle. The request's Done callback fires when its data
+// burst completes.
+func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
+	loc := m.mapperFor(r.Core).Locate(r.Addr)
+	ch := m.channels[loc.Channel]
+	if !ch.canAccept() {
+		ch.stats.QueueFullRejects++
+		return false
+	}
+	m.seq++
+	m.inflight++
+	inner := r.Done
+	r.Done = func(done int64, rr *mem.Request) {
+		m.inflight--
+		if m.OnTransfer != nil {
+			m.OnTransfer(done, rr.Core, int(rr.Size), rr.Class)
+		}
+		if inner != nil {
+			inner(done, rr)
+		}
+	}
+	ch.enqueue(r, loc, m.seq)
+	return true
+}
+
+// Tick advances every channel controller by one global cycle.
+func (m *Memory) Tick(now int64) {
+	for _, ch := range m.channels {
+		ch.tick(now)
+	}
+}
+
+// Busy reports whether any channel has queued or in-flight work.
+func (m *Memory) Busy() bool { return m.inflight > 0 }
+
+// NextEventAfter returns the earliest future cycle at which the device
+// needs ticking. With no work at all it returns a far-future sentinel.
+func (m *Memory) NextEventAfter(now int64) int64 {
+	next := int64(1) << 62
+	for _, ch := range m.channels {
+		if !ch.busy() {
+			continue
+		}
+		if e := ch.nextEventAfter(now); e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// SkipTo fast-forwards idle-time bookkeeping (refresh schedules) to now.
+// It must only be called while !Busy().
+func (m *Memory) SkipTo(now int64) {
+	for _, ch := range m.channels {
+		ch.skipTo(now)
+	}
+}
+
+// Stats aggregates counters across channels.
+type Stats struct {
+	PerChannel []ChannelStats
+}
+
+// Totals sums the per-channel counters.
+func (s Stats) Totals() ChannelStats {
+	var t ChannelStats
+	for _, c := range s.PerChannel {
+		t.Reads += c.Reads
+		t.Writes += c.Writes
+		t.RowHits += c.RowHits
+		t.RowMisses += c.RowMisses
+		t.Activates += c.Activates
+		t.Precharges += c.Precharges
+		t.Refreshes += c.Refreshes
+		t.BytesMoved += c.BytesMoved
+		t.BusBusyCycles += c.BusBusyCycles
+		t.QueueFullRejects += c.QueueFullRejects
+	}
+	return t
+}
+
+// RowHitRate returns row hits / (hits + misses), or 0 with no traffic.
+func (s Stats) RowHitRate() float64 {
+	t := s.Totals()
+	if t.RowHits+t.RowMisses == 0 {
+		return 0
+	}
+	return float64(t.RowHits) / float64(t.RowHits+t.RowMisses)
+}
+
+// Stats snapshots the current counters.
+func (m *Memory) Stats() Stats {
+	out := Stats{PerChannel: make([]ChannelStats, len(m.channels))}
+	for i, ch := range m.channels {
+		out.PerChannel[i] = ch.stats
+	}
+	return out
+}
+
+// String describes the device.
+func (m *Memory) String() string {
+	return fmt.Sprintf("%s: %d ch x %d banks, peak %.1f GB/s",
+		m.cfg.Name, m.cfg.Channels, m.cfg.BanksPerChannel(), m.cfg.PeakBandwidth()/1e9)
+}

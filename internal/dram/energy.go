@@ -1,0 +1,82 @@
+package dram
+
+// EnergyParams models DRAM energy per command class, in picojoules.
+// The defaults are rough HBM2 estimates (a few pJ/bit for array access,
+// row activation energy amortized per ACT, plus standby background
+// power); like DRAMsim3's thermal extension, the purpose is comparative
+// — e.g. how much energy static partitioning wastes on extra row
+// conflicts — not absolute accuracy.
+type EnergyParams struct {
+	ActivatePJ float64 // per ACT (includes the implicit precharge restore)
+	ReadPJ     float64 // per read burst
+	WritePJ    float64 // per write burst
+	RefreshPJ  float64 // per all-bank refresh
+	// BackgroundPJPerCycle is standby power per channel per controller
+	// clock.
+	BackgroundPJPerCycle float64
+}
+
+// DefaultHBM2Energy returns HBM2-flavored per-command energies.
+func DefaultHBM2Energy() EnergyParams {
+	return EnergyParams{
+		ActivatePJ:           1700,
+		ReadPJ:               2000, // 64 B at ~3.9 pJ/bit
+		WritePJ:              2100,
+		RefreshPJ:            12000,
+		BackgroundPJPerCycle: 45,
+	}
+}
+
+// EnergyBreakdown splits a channel's (or device's) energy by source, in
+// picojoules.
+type EnergyBreakdown struct {
+	ActivatePJ   float64
+	ReadPJ       float64
+	WritePJ      float64
+	RefreshPJ    float64
+	BackgroundPJ float64
+}
+
+// TotalPJ sums the components.
+func (b EnergyBreakdown) TotalPJ() float64 {
+	return b.ActivatePJ + b.ReadPJ + b.WritePJ + b.RefreshPJ + b.BackgroundPJ
+}
+
+// TotalNJ returns the total in nanojoules.
+func (b EnergyBreakdown) TotalNJ() float64 { return b.TotalPJ() / 1000 }
+
+// Energy converts one channel's counters into an energy breakdown over
+// elapsedCycles controller clocks.
+func (c ChannelStats) Energy(p EnergyParams, elapsedCycles int64) EnergyBreakdown {
+	return EnergyBreakdown{
+		ActivatePJ:   float64(c.Activates) * p.ActivatePJ,
+		ReadPJ:       float64(c.Reads) * p.ReadPJ,
+		WritePJ:      float64(c.Writes) * p.WritePJ,
+		RefreshPJ:    float64(c.Refreshes) * p.RefreshPJ,
+		BackgroundPJ: float64(elapsedCycles) * p.BackgroundPJPerCycle,
+	}
+}
+
+// Energy aggregates the device's energy breakdown over elapsedCycles.
+func (s Stats) Energy(p EnergyParams, elapsedCycles int64) EnergyBreakdown {
+	var out EnergyBreakdown
+	for _, ch := range s.PerChannel {
+		e := ch.Energy(p, elapsedCycles)
+		out.ActivatePJ += e.ActivatePJ
+		out.ReadPJ += e.ReadPJ
+		out.WritePJ += e.WritePJ
+		out.RefreshPJ += e.RefreshPJ
+		out.BackgroundPJ += e.BackgroundPJ
+	}
+	return out
+}
+
+// EnergyPerBit returns pJ/bit moved, a common DRAM efficiency metric;
+// it returns 0 when no data moved.
+func (s Stats) EnergyPerBit(p EnergyParams, elapsedCycles int64) float64 {
+	bits := float64(s.Totals().BytesMoved) * 8
+	if bits == 0 {
+		return 0
+	}
+	return s.Energy(p, elapsedCycles).TotalPJ() / bits
+}

@@ -1,0 +1,87 @@
+package dram
+
+import (
+	"math"
+	"testing"
+
+	"mnpusim/internal/mem"
+)
+
+func TestChannelEnergyBreakdown(t *testing.T) {
+	p := EnergyParams{ActivatePJ: 10, ReadPJ: 5, WritePJ: 7, RefreshPJ: 100, BackgroundPJPerCycle: 1}
+	c := ChannelStats{Activates: 3, Reads: 4, Writes: 2, Refreshes: 1}
+	e := c.Energy(p, 50)
+	if e.ActivatePJ != 30 || e.ReadPJ != 20 || e.WritePJ != 14 || e.RefreshPJ != 100 || e.BackgroundPJ != 50 {
+		t.Errorf("breakdown: %+v", e)
+	}
+	if e.TotalPJ() != 214 {
+		t.Errorf("total = %v", e.TotalPJ())
+	}
+	if e.TotalNJ() != 0.214 {
+		t.Errorf("nJ = %v", e.TotalNJ())
+	}
+}
+
+func TestDeviceEnergyAggregates(t *testing.T) {
+	p := EnergyParams{ReadPJ: 1, BackgroundPJPerCycle: 2}
+	s := Stats{PerChannel: []ChannelStats{{Reads: 10}, {Reads: 20}}}
+	e := s.Energy(p, 100)
+	if e.ReadPJ != 30 {
+		t.Errorf("reads: %v", e.ReadPJ)
+	}
+	// Background accrues per channel.
+	if e.BackgroundPJ != 400 {
+		t.Errorf("background: %v", e.BackgroundPJ)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	p := EnergyParams{ReadPJ: 512}
+	s := Stats{PerChannel: []ChannelStats{{Reads: 1, BytesMoved: 64}}}
+	// 512 pJ over 512 bits = 1 pJ/bit.
+	if got := s.EnergyPerBit(p, 0); got != 1 {
+		t.Errorf("pJ/bit = %v", got)
+	}
+	if (Stats{}).EnergyPerBit(p, 10) != 0 {
+		t.Error("no-traffic pJ/bit should be 0")
+	}
+}
+
+func TestEnergyFromRealRun(t *testing.T) {
+	cfg := HBM2(1)
+	tm := newTestMemory(t, cfg)
+	for i := 0; i < 32; i++ {
+		tm.m.Enqueue(0, tm.request(0, uint64(i*64), mem.Read, nil))
+	}
+	end := tm.tickUntilIdle(10000)
+	e := tm.m.Stats().Energy(DefaultHBM2Energy(), end)
+	if e.ReadPJ <= 0 || e.ActivatePJ <= 0 || e.BackgroundPJ <= 0 {
+		t.Errorf("run energy: %+v", e)
+	}
+	perBit := tm.m.Stats().EnergyPerBit(DefaultHBM2Energy(), end)
+	// HBM2 is a few pJ/bit at high utilization; allow a wide band but
+	// catch unit mistakes.
+	if perBit < 1 || perBit > 100 {
+		t.Errorf("pJ/bit = %v, outside sanity band", perBit)
+	}
+	if math.IsNaN(perBit) {
+		t.Error("NaN energy")
+	}
+}
+
+func TestMoreRowConflictsCostMoreEnergy(t *testing.T) {
+	run := func(stride int) float64 {
+		cfg := HBM2(1)
+		tm := newTestMemory(t, cfg)
+		for i := 0; i < 64; i++ {
+			tm.m.Enqueue(0, tm.request(0, uint64(i*stride), mem.Read, nil))
+			tm.tickUntilIdle(100000)
+		}
+		return tm.m.Stats().Energy(DefaultHBM2Energy(), 0).ActivatePJ
+	}
+	sequential := run(64)
+	scattered := run(1 << 20)
+	if scattered <= sequential {
+		t.Errorf("scattered accesses should activate more: %v vs %v", scattered, sequential)
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"testing"
+
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+func tinyRunner() *Runner {
+	return NewRunner(Options{Scale: workloads.ScaleTiny, QuadSample: 4, Seed: 1})
+}
+
+func TestRunnerCachesIdealAndDualRuns(t *testing.T) {
+	r := tinyRunner()
+	a, err := r.Ideal("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.Simulations()
+	b, err := r.Ideal("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() != n {
+		t.Error("second Ideal() re-simulated")
+	}
+	if a.Cycles != b.Cycles {
+		t.Error("cached result differs")
+	}
+
+	if _, err := r.Dual("ncf", "ncf", sim.ShareDWT); err != nil {
+		t.Fatal(err)
+	}
+	n = r.Simulations()
+	if _, err := r.Dual("ncf", "ncf", sim.ShareDWT); err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() != n {
+		t.Error("second Dual() re-simulated")
+	}
+	if _, err := r.Dual("ncf", "ncf", sim.Static); err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() == n {
+		t.Error("different level should simulate")
+	}
+}
+
+func TestDualMixesEnumerates36(t *testing.T) {
+	r := tinyRunner()
+	mixes := r.DualMixes()
+	if len(mixes) != 36 {
+		t.Fatalf("dual mixes = %d, want 36 (M(8,2))", len(mixes))
+	}
+	seen := map[[2]string]bool{}
+	for _, m := range mixes {
+		if seen[m] {
+			t.Errorf("duplicate mix %v", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestQuadMixesSampling(t *testing.T) {
+	names := workloads.Names()
+	all := QuadMixes(names, 0)
+	if len(all) != 330 {
+		t.Fatalf("quad mixes = %d, want 330 (M(8,4))", len(all))
+	}
+	sampled := QuadMixes(names, 40)
+	if len(sampled) < 40 || len(sampled) > 45 {
+		t.Errorf("sampled %d mixes for target 40", len(sampled))
+	}
+	for _, m := range sampled {
+		if len(m) != 4 {
+			t.Fatalf("mix size %d", len(m))
+		}
+	}
+}
+
+func TestSpeedupUsesIdealBaseline(t *testing.T) {
+	r := tinyRunner()
+	ib, err := r.Ideal("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Speedup("ncf", ib.Cycles*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0.5 {
+		t.Errorf("speedup = %v, want 0.5", s)
+	}
+}
+
+func TestBurstinessExperiment(t *testing.T) {
+	r := tinyRunner()
+	res, err := Burstiness(r, "ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) == 0 || res.Peak <= 0 {
+		t.Fatalf("burstiness: %+v", res)
+	}
+	// The paper's premise: requests are bursty, so the peak rate is
+	// well above the mean (Fig 2b).
+	if res.Peak < 2*res.Mean {
+		t.Errorf("peak %.3f not clearly above mean %.3f", res.Peak, res.Mean)
+	}
+	if res.String() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestBWPartitionSchemes(t *testing.T) {
+	schemes := BWPartitionSchemes()
+	if len(schemes) != 6 {
+		t.Fatalf("schemes = %d", len(schemes))
+	}
+	for _, s := range schemes[:5] {
+		if s.Slices[0]+s.Slices[1] != 8 {
+			t.Errorf("scheme %s does not sum to 8 slices", s.Name)
+		}
+	}
+	if schemes[5].Name != "dynamic" || schemes[5].Slices != [2]int{} {
+		t.Errorf("last scheme: %+v", schemes[5])
+	}
+}
+
+func TestPTWPartitionSchemes(t *testing.T) {
+	schemes := PTWPartitionSchemes(8)
+	if len(schemes) != 6 {
+		t.Fatalf("schemes: %v", schemes)
+	}
+	for _, s := range schemes[:5] {
+		if s.Split[0]+s.Split[1] != 8 {
+			t.Errorf("scheme %s splits to %v", s.Name, s.Split)
+		}
+	}
+	// A 4-walker pool still produces a ladder plus dynamic.
+	small := PTWPartitionSchemes(4)
+	for _, s := range small[:len(small)-1] {
+		if s.Split[0]+s.Split[1] != 4 {
+			t.Errorf("small scheme %s splits to %v", s.Name, s.Split)
+		}
+		if s.Split[0] < 1 || s.Split[1] < 1 {
+			t.Errorf("scheme %s leaves a core with no walker", s.Name)
+		}
+	}
+}
+
+func TestBandwidthTimelineExperiment(t *testing.T) {
+	r := tinyRunner()
+	res, err := BandwidthTimeline(r, "ncf", "ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sum) == 0 {
+		t.Fatal("no timeline windows")
+	}
+	for i := range res.Sum {
+		a, b := 0.0, 0.0
+		if i < len(res.UtilA) {
+			a = res.UtilA[i]
+		}
+		if i < len(res.UtilB) {
+			b = res.UtilB[i]
+		}
+		if res.Sum[i] != a+b {
+			t.Fatalf("window %d: sum %v != %v + %v", i, res.Sum[i], a, b)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Scale != workloads.ScaleTiny || o.QuadSample <= 0 {
+		t.Errorf("defaults: %+v", o)
+	}
+}

@@ -1,0 +1,158 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Figs 2b and 4-18) plus the ablations discussed in the text, as
+// callable experiment functions. Each experiment returns a typed result
+// with the same rows or series the paper reports; the bench harness
+// (bench_test.go) and cmd/mnpubench print them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mnpusim/internal/metrics"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Scale workloads.Scale
+	// QuadSample caps the number of quad-core mixes evaluated (0 means
+	// all 330). The full sweep is exact but slow; sampling takes every
+	// k-th mix of the deterministic enumeration.
+	QuadSample int
+	// MapSample caps the number of eight-workload sets evaluated in
+	// the mapping study (0 means all 6435). Scoring uses the measured
+	// pair table, so the full sweep is cheap; this mainly bounds
+	// output size.
+	MapSample int
+	// Seed drives the predictor's random-network training.
+	Seed int64
+	// Progress, if non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+// DefaultOptions returns tiny-scale options suitable for benchmarks.
+func DefaultOptions() Options {
+	return Options{Scale: workloads.ScaleTiny, QuadSample: 40, Seed: 7}
+}
+
+// Runner executes simulations with memoization: the Ideal baselines and
+// the dual-core mix results are shared across experiments (Figs 4, 6, 8,
+// and 17 all consume the same 36 mixes).
+type Runner struct {
+	opts  Options
+	names []string
+
+	ideal map[string]sim.CoreResult
+	// dual caches mix results: key "a+b@level".
+	dual map[string]sim.Result
+	runs int
+}
+
+// NewRunner creates a Runner over the eight benchmarks.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		opts:  opts,
+		names: workloads.Names(),
+		ideal: make(map[string]sim.CoreResult),
+		dual:  make(map[string]sim.Result),
+	}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Names returns the benchmark short names in Table 1 order.
+func (r *Runner) Names() []string { return r.names }
+
+// Simulations returns the number of simulations executed so far.
+func (r *Runner) Simulations() int { return r.runs }
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+	}
+}
+
+// run executes one simulation, counting it.
+func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
+	r.runs++
+	return sim.Run(cfg)
+}
+
+// Ideal returns the cached Ideal (solo, full-resource) result for a
+// workload, simulating it on first use. The Ideal configuration is
+// derived from the dual-core system, per §4.1.3.
+func (r *Runner) Ideal(name string) (sim.CoreResult, error) {
+	if res, ok := r.ideal[name]; ok {
+		return res, nil
+	}
+	cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, name, name)
+	if err != nil {
+		return sim.CoreResult{}, err
+	}
+	res, err := r.run(sim.IdealFor(cfg, 0))
+	if err != nil {
+		return sim.CoreResult{}, fmt.Errorf("experiments: ideal %s: %w", name, err)
+	}
+	r.logf("ideal %-6s cycles=%d", name, res.Cores[0].Cycles)
+	r.ideal[name] = res.Cores[0]
+	return res.Cores[0], nil
+}
+
+// Dual returns the cached dual-core mix result for (a, b) at the given
+// sharing level.
+func (r *Runner) Dual(a, b string, level sim.Sharing) (sim.Result, error) {
+	key := a + "+" + b + "@" + level.String()
+	if res, ok := r.dual[key]; ok {
+		return res, nil
+	}
+	cfg, err := sim.NewWorkloadConfig(r.opts.Scale, level, a, b)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := r.run(cfg)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %s+%s %s: %w", a, b, level, err)
+	}
+	r.logf("dual %s+%s %s done", a, b, level)
+	r.dual[key] = res
+	return res, nil
+}
+
+// Speedup returns workload name's speedup given its measured cycles,
+// against the cached Ideal baseline.
+func (r *Runner) Speedup(name string, cycles int64) (float64, error) {
+	ib, err := r.Ideal(name)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Speedup(ib.Cycles, cycles), nil
+}
+
+// DualMixes enumerates the 36 dual-core mixes in deterministic order.
+func (r *Runner) DualMixes() [][2]string {
+	var out [][2]string
+	for i := 0; i < len(r.names); i++ {
+		for j := i; j < len(r.names); j++ {
+			out = append(out, [2]string{r.names[i], r.names[j]})
+		}
+	}
+	return out
+}
+
+// mixSpeedups runs one dual mix and returns the two speedups.
+func (r *Runner) mixSpeedups(a, b string, level sim.Sharing) (sa, sb float64, err error) {
+	res, err := r.Dual(a, b, level)
+	if err != nil {
+		return 0, 0, err
+	}
+	if sa, err = r.Speedup(a, res.Cores[0].Cycles); err != nil {
+		return 0, 0, err
+	}
+	if sb, err = r.Speedup(b, res.Cores[1].Cycles); err != nil {
+		return 0, 0, err
+	}
+	return sa, sb, nil
+}

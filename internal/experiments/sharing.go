@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mnpusim/internal/metrics"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/stats"
+	"mnpusim/internal/workloads"
+)
+
+// MixScore holds one mix's outcome at one sharing level.
+type MixScore struct {
+	Workloads []string
+	Speedups  []float64
+	Geomean   float64
+	Fairness  float64
+}
+
+// SharingResult reproduces Figs 4-7: per-mix geomean speedup and
+// fairness for each sharing level, on dual- or quad-core NPUs.
+type SharingResult struct {
+	Cores  int
+	Levels []sim.Sharing
+	// Mixes[level] holds one score per workload mix.
+	Mixes map[sim.Sharing][]MixScore
+}
+
+// OverallGeomean returns the geometric mean of per-mix geomean speedups
+// at one level (the headline numbers of §4.2.1).
+func (r SharingResult) OverallGeomean(level sim.Sharing) float64 {
+	sc := r.Mixes[level]
+	vals := make([]float64, len(sc))
+	for i, m := range sc {
+		vals[i] = m.Geomean
+	}
+	return metrics.MustGeomean(vals)
+}
+
+// OverallFairness returns the arithmetic mean fairness at one level
+// (§4.2.2 reports averages).
+func (r SharingResult) OverallFairness(level sim.Sharing) float64 {
+	sc := r.Mixes[level]
+	vals := make([]float64, len(sc))
+	for i, m := range sc {
+		vals[i] = m.Fairness
+	}
+	return metrics.Mean(vals)
+}
+
+// PerWorkloadGeomean returns, for each workload, the geometric mean of
+// its speedups over every mix containing it — the per-workload bars of
+// Fig 4 / Fig 6.
+func (r SharingResult) PerWorkloadGeomean(level sim.Sharing) map[string]float64 {
+	acc := map[string][]float64{}
+	for _, m := range r.Mixes[level] {
+		for i, w := range m.Workloads {
+			acc[w] = append(acc[w], m.Speedups[i])
+		}
+	}
+	out := map[string]float64{}
+	for w, v := range acc {
+		out[w] = metrics.MustGeomean(v)
+	}
+	return out
+}
+
+// GeomeanCDFValues returns the per-mix geomeans at one level, for the
+// CDF plots of Figs 5 and 7.
+func (r SharingResult) GeomeanCDFValues(level sim.Sharing) []float64 {
+	sc := r.Mixes[level]
+	out := make([]float64, len(sc))
+	for i, m := range sc {
+		out[i] = m.Geomean
+	}
+	return out
+}
+
+// FairnessCDFValues returns the per-mix fairness values at one level.
+func (r SharingResult) FairnessCDFValues(level sim.Sharing) []float64 {
+	sc := r.Mixes[level]
+	out := make([]float64, len(sc))
+	for i, m := range sc {
+		out[i] = m.Fairness
+	}
+	return out
+}
+
+// String summarizes the headline rows.
+func (r SharingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-core sharing study (%d mixes):\n", r.Cores, len(r.Mixes[sim.Static]))
+	for _, lv := range r.Levels {
+		fmt.Fprintf(&b, "  %-7s geomean=%.3f fairness=%.3f\n", lv, r.OverallGeomean(lv), r.OverallFairness(lv))
+	}
+	return b.String()
+}
+
+// DualCoreSharing runs Fig 4 (performance) and Fig 6 (fairness): all 36
+// dual-core mixes under Static, +D, +DW, +DWT, normalized to Ideal.
+func DualCoreSharing(r *Runner) (SharingResult, error) {
+	out := SharingResult{Cores: 2, Levels: sim.Levels(), Mixes: map[sim.Sharing][]MixScore{}}
+	for _, mix := range r.DualMixes() {
+		for _, lv := range out.Levels {
+			sa, sb, err := r.mixSpeedups(mix[0], mix[1], lv)
+			if err != nil {
+				return SharingResult{}, err
+			}
+			sp := []float64{sa, sb}
+			out.Mixes[lv] = append(out.Mixes[lv], MixScore{
+				Workloads: []string{mix[0], mix[1]},
+				Speedups:  sp,
+				Geomean:   metrics.MustGeomean(sp),
+				Fairness:  metrics.FairnessFromSpeedups(sp),
+			})
+		}
+	}
+	return out, nil
+}
+
+// QuadMixes enumerates the 330 quad-core mixes, optionally sampled down
+// to at most sample mixes (every k-th of the deterministic order).
+func QuadMixes(names []string, sample int) [][]string {
+	sets := stats.Multisets(len(names), 4)
+	stride := 1
+	if sample > 0 && sample < len(sets) {
+		stride = len(sets) / sample
+	}
+	var out [][]string
+	for i := 0; i < len(sets); i += stride {
+		mix := make([]string, 4)
+		for k, idx := range sets[i] {
+			mix[k] = names[idx]
+		}
+		out = append(out, mix)
+	}
+	return out
+}
+
+// QuadCoreSharing runs Fig 5 (performance CDF) and Fig 7 (fairness
+// CDF): quad-core mixes under the four sharing levels.
+func QuadCoreSharing(r *Runner) (SharingResult, error) {
+	out := SharingResult{Cores: 4, Levels: sim.Levels(), Mixes: map[sim.Sharing][]MixScore{}}
+	mixes := QuadMixes(r.Names(), r.opts.QuadSample)
+	for _, mix := range mixes {
+		for _, lv := range out.Levels {
+			cfg, err := sim.NewWorkloadConfig(r.opts.Scale, lv, mix...)
+			if err != nil {
+				return SharingResult{}, err
+			}
+			res, err := r.run(cfg)
+			if err != nil {
+				return SharingResult{}, fmt.Errorf("experiments: quad %v %s: %w", mix, lv, err)
+			}
+			r.logf("quad %v %s done", mix, lv)
+			sp := make([]float64, 4)
+			for i := range mix {
+				if sp[i], err = r.Speedup(mix[i], res.Cores[i].Cycles); err != nil {
+					return SharingResult{}, err
+				}
+			}
+			out.Mixes[lv] = append(out.Mixes[lv], MixScore{
+				Workloads: append([]string(nil), mix...),
+				Speedups:  sp,
+				Geomean:   metrics.MustGeomean(sp),
+				Fairness:  metrics.FairnessFromSpeedups(sp),
+			})
+		}
+	}
+	return out, nil
+}
+
+// SensitivityResult reproduces Fig 8: the distribution of each
+// workload's +DWT dual-core performance across co-runners.
+type SensitivityResult struct {
+	// Speedups[w] holds w's speedup with each of the eight co-runners.
+	Speedups map[string][]float64
+	Boxes    map[string]metrics.BoxStats
+}
+
+// String renders the per-workload summaries.
+func (s SensitivityResult) String() string {
+	var b strings.Builder
+	b.WriteString("contention sensitivity (+DWT, dual-core):\n")
+	for _, w := range workloads.Names() {
+		fmt.Fprintf(&b, "  %-6s %s\n", w, s.Boxes[w])
+	}
+	return b.String()
+}
+
+// ContentionSensitivity runs Fig 8 over the cached dual +DWT mixes.
+func ContentionSensitivity(r *Runner) (SensitivityResult, error) {
+	out := SensitivityResult{Speedups: map[string][]float64{}, Boxes: map[string]metrics.BoxStats{}}
+	for _, mix := range r.DualMixes() {
+		sa, sb, err := r.mixSpeedups(mix[0], mix[1], sim.ShareDWT)
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		out.Speedups[mix[0]] = append(out.Speedups[mix[0]], sa)
+		out.Speedups[mix[1]] = append(out.Speedups[mix[1]], sb)
+	}
+	for w, sp := range out.Speedups {
+		out.Boxes[w] = metrics.Box(sp)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package mem
+
+// Queue is a FIFO of requests backed by a ring buffer. The zero value is
+// an empty queue ready to use.
+type Queue struct {
+	buf  []*Request
+	head int
+	n    int
+}
+
+// Len reports the number of queued requests.
+func (q *Queue) Len() int { return q.n }
+
+// Empty reports whether the queue holds no requests.
+func (q *Queue) Empty() bool { return q.n == 0 }
+
+// Push appends r to the tail of the queue.
+func (q *Queue) Push(r *Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+}
+
+// Pop removes and returns the request at the head of the queue. It
+// returns nil if the queue is empty.
+func (q *Queue) Pop() *Request {
+	if q.n == 0 {
+		return nil
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r
+}
+
+// Peek returns the request at the head without removing it, or nil.
+func (q *Queue) Peek() *Request {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// At returns the i-th request from the head without removing it. It
+// panics if i is out of range.
+func (q *Queue) At(i int) *Request {
+	if i < 0 || i >= q.n {
+		panic("mem: queue index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// RemoveAt removes and returns the i-th request from the head,
+// preserving the order of the remaining requests.
+func (q *Queue) RemoveAt(i int) *Request {
+	if i < 0 || i >= q.n {
+		panic("mem: queue index out of range")
+	}
+	r := q.buf[(q.head+i)%len(q.buf)]
+	// Shift the tail side down by one.
+	for j := i; j < q.n-1; j++ {
+		q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+	}
+	q.buf[(q.head+q.n-1)%len(q.buf)] = nil
+	q.n--
+	return r
+}
+
+func (q *Queue) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	nb := make([]*Request, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

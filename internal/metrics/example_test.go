@@ -1,0 +1,26 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"mnpusim/internal/metrics"
+)
+
+func ExampleFairness() {
+	// Two co-runners slowed to 1.25x and 2.0x of their solo latency.
+	f := metrics.Fairness([]float64{1.25, 2.0})
+	fmt.Printf("%.3f\n", f)
+	// Output: 0.769
+}
+
+func ExampleGeomean() {
+	g, _ := metrics.Geomean([]float64{0.5, 2.0})
+	fmt.Printf("%.1f\n", g)
+	// Output: 1.0
+}
+
+func ExampleBox() {
+	b := metrics.Box([]float64{0.4, 0.5, 0.6, 0.7, 0.9})
+	fmt.Printf("median=%.2f range=%.2f\n", b.Median, b.Range())
+	// Output: median=0.60 range=0.50
+}

@@ -1,0 +1,411 @@
+package mmu
+
+import (
+	"fmt"
+
+	"mnpusim/internal/mem"
+)
+
+// Backend is the memory system the MMU issues physical requests into;
+// *dram.Memory satisfies it.
+type Backend interface {
+	CanAccept(core int, addr uint64) bool
+	Enqueue(now int64, r *mem.Request) bool
+}
+
+// CoreStats aggregates per-core translation counters.
+type CoreStats struct {
+	Translations    int64
+	TLBHits         int64
+	TLBMisses       int64
+	CoalescedMisses int64
+	Walks           int64
+	WalkCycles      int64 // sum of walk latencies (global cycles)
+	MaxWalkCycles   int64
+	PortStalls      int64 // Submit rejections: TLB ports exhausted
+	MSHRStalls      int64 // Submit rejections: pending-walk limit
+}
+
+// AvgWalkCycles returns the mean walk latency.
+func (s CoreStats) AvgWalkCycles() float64 {
+	if s.Walks == 0 {
+		return 0
+	}
+	return float64(s.WalkCycles) / float64(s.Walks)
+}
+
+type mshrEntry struct {
+	waiters []*mem.Request
+}
+
+// MMU is the memory-management unit shared by the cores of one NPU
+// package. It owns the TLB(s), the page-table walker pool, and each
+// core's page table, and forwards translated requests to the Backend.
+type MMU struct {
+	cfg     Config
+	backend Backend
+	ids     *mem.IDAllocator
+
+	tlbs   []*TLB // one if shared, else per core
+	tables []*PageTable
+
+	pool     *walkerPool
+	dws      *dwsPool
+	walkFIFO []walkRequest
+	active   []*walkJob
+
+	// mshr[core] maps a VPN with a pending walk to its waiting
+	// requests.
+	mshr []map[uint64]*mshrEntry
+
+	// issueQ[core] holds translated requests awaiting DRAM admission.
+	issueQ []mem.Queue
+	rrNext int
+
+	// Per-cycle TLB port accounting.
+	portCycle int64
+	portUsed  []int
+
+	stats []CoreStats
+}
+
+// New builds an MMU. tables must hold one page table per core (they
+// embody the cores' address spaces and physical allocators).
+func New(cfg Config, backend Backend, tables []*PageTable, ids *mem.IDAllocator) (*MMU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tables) != cfg.Cores {
+		return nil, fmt.Errorf("mmu: got %d page tables for %d cores", len(tables), cfg.Cores)
+	}
+	m := &MMU{
+		cfg:       cfg,
+		backend:   backend,
+		ids:       ids,
+		tables:    tables,
+		mshr:      make([]map[uint64]*mshrEntry, cfg.Cores),
+		issueQ:    make([]mem.Queue, cfg.Cores),
+		portUsed:  make([]int, cfg.Cores),
+		portCycle: -1,
+		stats:     make([]CoreStats, cfg.Cores),
+	}
+	for i := range m.mshr {
+		m.mshr[i] = make(map[uint64]*mshrEntry)
+	}
+	if !cfg.Disabled {
+		if cfg.SharedTLB {
+			m.tlbs = []*TLB{NewTLB(cfg.TLBEntriesPerCore*cfg.Cores, cfg.TLBAssoc)}
+		} else {
+			m.tlbs = make([]*TLB, cfg.Cores)
+			for i := range m.tlbs {
+				m.tlbs[i] = NewTLB(cfg.TLBEntriesPerCore, cfg.TLBAssoc)
+			}
+		}
+		if cfg.WalkerPolicy == DWSStealing {
+			m.dws = newDWSPool(cfg.Cores, cfg.WalkersPerCore)
+		} else {
+			min, max := cfg.EffectiveWalkerBounds()
+			m.pool = newWalkerPool(cfg.TotalWalkers(), min, max)
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config, backend Backend, tables []*PageTable, ids *mem.IDAllocator) *MMU {
+	m, err := New(cfg, backend, tables, ids)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *MMU) tlbFor(core int) *TLB {
+	if m.cfg.SharedTLB {
+		return m.tlbs[0]
+	}
+	return m.tlbs[core]
+}
+
+// TLBFor exposes the TLB serving core, for instrumentation.
+func (m *MMU) TLBFor(core int) *TLB { return m.tlbFor(core) }
+
+// Stats returns a snapshot of core's counters.
+func (m *MMU) Stats(core int) CoreStats { return m.stats[core] }
+
+// Submit accepts a virtually addressed Data request from core's DMA
+// engine at the current global cycle. It returns false if the MMU
+// cannot take the request this cycle (TLB ports exhausted or the
+// pending-walk limit reached for a new page); the caller retries later.
+func (m *MMU) Submit(now int64, r *mem.Request) bool {
+	core := r.Core
+	if m.cfg.Disabled {
+		r.Addr = m.tables[core].Translate(r.VAddr)
+		m.issueQ[core].Push(r)
+		m.stats[core].Translations++
+		return true
+	}
+	if m.portCycle != now {
+		m.portCycle = now
+		for i := range m.portUsed {
+			m.portUsed[i] = 0
+		}
+	}
+	if m.portUsed[core] >= m.cfg.TLBPortsPerCycle {
+		m.stats[core].PortStalls++
+		return false
+	}
+	vpn := r.VAddr >> m.cfg.PageSize.Shift()
+	if e, ok := m.mshr[core][vpn]; ok {
+		// A walk for this page is already pending: coalesce.
+		m.portUsed[core]++
+		m.stats[core].Translations++
+		m.stats[core].TLBMisses++
+		m.stats[core].CoalescedMisses++
+		e.waiters = append(e.waiters, r)
+		return true
+	}
+	if ppn, ok := m.tlbFor(core).Lookup(core, vpn); ok {
+		m.portUsed[core]++
+		m.stats[core].Translations++
+		m.stats[core].TLBHits++
+		r.Addr = ppn | (r.VAddr & (uint64(m.cfg.PageSize) - 1))
+		m.issueQ[core].Push(r)
+		return true
+	}
+	// Miss on a new page: need an MSHR slot and a queued walk.
+	if len(m.mshr[core]) >= m.cfg.MaxPendingWalks {
+		// The speculative Lookup above already counted a miss; undo
+		// our acceptance by not consuming a port and reporting the
+		// stall. The re-submitted request will probe again.
+		m.stats[core].MSHRStalls++
+		return false
+	}
+	m.portUsed[core]++
+	m.stats[core].Translations++
+	m.stats[core].TLBMisses++
+	m.mshr[core][vpn] = &mshrEntry{waiters: []*mem.Request{r}}
+	m.walkFIFO = append(m.walkFIFO, walkRequest{core: core, vpn: vpn, at: now})
+	return true
+}
+
+// Tick advances the MMU by one global cycle: dispatch queued walks to
+// free walkers, progress active walks, and drain translated requests
+// into the backend.
+func (m *MMU) Tick(now int64) {
+	if !m.cfg.Disabled {
+		m.dispatchWalks(now)
+		m.progressWalks(now)
+	}
+	m.drainIssueQueues(now)
+}
+
+// dispatchWalks grants walkers to queued walks in arrival order,
+// skipping cores that cannot take a walker right now (they keep their
+// queue position).
+func (m *MMU) dispatchWalks(now int64) {
+	if len(m.walkFIFO) == 0 {
+		return
+	}
+	// Pending walk counts per core, consumed by the DWS policy's
+	// "owner has no queued walks" condition.
+	var pending []int
+	if m.dws != nil {
+		pending = make([]int, m.cfg.Cores)
+		for _, wr := range m.walkFIFO {
+			pending[wr.core]++
+		}
+	}
+	remaining := m.walkFIFO[:0]
+	for i, wr := range m.walkFIFO {
+		if m.freeWalkers() == 0 {
+			remaining = append(remaining, m.walkFIFO[i:]...)
+			break
+		}
+		owner := wr.core
+		if m.dws != nil {
+			pending[wr.core]--
+			o, ok := m.dws.grab(wr.core, pending)
+			if !ok {
+				pending[wr.core]++
+				remaining = append(remaining, wr)
+				continue
+			}
+			owner = o
+		} else {
+			if !m.pool.canGrab(wr.core) {
+				remaining = append(remaining, wr)
+				continue
+			}
+			m.pool.grab(wr.core)
+		}
+		ppn, ptes := m.tables[wr.core].Walk(wr.vpn)
+		job := &walkJob{core: wr.core, vpn: wr.vpn, ppn: ppn, pteAddrs: ptes, startedAt: now, owner: owner}
+		if m.cfg.WalkMemory == FixedWalkLatency {
+			job.readyAt = now + int64(len(ptes))*m.cfg.EffectiveWalkLatency()
+		}
+		m.active = append(m.active, job)
+	}
+	m.walkFIFO = remaining
+}
+
+func (m *MMU) freeWalkers() int {
+	if m.dws != nil {
+		return m.dws.Free()
+	}
+	return m.pool.Free()
+}
+
+// progressWalks advances every active walk: under FixedWalkLatency it
+// completes walks whose deadline has passed; under DRAMBackedWalks it
+// issues the next dependent PTE read for every walker that is not
+// waiting on DRAM.
+func (m *MMU) progressWalks(now int64) {
+	out := m.active[:0]
+	for _, job := range m.active {
+		if m.cfg.WalkMemory == FixedWalkLatency {
+			if now >= job.readyAt {
+				m.completeWalk(now, job)
+			} else {
+				out = append(out, job)
+			}
+			continue
+		}
+		if job.waiting {
+			out = append(out, job)
+			continue
+		}
+		if job.level >= len(job.pteAddrs) {
+			m.completeWalk(now, job)
+			continue
+		}
+		addr := job.pteAddrs[job.level]
+		if !m.backend.CanAccept(job.core, addr) {
+			out = append(out, job)
+			continue
+		}
+		j := job
+		req := &mem.Request{
+			ID:    m.ids.Next(),
+			Core:  job.core,
+			Addr:  addr,
+			VAddr: job.vpn << m.cfg.PageSize.Shift(),
+			Size:  8,
+			Kind:  mem.Read,
+			Class: mem.PageTable,
+			Done: func(int64, *mem.Request) {
+				j.waiting = false
+				j.level++
+			},
+		}
+		if m.backend.Enqueue(now, req) {
+			job.waiting = true
+		}
+		out = append(out, job)
+	}
+	m.active = out
+}
+
+func (m *MMU) completeWalk(now int64, job *walkJob) {
+	lat := now - job.startedAt
+	st := &m.stats[job.core]
+	st.Walks++
+	st.WalkCycles += lat
+	if lat > st.MaxWalkCycles {
+		st.MaxWalkCycles = lat
+	}
+	m.tlbFor(job.core).Insert(job.core, job.vpn, job.ppn)
+	if m.dws != nil {
+		m.dws.release(job.owner)
+	} else {
+		m.pool.release(job.core)
+	}
+	if e, ok := m.mshr[job.core][job.vpn]; ok {
+		for _, r := range e.waiters {
+			r.Addr = job.ppn | (r.VAddr & (uint64(m.cfg.PageSize) - 1))
+			m.issueQ[job.core].Push(r)
+		}
+		delete(m.mshr[job.core], job.vpn)
+	}
+}
+
+// drainWindow bounds how far into a core's issue queue the drain looks
+// for a request whose channel has space. After address decode, requests
+// to different channels are independent, so one full channel must not
+// block admission to the others (head-of-line blocking would
+// systematically penalize shared-channel configurations, whose queue
+// occupancies are burstier).
+const drainWindow = 32
+
+// drainIssueQueues forwards translated requests to the backend,
+// round-robin across cores, while the backend accepts them. The
+// rotation pointer advances per *grant*, not per cycle: when the memory
+// system frees exactly one slot every k cycles and k is a multiple of
+// the core count, per-cycle rotation would hand every slot to the same
+// core forever (a parity lock a deterministic simulator cannot escape).
+func (m *MMU) drainIssueQueues(now int64) {
+	n := m.cfg.Cores
+	blocked := make([]bool, n)
+	for {
+		granted := false
+		for i := 0; i < n; i++ {
+			core := (m.rrNext + i) % n
+			if blocked[core] || m.issueQ[core].Empty() {
+				continue
+			}
+			if m.drainOne(now, core) {
+				m.rrNext = (core + 1) % n
+				granted = true
+				break
+			}
+			blocked[core] = true
+		}
+		if !granted {
+			return
+		}
+	}
+}
+
+// drainOne admits the oldest admissible request (within drainWindow) of
+// core's issue queue into the backend.
+func (m *MMU) drainOne(now int64, core int) bool {
+	q := &m.issueQ[core]
+	limit := min(q.Len(), drainWindow)
+	for i := 0; i < limit; i++ {
+		if m.backend.Enqueue(now, q.At(i)) {
+			q.RemoveAt(i)
+			return true
+		}
+	}
+	return false
+}
+
+// Busy reports whether the MMU holds any pending work.
+func (m *MMU) Busy() bool {
+	if len(m.walkFIFO) > 0 || len(m.active) > 0 {
+		return true
+	}
+	for i := range m.issueQ {
+		if !m.issueQ[i].Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingWalks returns the number of distinct outstanding walks for
+// core (queued or active).
+func (m *MMU) PendingWalks(core int) int { return len(m.mshr[core]) }
+
+// WalkersInUse returns how many walkers core currently occupies. Under
+// DWS stealing the notion is per-owner, so it reports the core's home
+// walkers in use.
+func (m *MMU) WalkersInUse(core int) int {
+	if m.cfg.Disabled {
+		return 0
+	}
+	if m.dws != nil {
+		return m.cfg.WalkersPerCore - m.dws.freeHome[core]
+	}
+	return m.pool.InUse(core)
+}

@@ -1,0 +1,167 @@
+package mmu
+
+import "testing"
+
+func TestWalkerPoolEqualStatic(t *testing.T) {
+	// min=max=2 per core: each core capped at 2, reservations held.
+	p := newWalkerPool(4, []int{2, 2}, []int{2, 2})
+	if !p.canGrab(0) {
+		t.Fatal("core 0 should grab its reserved walker")
+	}
+	p.grab(0)
+	p.grab(0)
+	if p.canGrab(0) {
+		t.Error("core 0 at max should not grab")
+	}
+	if !p.canGrab(1) {
+		t.Error("core 1's reservation must be available")
+	}
+	p.grab(1)
+	p.grab(1)
+	if p.Free() != 0 {
+		t.Errorf("free = %d, want 0", p.Free())
+	}
+	p.release(0)
+	if !p.canGrab(0) {
+		t.Error("released walker should be grabbable again")
+	}
+}
+
+func TestWalkerPoolDynamicSharing(t *testing.T) {
+	// min=0, max=4: one core may take the whole pool.
+	p := newWalkerPool(4, []int{0, 0}, []int{4, 4})
+	for i := 0; i < 4; i++ {
+		if !p.canGrab(0) {
+			t.Fatalf("grab %d refused", i)
+		}
+		p.grab(0)
+	}
+	if p.canGrab(1) {
+		t.Error("empty pool should refuse")
+	}
+	p.release(0)
+	if !p.canGrab(1) {
+		t.Error("core 1 should grab the freed walker")
+	}
+}
+
+func TestWalkerPoolReservationsProtected(t *testing.T) {
+	// Core 1 reserves 2; core 0 may take at most total-reserved while
+	// core 1 is under its reservation.
+	p := newWalkerPool(4, []int{0, 2}, []int{4, 4})
+	p.grab(0)
+	p.grab(0)
+	if p.canGrab(0) {
+		t.Error("core 0 must not eat into core 1's reservation")
+	}
+	if !p.canGrab(1) {
+		t.Error("core 1's reserved walker refused")
+	}
+	p.grab(1)
+	p.grab(1) // reservation filled
+	if p.canGrab(0) || p.canGrab(1) {
+		t.Error("pool exhausted but grabs allowed")
+	}
+}
+
+func TestWalkerPoolAsymmetricBounds(t *testing.T) {
+	// The paper's PTW-partition experiment: 1:7 split of 8 walkers.
+	p := newWalkerPool(8, []int{1, 7}, []int{1, 7})
+	p.grab(0)
+	if p.canGrab(0) {
+		t.Error("core 0 capped at 1")
+	}
+	for i := 0; i < 7; i++ {
+		if !p.canGrab(1) {
+			t.Fatalf("core 1 grab %d refused", i)
+		}
+		p.grab(1)
+	}
+	if p.Free() != 0 {
+		t.Errorf("free = %d", p.Free())
+	}
+}
+
+func TestWalkerPoolOverReservationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for reservations > total")
+		}
+	}()
+	newWalkerPool(2, []int{2, 2}, []int{2, 2})
+}
+
+func TestWalkerPoolAccountingCorruptionPanics(t *testing.T) {
+	p := newWalkerPool(2, []int{0, 0}, []int{2, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on release without grab")
+		}
+	}()
+	p.release(0)
+}
+
+func TestDWSPoolHomeFirst(t *testing.T) {
+	p := newDWSPool(2, 2)
+	pending := []int{0, 0}
+	owner, ok := p.grab(0, pending)
+	if !ok || owner != 0 {
+		t.Fatalf("first grab: owner=%d ok=%v", owner, ok)
+	}
+	p.grab(0, pending)
+	// Home exhausted; core 1 idle with no pending: steal allowed.
+	owner, ok = p.grab(0, pending)
+	if !ok || owner != 1 {
+		t.Fatalf("steal: owner=%d ok=%v", owner, ok)
+	}
+}
+
+func TestDWSPoolNoStealWhenOwnerBusy(t *testing.T) {
+	p := newDWSPool(2, 2)
+	p.grab(0, []int{0, 0})
+	p.grab(0, []int{0, 0})
+	// Core 1 has pending walks: core 0 must not steal.
+	if _, ok := p.grab(0, []int{0, 3}); ok {
+		t.Error("stole a walker from a core with pending walks")
+	}
+	// Core 1 itself still gets its home walkers.
+	owner, ok := p.grab(1, []int{0, 3})
+	if !ok || owner != 1 {
+		t.Errorf("owner grab: %d %v", owner, ok)
+	}
+}
+
+func TestDWSPoolReleaseReturnsToOwner(t *testing.T) {
+	p := newDWSPool(2, 1)
+	owner0, _ := p.grab(0, []int{0, 0}) // home
+	owner1, _ := p.grab(0, []int{0, 0}) // stolen from 1
+	if owner0 != 0 || owner1 != 1 {
+		t.Fatalf("owners: %d %d", owner0, owner1)
+	}
+	p.release(owner1)
+	// Core 1's walker is back home: core 1 can grab it even while busy.
+	if owner, ok := p.grab(1, []int{5, 5}); !ok || owner != 1 {
+		t.Errorf("returned walker not available to owner: %d %v", owner, ok)
+	}
+}
+
+func TestDWSPoolOverReleasePanics(t *testing.T) {
+	p := newDWSPool(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.release(0)
+}
+
+func TestDWSPoolFree(t *testing.T) {
+	p := newDWSPool(2, 2)
+	if p.Free() != 4 {
+		t.Errorf("free = %d", p.Free())
+	}
+	p.grab(0, []int{0, 0})
+	if p.Free() != 3 {
+		t.Errorf("free = %d", p.Free())
+	}
+}

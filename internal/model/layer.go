@@ -1,0 +1,214 @@
+// Package model describes DNN inference workloads at the layer level and
+// lowers them to the GEMM operations a systolic-array NPU executes.
+//
+// Following mNPUsim, convolutions are transformed to GEMM with the
+// image-to-column (im2col) algorithm; im2col itself is assumed to run
+// ahead of time on the host CPU (the paper's "early im2col" choice), so
+// only the resulting GEMM operands move through the NPU's memory system.
+package model
+
+import "fmt"
+
+// Kind enumerates layer types.
+type Kind uint8
+
+const (
+	// Conv is a 2D convolution, lowered via im2col.
+	Conv Kind = iota
+	// FC is a fully connected layer (a GEMM with M = batch).
+	FC
+	// GEMM is a raw matrix multiplication.
+	GEMM
+	// RNNCell is one recurrent cell applied over Repeat timesteps;
+	// each step is the input and hidden GEMMs fused as one.
+	RNNCell
+	// Embedding is a table-lookup layer (recommendation models); it
+	// performs almost no compute but gathers rows scattered across a
+	// large table, making it extremely memory-intensive.
+	Embedding
+	// Attention is one transformer block: QKV projections, the two
+	// attention GEMMs, the output projection, and the MLP.
+	Attention
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "Conv"
+	case FC:
+		return "FC"
+	case GEMM:
+		return "GEMM"
+	case RNNCell:
+		return "RNNCell"
+	case Embedding:
+		return "Embedding"
+	case Attention:
+		return "Attention"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Layer is one layer of a network. Only the fields relevant to its Kind
+// are used.
+type Layer struct {
+	Name string
+	Kind Kind
+
+	// Conv: input C x H x W, OutC filters of KH x KW, stride, padding.
+	InC, InH, InW int
+	OutC, KH, KW  int
+	Stride, Pad   int
+
+	// FC / GEMM: dimensions of A[M,K] x B[K,N].
+	M, K, N int
+
+	// RNNCell: hidden size and input size; Repeat = timesteps.
+	Hidden, Input int
+
+	// Embedding: table geometry and lookups per inference.
+	TableRows, EmbDim, Lookups int
+
+	// Repeat applies the layer's ops this many times (timesteps,
+	// transformer blocks). Zero means once.
+	Repeat int
+
+	// Heads and SeqLen parameterize Attention.
+	Heads, SeqLen, ModelDim int
+}
+
+// Op is one lowered operation: a GEMM (possibly a degenerate one for
+// gathers) with the tensor footprint the tiler needs.
+type Op struct {
+	Layer int
+	Name  string
+
+	// GEMM dimensions after im2col.
+	M, K, N int
+
+	// Gather marks an embedding lookup: the "input" operand is
+	// Lookups rows gathered from a TableRows x N table with poor
+	// spatial locality, rather than a dense M x K block.
+	Gather    bool
+	TableRows int
+}
+
+// MACs returns the multiply-accumulate count of the op.
+func (o Op) MACs() int64 { return int64(o.M) * int64(o.K) * int64(o.N) }
+
+// InputElems returns the number of input-operand elements: the dense
+// M x K block for a GEMM, or the M gathered rows of N elements for an
+// embedding lookup.
+func (o Op) InputElems() int64 {
+	if o.Gather {
+		return int64(o.M) * int64(o.N)
+	}
+	return int64(o.M) * int64(o.K)
+}
+
+// WeightElems returns the number of weight-operand elements.
+func (o Op) WeightElems() int64 { return int64(o.K) * int64(o.N) }
+
+// OutputElems returns the number of output elements.
+func (o Op) OutputElems() int64 { return int64(o.M) * int64(o.N) }
+
+// OutDims returns the spatial output size of a Conv layer.
+func (l Layer) OutDims() (h, w int) {
+	h = (l.InH+2*l.Pad-l.KH)/l.Stride + 1
+	w = (l.InW+2*l.Pad-l.KW)/l.Stride + 1
+	return h, w
+}
+
+// Validate reports an error for dimensionally impossible layers.
+func (l Layer) Validate() error {
+	switch l.Kind {
+	case Conv:
+		if l.InC <= 0 || l.InH <= 0 || l.InW <= 0 || l.OutC <= 0 || l.KH <= 0 || l.KW <= 0 || l.Stride <= 0 || l.Pad < 0 {
+			return fmt.Errorf("model: conv %q has non-positive dims", l.Name)
+		}
+		if h, w := l.OutDims(); h <= 0 || w <= 0 {
+			return fmt.Errorf("model: conv %q produces empty output", l.Name)
+		}
+	case FC, GEMM:
+		if l.M <= 0 || l.K <= 0 || l.N <= 0 {
+			return fmt.Errorf("model: %s %q has non-positive dims", l.Kind, l.Name)
+		}
+	case RNNCell:
+		if l.Hidden <= 0 || l.Input <= 0 || l.Repeat <= 0 {
+			return fmt.Errorf("model: rnn %q needs positive hidden/input/repeat", l.Name)
+		}
+	case Embedding:
+		if l.TableRows <= 0 || l.EmbDim <= 0 || l.Lookups <= 0 {
+			return fmt.Errorf("model: embedding %q has non-positive dims", l.Name)
+		}
+	case Attention:
+		if l.SeqLen <= 0 || l.ModelDim <= 0 || l.Heads <= 0 || l.Repeat <= 0 {
+			return fmt.Errorf("model: attention %q has non-positive dims", l.Name)
+		}
+		if l.ModelDim%l.Heads != 0 {
+			return fmt.Errorf("model: attention %q ModelDim %d not divisible by Heads %d", l.Name, l.ModelDim, l.Heads)
+		}
+	default:
+		return fmt.Errorf("model: layer %q has unknown kind %d", l.Name, l.Kind)
+	}
+	return nil
+}
+
+// Lower translates the layer into the GEMM ops executed on the systolic
+// array.
+func (l Layer) Lower(index int) []Op {
+	rep := l.Repeat
+	if rep <= 0 {
+		rep = 1
+	}
+	var ops []Op
+	emit := func(name string, m, k, n int) {
+		ops = append(ops, Op{Layer: index, Name: name, M: m, K: k, N: n})
+	}
+	switch l.Kind {
+	case Conv:
+		// im2col: each output pixel becomes a row of the unfolded
+		// input; the filter bank becomes the weight matrix.
+		oh, ow := l.OutDims()
+		for r := 0; r < rep; r++ {
+			emit(l.Name, oh*ow, l.InC*l.KH*l.KW, l.OutC)
+		}
+	case FC, GEMM:
+		for r := 0; r < rep; r++ {
+			emit(l.Name, l.M, l.K, l.N)
+		}
+	case RNNCell:
+		// One timestep multiplies [1, Input+Hidden] by the fused
+		// [Input+Hidden, 4*Hidden]-ish cell matrix; we model the
+		// standard LSTM-like 4-gate cell.
+		for t := 0; t < rep; t++ {
+			emit(fmt.Sprintf("%s.t%d", l.Name, t), 1, l.Input+l.Hidden, 4*l.Hidden)
+		}
+	case Embedding:
+		for r := 0; r < rep; r++ {
+			ops = append(ops, Op{
+				Layer:     index,
+				Name:      l.Name,
+				M:         l.Lookups,
+				K:         1,
+				N:         l.EmbDim,
+				Gather:    true,
+				TableRows: l.TableRows,
+			})
+		}
+	case Attention:
+		d := l.ModelDim
+		s := l.SeqLen
+		for b := 0; b < rep; b++ {
+			p := fmt.Sprintf("%s.b%d", l.Name, b)
+			emit(p+".qkv", s, d, 3*d)
+			emit(p+".scores", s, d/l.Heads*l.Heads, s) // QK^T across heads
+			emit(p+".ctx", s, s, d)                    // attn x V
+			emit(p+".proj", s, d, d)
+			emit(p+".mlp1", s, d, 4*d)
+			emit(p+".mlp2", s, 4*d, d)
+		}
+	}
+	return ops
+}

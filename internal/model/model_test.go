@@ -1,0 +1,176 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Conv: "Conv", FC: "FC", GEMM: "GEMM", RNNCell: "RNNCell",
+		Embedding: "Embedding", Attention: "Attention", Kind(99): "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConvOutDims(t *testing.T) {
+	l := Layer{Kind: Conv, InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3}
+	h, w := l.OutDims()
+	if h != 112 || w != 112 {
+		t.Errorf("OutDims() = %d,%d, want 112,112", h, w)
+	}
+}
+
+func TestConvLowersToIm2colGEMM(t *testing.T) {
+	l := Layer{Name: "c", Kind: Conv, InC: 16, InH: 14, InW: 14, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	ops := l.Lower(5)
+	if len(ops) != 1 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	op := ops[0]
+	if op.M != 14*14 || op.K != 16*9 || op.N != 32 {
+		t.Errorf("im2col dims = %dx%dx%d", op.M, op.K, op.N)
+	}
+	if op.Layer != 5 {
+		t.Errorf("layer index = %d", op.Layer)
+	}
+	if op.MACs() != int64(196)*144*32 {
+		t.Errorf("MACs = %d", op.MACs())
+	}
+}
+
+func TestConvRepeat(t *testing.T) {
+	l := Layer{Name: "c", Kind: Conv, InC: 1, InH: 4, InW: 4, OutC: 1, KH: 1, KW: 1, Stride: 1, Repeat: 3}
+	if got := len(l.Lower(0)); got != 3 {
+		t.Errorf("repeat produced %d ops", got)
+	}
+}
+
+func TestFCAndGEMMLowering(t *testing.T) {
+	fc := Layer{Name: "f", Kind: FC, M: 4, K: 8, N: 16}
+	ops := fc.Lower(0)
+	if len(ops) != 1 || ops[0].M != 4 || ops[0].K != 8 || ops[0].N != 16 {
+		t.Errorf("fc lowering: %+v", ops)
+	}
+	if ops[0].InputElems() != 32 || ops[0].WeightElems() != 128 || ops[0].OutputElems() != 64 {
+		t.Errorf("element counts wrong: %+v", ops[0])
+	}
+}
+
+func TestRNNLowersToTimestepGEMMs(t *testing.T) {
+	l := Layer{Name: "r", Kind: RNNCell, Hidden: 32, Input: 16, Repeat: 5}
+	ops := l.Lower(0)
+	if len(ops) != 5 {
+		t.Fatalf("got %d timestep ops", len(ops))
+	}
+	for _, op := range ops {
+		if op.M != 1 || op.K != 48 || op.N != 128 {
+			t.Errorf("timestep dims = %dx%dx%d, want 1x48x128", op.M, op.K, op.N)
+		}
+	}
+}
+
+func TestEmbeddingLowersToGather(t *testing.T) {
+	l := Layer{Name: "e", Kind: Embedding, TableRows: 1000, EmbDim: 16, Lookups: 64}
+	ops := l.Lower(0)
+	if len(ops) != 1 || !ops[0].Gather {
+		t.Fatalf("gather lowering: %+v", ops)
+	}
+	if ops[0].M != 64 || ops[0].K != 1 || ops[0].N != 16 || ops[0].TableRows != 1000 {
+		t.Errorf("gather dims: %+v", ops[0])
+	}
+}
+
+func TestAttentionLowersToSixGEMMsPerBlock(t *testing.T) {
+	l := Layer{Name: "a", Kind: Attention, SeqLen: 64, ModelDim: 32, Heads: 4, Repeat: 2}
+	ops := l.Lower(0)
+	if len(ops) != 12 {
+		t.Fatalf("got %d ops, want 12 (6 per block x 2)", len(ops))
+	}
+	qkv := ops[0]
+	if qkv.M != 64 || qkv.K != 32 || qkv.N != 96 {
+		t.Errorf("qkv dims: %+v", qkv)
+	}
+	if !strings.Contains(ops[6].Name, "b1") {
+		t.Errorf("second block names: %s", ops[6].Name)
+	}
+}
+
+func TestLayerValidation(t *testing.T) {
+	bad := []Layer{
+		{Name: "c", Kind: Conv}, // all zero
+		{Name: "c", Kind: Conv, InC: 1, InH: 2, InW: 2, OutC: 1, KH: 5, KW: 5, Stride: 1}, // empty output
+		{Name: "f", Kind: FC, M: 0, K: 1, N: 1},
+		{Name: "r", Kind: RNNCell, Hidden: 4, Input: 4}, // no repeat
+		{Name: "e", Kind: Embedding, TableRows: 0, EmbDim: 4, Lookups: 4},
+		{Name: "a", Kind: Attention, SeqLen: 8, ModelDim: 30, Heads: 4, Repeat: 1}, // dim % heads
+		{Name: "x", Kind: Kind(42)},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad layer %d accepted: %+v", i, l)
+		}
+	}
+	good := Layer{Name: "c", Kind: Conv, InC: 3, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good layer rejected: %v", err)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if err := (Network{}).Validate(); err == nil {
+		t.Error("empty network accepted")
+	}
+	if err := (Network{Name: "n"}).Validate(); err == nil {
+		t.Error("layerless network accepted")
+	}
+	n := Network{Name: "n", Layers: []Layer{{Name: "f", Kind: FC, M: 1, K: 1, N: 0}}}
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "layer 0") {
+		t.Errorf("layer error not attributed: %v", err)
+	}
+}
+
+func TestNetworkLowerFlattens(t *testing.T) {
+	n := Network{Name: "n", Layers: []Layer{
+		{Name: "r", Kind: RNNCell, Hidden: 4, Input: 4, Repeat: 3},
+		{Name: "f", Kind: FC, M: 1, K: 4, N: 4},
+	}}
+	ops := n.Lower()
+	if len(ops) != 4 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	if ops[0].Layer != 0 || ops[3].Layer != 1 {
+		t.Errorf("layer attribution: %d %d", ops[0].Layer, ops[3].Layer)
+	}
+}
+
+func TestAnalyzeFootprint(t *testing.T) {
+	n := Network{Name: "n", Layers: []Layer{{Name: "f", Kind: FC, M: 2, K: 3, N: 4}}}
+	f := n.Analyze()
+	if f.Ops != 1 || f.MACs != 24 {
+		t.Errorf("footprint: %+v", f)
+	}
+	if f.InputElems != 6 || f.WeightElems != 12 || f.OutputElems != 8 {
+		t.Errorf("elems: %+v", f)
+	}
+	if f.TotalElems() != 26 {
+		t.Errorf("total = %d", f.TotalElems())
+	}
+	want := 24.0 / 26.0
+	if got := f.ArithmeticIntensity(); got != want {
+		t.Errorf("intensity = %v, want %v", got, want)
+	}
+}
+
+func TestArithmeticIntensityOrdering(t *testing.T) {
+	// A batch-1 RNN must be far less compute-intense than a square conv.
+	rnn := Network{Name: "rnn", Layers: []Layer{{Name: "r", Kind: RNNCell, Hidden: 128, Input: 128, Repeat: 4}}}
+	conv := Network{Name: "conv", Layers: []Layer{{Name: "c", Kind: Conv, InC: 64, InH: 28, InW: 28, OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1}}}
+	if rnn.Analyze().ArithmeticIntensity() >= conv.Analyze().ArithmeticIntensity() {
+		t.Error("RNN should be less arithmetically intense than conv")
+	}
+}

@@ -1,0 +1,72 @@
+package model
+
+import "fmt"
+
+// Network is an ordered list of layers executed as an inference pass.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// Validate checks every layer.
+func (n Network) Validate() error {
+	if n.Name == "" {
+		return fmt.Errorf("model: network has no name")
+	}
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("model: network %q has no layers", n.Name)
+	}
+	for i, l := range n.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model: network %q layer %d: %w", n.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Lower flattens the network into its op sequence.
+func (n Network) Lower() []Op {
+	var ops []Op
+	for i, l := range n.Layers {
+		ops = append(ops, l.Lower(i)...)
+	}
+	return ops
+}
+
+// Footprint summarizes a network's aggregate tensor sizes in elements.
+type Footprint struct {
+	Ops         int
+	MACs        int64
+	InputElems  int64
+	WeightElems int64
+	OutputElems int64
+}
+
+// TotalElems returns all operand elements moved per inference.
+func (f Footprint) TotalElems() int64 {
+	return f.InputElems + f.WeightElems + f.OutputElems
+}
+
+// ArithmeticIntensity returns MACs per operand element: high values are
+// compute-intensive (res, yt), low values memory-intensive (dlrm,
+// sfrnn) — the axis along which the paper's workloads spread (§4.2.3).
+func (f Footprint) ArithmeticIntensity() float64 {
+	t := f.TotalElems()
+	if t == 0 {
+		return 0
+	}
+	return float64(f.MACs) / float64(t)
+}
+
+// Analyze computes the network's footprint.
+func (n Network) Analyze() Footprint {
+	var f Footprint
+	for _, op := range n.Lower() {
+		f.Ops++
+		f.MACs += op.MACs()
+		f.InputElems += op.InputElems()
+		f.WeightElems += op.WeightElems()
+		f.OutputElems += op.OutputElems()
+	}
+	return f
+}

@@ -1,0 +1,121 @@
+// Package npu models one NPU core: a systolic array fed by a
+// double-buffered scratchpad, with a private DMA engine that issues
+// virtually addressed block requests into the shared MMU. The core runs
+// on its own clock domain and executes the tile schedule produced by the
+// software stack (package tile).
+package npu
+
+import (
+	"fmt"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/systolic"
+)
+
+// ArchConfig is the per-core hardware configuration (the paper's
+// arch_config file).
+type ArchConfig struct {
+	// Name labels the core architecture, e.g. "tpu".
+	Name string
+
+	Array systolic.Array
+	// Dataflow selects the systolic mapping; the paper evaluates
+	// output-stationary (the zero value).
+	Dataflow   systolic.Dataflow
+	SPMBytes   int64
+	DTypeBytes int
+
+	// FreqHz is the core clock; the paper's baseline runs NPU and
+	// HBM2 both at 1 GHz.
+	FreqHz clock.Hz
+
+	// DMAIssuePerCycle bounds how many block requests the DMA engine
+	// hands to the MMU per local cycle.
+	DMAIssuePerCycle int
+	// DMAMaxInflight bounds outstanding off-chip requests. NPU DMA
+	// engines are built for deep bulk transfers: a tile spans
+	// thousands of blocks and pages, and translation of later pages
+	// must overlap the data of earlier ones (NeuMMU observes thousands
+	// of concurrent translations per tile), so this is sized to cover
+	// a whole tile. The MMU's MaxPendingWalks is the real bound on
+	// translation concurrency.
+	DMAMaxInflight int
+
+	// BlockBytes is the off-chip transaction granularity.
+	BlockBytes int
+
+	// NoDoubleBuffer disables the load/compute overlap: tile i+1's
+	// loads wait until tile i's compute finishes. Used by the
+	// double-buffering ablation.
+	NoDoubleBuffer bool
+}
+
+// Validate checks the configuration.
+func (c ArchConfig) Validate() error {
+	if err := c.Array.Validate(); err != nil {
+		return err
+	}
+	if c.SPMBytes <= 0 {
+		return fmt.Errorf("npu: SPMBytes must be positive, got %d", c.SPMBytes)
+	}
+	if c.DTypeBytes <= 0 {
+		return fmt.Errorf("npu: DTypeBytes must be positive, got %d", c.DTypeBytes)
+	}
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("npu: FreqHz must be positive, got %d", c.FreqHz)
+	}
+	if c.DMAIssuePerCycle <= 0 || c.DMAMaxInflight <= 0 {
+		return fmt.Errorf("npu: DMA parameters must be positive (issue=%d inflight=%d)",
+			c.DMAIssuePerCycle, c.DMAMaxInflight)
+	}
+	if c.BlockBytes <= 0 {
+		return fmt.Errorf("npu: BlockBytes must be positive, got %d", c.BlockBytes)
+	}
+	return nil
+}
+
+// TPUv4 returns the paper's cloud-scale baseline (Table 2): a 128x128
+// systolic array with 36 MB of on-chip SPM at 1 GHz.
+func TPUv4() ArchConfig {
+	return ArchConfig{
+		Name:             "tpu",
+		Array:            systolic.Array{Rows: 128, Cols: 128},
+		SPMBytes:         36 << 20,
+		DTypeBytes:       1,
+		FreqHz:           clock.GHz,
+		DMAIssuePerCycle: 4,
+		DMAMaxInflight:   1 << 18,
+		BlockBytes:       64,
+	}
+}
+
+// TinyCore returns the scaled-down core used by tests and benchmarks: a
+// 16x16 array with 256 KB SPM. Tiles still span multiple pages and many
+// DRAM bursts, preserving the bursty translation and bandwidth demand
+// that drives the paper's results.
+func TinyCore() ArchConfig {
+	return ArchConfig{
+		Name:             "tiny",
+		Array:            systolic.Array{Rows: 16, Cols: 16},
+		SPMBytes:         256 << 10,
+		DTypeBytes:       1,
+		FreqHz:           clock.GHz,
+		DMAIssuePerCycle: 4,
+		DMAMaxInflight:   4096,
+		BlockBytes:       64,
+	}
+}
+
+// SmallCore returns the mid-size core for examples and quick CLI runs.
+func SmallCore() ArchConfig {
+	return ArchConfig{
+		Name:             "small",
+		Array:            systolic.Array{Rows: 32, Cols: 32},
+		SPMBytes:         1 << 20,
+		DTypeBytes:       1,
+		FreqHz:           clock.GHz,
+		DMAIssuePerCycle: 4,
+		DMAMaxInflight:   16384,
+		BlockBytes:       64,
+	}
+}

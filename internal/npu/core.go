@@ -1,0 +1,345 @@
+package npu
+
+import (
+	"fmt"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/mem"
+	"mnpusim/internal/tile"
+)
+
+// Submitter accepts virtually addressed requests from the DMA engine;
+// *mmu.MMU satisfies it.
+type Submitter interface {
+	Submit(now int64, r *mem.Request) bool
+}
+
+// Stats aggregates a core's execution counters. Cycle counts are in the
+// core's local clock.
+type Stats struct {
+	LocalCycles       int64
+	ComputeBusyCycles int64
+	LoadStallCycles   int64
+	Iterations        int
+	FirstIterCycles   int64 // local cycles to finish the first inference
+	FirstIterMACs     int64
+	LoadRequests      int64
+	StoreRequests     int64
+	BytesLoaded       int64
+	BytesStored       int64
+	// LayerEndCycles records, for the first iteration, the local cycle
+	// at which each layer's last tile finished computing (the
+	// execution_cycle output of the original simulator).
+	LayerEndCycles map[int]int64
+}
+
+// Utilization returns first-iteration MACs per PE-cycle: the paper's PE
+// utilization output.
+func (s Stats) Utilization(a ArchConfig) float64 {
+	if s.FirstIterCycles == 0 {
+		return 0
+	}
+	return float64(s.FirstIterMACs) / (float64(a.Array.PEs()) * float64(s.FirstIterCycles))
+}
+
+// Core executes one tile schedule with double buffering: while tile i
+// occupies the systolic array, the DMA engine streams tile i+1's
+// operands into the spare scratchpad half and drains finished outputs.
+// The core keeps re-running its schedule (a looping co-runner) until the
+// simulation ends; the first iteration's cycle count is the measured
+// latency.
+type Core struct {
+	id    int
+	arch  ArchConfig
+	sched *tile.Schedule
+	dom   clock.Domain
+	mmu   Submitter
+	ids   *mem.IDAllocator
+
+	localDone int64
+
+	// Load pipeline. loadedThrough is the last fully loaded tile.
+	loadTile      int
+	loadEmit      emitter
+	loadInflight  int
+	loadedThrough int
+	pendingReq    *mem.Request // built but not yet accepted by the MMU
+
+	// Compute pipeline.
+	computeTile int
+	computeRem  int64
+	computeInit bool
+
+	// Store pipeline: emitters for completed tiles, drained in order.
+	storeQueue    []emitter
+	storeInflight int
+
+	inflight int
+
+	finishedFirst bool
+
+	// OnIssue, if non-nil, observes every request the DMA issues
+	// (before translation), on the global clock.
+	OnIssue func(now int64, r *mem.Request)
+
+	stats Stats
+}
+
+// NewCore builds a core executing sched. The clock domain must map the
+// core's frequency to the global clock; submitter is the MMU port.
+func NewCore(id int, arch ArchConfig, sched *tile.Schedule, dom clock.Domain, submitter Submitter, ids *mem.IDAllocator) (*Core, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sched.Tasks) == 0 {
+		return nil, fmt.Errorf("npu: core %d given an empty schedule", id)
+	}
+	c := &Core{
+		id:            id,
+		arch:          arch,
+		sched:         sched,
+		dom:           dom,
+		mmu:           submitter,
+		ids:           ids,
+		loadedThrough: -1,
+	}
+	c.stats.LayerEndCycles = make(map[int]int64)
+	c.loadEmit = newEmitter(sched.Tasks[0].Loads, arch.BlockBytes)
+	return c, nil
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Arch returns the core's configuration.
+func (c *Core) Arch() ArchConfig { return c.arch }
+
+// Schedule returns the tile schedule the core executes.
+func (c *Core) Schedule() *tile.Schedule { return c.sched }
+
+// Stats snapshots the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// FinishedFirstIteration reports whether the measured inference is done.
+func (c *Core) FinishedFirstIteration() bool { return c.finishedFirst }
+
+// Tick advances the core to global cycle now: it processes the local
+// cycles that elapsed since the previous tick, advancing compute and
+// issuing DMA requests.
+func (c *Core) Tick(now int64) {
+	targetLocal := c.dom.LocalFloor(now + 1)
+	elapsed := targetLocal - c.localDone
+	if elapsed <= 0 {
+		return
+	}
+	c.advanceCompute(elapsed)
+	c.issueDMA(now, elapsed)
+	c.localDone = targetLocal
+	c.stats.LocalCycles = c.localDone
+	c.checkIterationEnd()
+}
+
+// advanceCompute spends up to elapsed local cycles on the systolic
+// array, possibly completing several small tiles.
+func (c *Core) advanceCompute(elapsed int64) {
+	rem := elapsed
+	for rem > 0 {
+		if c.computeTile >= len(c.sched.Tasks) || c.loadedThrough < c.computeTile {
+			c.stats.LoadStallCycles += rem
+			return
+		}
+		if !c.computeInit {
+			c.computeRem = c.sched.Tasks[c.computeTile].ComputeCycles
+			c.computeInit = true
+		}
+		step := min(rem, c.computeRem)
+		c.computeRem -= step
+		rem -= step
+		c.stats.ComputeBusyCycles += step
+		if c.computeRem == 0 {
+			c.completeTile(elapsed - rem)
+		}
+	}
+}
+
+// completeTile finishes the current compute tile at local offset `at`
+// within this tick.
+func (c *Core) completeTile(at int64) {
+	t := &c.sched.Tasks[c.computeTile]
+	if !c.finishedFirst {
+		c.stats.FirstIterMACs += t.MACs
+		c.stats.LayerEndCycles[t.Layer] = c.localDone + at
+	}
+	if len(t.Stores) > 0 {
+		c.storeQueue = append(c.storeQueue, newEmitter(t.Stores, c.arch.BlockBytes))
+	}
+	c.computeTile++
+	c.computeInit = false
+}
+
+// issueDMA hands up to elapsed*DMAIssuePerCycle requests to the MMU,
+// loads first (they gate compute), stores opportunistically.
+func (c *Core) issueDMA(now int64, elapsed int64) {
+	c.advanceLoadWindow()
+	allow := elapsed * int64(c.arch.DMAIssuePerCycle)
+	for allow > 0 && c.inflight < c.arch.DMAMaxInflight {
+		if c.pendingReq == nil {
+			c.pendingReq = c.nextRequest()
+			if c.pendingReq == nil {
+				return
+			}
+		}
+		if !c.mmu.Submit(now, c.pendingReq) {
+			return // ports or MSHRs exhausted; retry next tick
+		}
+		r := c.pendingReq
+		c.pendingReq = nil
+		c.inflight++
+		if r.Kind == mem.Read {
+			c.loadInflight++
+			c.stats.LoadRequests++
+			c.stats.BytesLoaded += int64(r.Size)
+		} else {
+			c.storeInflight++
+			c.stats.StoreRequests++
+			c.stats.BytesStored += int64(r.Size)
+		}
+		if c.OnIssue != nil {
+			c.OnIssue(now, r)
+		}
+		allow--
+		c.advanceLoadWindow()
+	}
+}
+
+// loadWindow returns the highest tile index whose loads may start: with
+// double buffering the tile after the one computing; without it, only
+// the computing tile itself.
+func (c *Core) loadWindow() int {
+	if c.arch.NoDoubleBuffer {
+		return c.computeTile
+	}
+	return c.computeTile + 1
+}
+
+// nextRequest builds the next DMA request: the current load tile first,
+// then any queued stores.
+func (c *Core) nextRequest() *mem.Request {
+	if c.loadTile < len(c.sched.Tasks) && c.loadTile <= c.loadWindow() {
+		if addr, ok := c.loadEmit.emit(); ok {
+			return c.buildRequest(addr, mem.Read, c.loadTile)
+		}
+	}
+	for len(c.storeQueue) > 0 {
+		if addr, ok := c.storeQueue[0].emit(); ok {
+			return c.buildRequest(addr, mem.Write, -1)
+		}
+		c.storeQueue = c.storeQueue[1:]
+	}
+	return nil
+}
+
+func (c *Core) buildRequest(addr uint64, kind mem.Kind, tileIdx int) *mem.Request {
+	r := &mem.Request{
+		ID:    c.ids.Next(),
+		Core:  c.id,
+		VAddr: addr,
+		Size:  uint32(c.arch.BlockBytes),
+		Kind:  kind,
+		Class: mem.Data,
+		Tile:  tileIdx,
+	}
+	if tileIdx >= 0 {
+		r.Layer = c.sched.Tasks[tileIdx].Layer
+	}
+	r.Done = func(int64, *mem.Request) {
+		c.inflight--
+		if kind == mem.Read {
+			c.loadInflight--
+		} else {
+			c.storeInflight--
+		}
+	}
+	return r
+}
+
+// advanceLoadWindow marks the current load tile complete when all its
+// requests returned, and opens the next tile if the double-buffer window
+// (computeTile+1) allows.
+func (c *Core) advanceLoadWindow() {
+	for c.loadTile < len(c.sched.Tasks) &&
+		c.loadTile <= c.loadWindow() &&
+		c.loadEmit.done() &&
+		c.loadInflight == 0 &&
+		(c.pendingReq == nil || c.pendingReq.Kind != mem.Read) {
+		c.loadedThrough = c.loadTile
+		c.loadTile++
+		if c.loadTile < len(c.sched.Tasks) {
+			c.loadEmit = newEmitter(c.sched.Tasks[c.loadTile].Loads, c.arch.BlockBytes)
+		}
+	}
+}
+
+// checkIterationEnd detects the end of one full inference (all tiles
+// computed, all stores drained) and restarts the schedule so the core
+// keeps generating co-runner contention.
+func (c *Core) checkIterationEnd() {
+	if c.computeTile < len(c.sched.Tasks) ||
+		len(c.storeQueue) > 0 || c.storeInflight > 0 ||
+		c.loadInflight > 0 || c.pendingReq != nil {
+		return
+	}
+	c.stats.Iterations++
+	if !c.finishedFirst {
+		c.finishedFirst = true
+		c.stats.FirstIterCycles = c.localDone
+	}
+	c.computeTile = 0
+	c.computeInit = false
+	c.loadTile = 0
+	c.loadedThrough = -1
+	c.loadEmit = newEmitter(c.sched.Tasks[0].Loads, c.arch.BlockBytes)
+}
+
+// HasIssuableWork reports whether the core could issue a DMA request or
+// advance compute right now (used for fast-forward decisions).
+func (c *Core) HasIssuableWork() bool {
+	if c.pendingReq != nil {
+		return true
+	}
+	if c.loadTile < len(c.sched.Tasks) && c.loadTile <= c.loadWindow() && !c.loadEmit.done() {
+		return true
+	}
+	if len(c.storeQueue) > 0 {
+		return true
+	}
+	return false
+}
+
+// NextEventAfter returns the earliest global cycle at which the core
+// needs ticking: immediately if it can issue requests, at compute
+// completion if it is purely computing, or far in the future if it only
+// waits on memory responses.
+func (c *Core) NextEventAfter(now int64) int64 {
+	if c.HasIssuableWork() {
+		return now + 1
+	}
+	if c.computeTile < len(c.sched.Tasks) && c.loadedThrough >= c.computeTile {
+		rem := c.computeRem
+		if !c.computeInit {
+			rem = c.sched.Tasks[c.computeTile].ComputeCycles
+		}
+		return c.dom.ToGlobal(c.localDone + rem)
+	}
+	if c.inflight > 0 {
+		return 1 << 62 // memory callbacks will create work
+	}
+	return now + 1 // iteration restart
+}
+
+// DebugState summarizes the pipeline state for diagnostics.
+func (c *Core) DebugState() string {
+	return fmt.Sprintf("load=%d/%d loaded=%d compute=%d rem=%d inflight=%d loadInf=%d storeInf=%d storeQ=%d pending=%v emitDone=%v",
+		c.loadTile, len(c.sched.Tasks), c.loadedThrough, c.computeTile, c.computeRem,
+		c.inflight, c.loadInflight, c.storeInflight, len(c.storeQueue), c.pendingReq != nil, c.loadEmit.done())
+}

@@ -1,0 +1,159 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+
+	"mnpusim/internal/metrics"
+	"mnpusim/internal/stats"
+)
+
+// PairTable holds the measured co-run speedups for every unordered pair
+// of workload types on a dual-core NPU — the 36 dual-core mixes of the
+// eight benchmarks (§4.1.1). Speedups(a, b) returns the speedup of an
+// instance of type a and of type b when co-scheduled.
+type PairTable struct {
+	n   int
+	spd map[[2]int][2]float64
+}
+
+// NewPairTable creates a table for n workload types.
+func NewPairTable(n int) *PairTable {
+	return &PairTable{n: n, spd: make(map[[2]int][2]float64)}
+}
+
+// Types returns the number of workload types.
+func (t *PairTable) Types() int { return t.n }
+
+// Set records the measured speedups for the pair (a, b): sa for the
+// type-a instance and sb for the type-b instance.
+func (t *PairTable) Set(a, b int, sa, sb float64) {
+	if a > b {
+		a, b = b, a
+		sa, sb = sb, sa
+	}
+	t.spd[[2]int{a, b}] = [2]float64{sa, sb}
+}
+
+// Speedups returns the pair's speedups, or an error if unmeasured.
+func (t *PairTable) Speedups(a, b int) (sa, sb float64, err error) {
+	sw := false
+	if a > b {
+		a, b = b, a
+		sw = true
+	}
+	v, ok := t.spd[[2]int{a, b}]
+	if !ok {
+		return 0, 0, fmt.Errorf("predictor: pair (%d,%d) not measured", a, b)
+	}
+	if sw {
+		return v[1], v[0], nil
+	}
+	return v[0], v[1], nil
+}
+
+// Complete reports whether all pairs (including same-type pairs) are
+// measured.
+func (t *PairTable) Complete() bool {
+	return len(t.spd) == t.n*(t.n+1)/2
+}
+
+// MappingOutcome scores one pairing of a workload set onto dual-core
+// NPUs.
+type MappingOutcome struct {
+	Pairing  [][2]int
+	Perf     float64 // geometric mean of the eight speedups
+	Fairness float64 // Equation 1 over the eight slowdowns
+}
+
+// ScoreMapping evaluates one pairing of set (indices into the type
+// space) using measured pair results.
+func ScoreMapping(set []int, pairing [][2]int, t *PairTable) (MappingOutcome, error) {
+	speedups := make([]float64, 0, len(set))
+	for _, pr := range pairing {
+		a, b := set[pr[0]], set[pr[1]]
+		sa, sb, err := t.Speedups(a, b)
+		if err != nil {
+			return MappingOutcome{}, err
+		}
+		speedups = append(speedups, sa, sb)
+	}
+	g, err := metrics.Geomean(speedups)
+	if err != nil {
+		return MappingOutcome{}, err
+	}
+	return MappingOutcome{
+		Pairing:  pairing,
+		Perf:     g,
+		Fairness: metrics.FairnessFromSpeedups(speedups),
+	}, nil
+}
+
+// SetOutcomes summarizes the mapping-policy outcomes for one
+// eight-workload set.
+type SetOutcomes struct {
+	Worst     MappingOutcome
+	Oracle    MappingOutcome
+	Random    MappingOutcome // expectation over all pairings
+	Predicted MappingOutcome
+	// OracleFair and WorstFair are the fairness extremes (the pairing
+	// maximizing/minimizing fairness, which may differ from the
+	// performance extremes).
+	OracleFair MappingOutcome
+	WorstFair  MappingOutcome
+}
+
+// EvaluateSet scores every pairing of the eight-workload set and
+// selects worst, oracle, expected-random, and model-predicted mappings
+// (§4.6.2). profiles maps type index to its solo profile for the
+// prediction.
+func EvaluateSet(set []int, t *PairTable, m Model, profiles []Profile) (SetOutcomes, error) {
+	if len(set)%2 != 0 {
+		return SetOutcomes{}, fmt.Errorf("predictor: set size %d is odd", len(set))
+	}
+	pairings := stats.Pairings(len(set))
+	var out SetOutcomes
+	var sumPerf, sumFair float64
+	bestPred := math.Inf(-1)
+	var predChoice [][2]int
+	for k, pairing := range pairings {
+		o, err := ScoreMapping(set, pairing, t)
+		if err != nil {
+			return SetOutcomes{}, err
+		}
+		if k == 0 || o.Perf > out.Oracle.Perf {
+			out.Oracle = o
+		}
+		if k == 0 || o.Perf < out.Worst.Perf {
+			out.Worst = o
+		}
+		if k == 0 || o.Fairness > out.OracleFair.Fairness {
+			out.OracleFair = o
+		}
+		if k == 0 || o.Fairness < out.WorstFair.Fairness {
+			out.WorstFair = o
+		}
+		sumPerf += math.Log(o.Perf)
+		sumFair += o.Fairness
+
+		// Model score: predicted geomean from solo profiles only.
+		pred := 0.0
+		for _, pr := range pairing {
+			a, b := set[pr[0]], set[pr[1]]
+			pred += math.Log(m.PredictSpeedup(profiles[a], profiles[b]))
+			pred += math.Log(m.PredictSpeedup(profiles[b], profiles[a]))
+		}
+		if pred > bestPred {
+			bestPred = pred
+			predChoice = pairing
+		}
+	}
+	n := float64(len(pairings))
+	out.Random = MappingOutcome{Perf: math.Exp(sumPerf / n), Fairness: sumFair / n}
+	po, err := ScoreMapping(set, predChoice, t)
+	if err != nil {
+		return SetOutcomes{}, err
+	}
+	out.Predicted = po
+	return out, nil
+}

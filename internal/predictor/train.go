@@ -1,0 +1,79 @@
+package predictor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnpusim/internal/model"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+// TrainConfig controls regression training on random networks.
+type TrainConfig struct {
+	Scale workloads.Scale
+	// Pairs is the number of random co-run pairs to simulate.
+	Pairs int
+	// Seed makes training deterministic.
+	Seed int64
+	// Sharing is the level the model is trained for; the mapping study
+	// runs under +DWT.
+	Sharing sim.Sharing
+}
+
+// Train generates random networks, profiles them solo, simulates random
+// dual-core pairs, and fits the slowdown model. It returns the model
+// and the training samples (for reporting fit quality).
+func Train(cfg TrainConfig) (Model, []Sample, error) {
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 24
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spec := workloads.DefaultRandomSpec(cfg.Scale)
+
+	// A pool of random networks, profiled once each.
+	poolSize := max(2*cfg.Pairs/3, 8)
+	nets := workloads.RandomSet(spec, cfg.Seed*1000+1, poolSize)
+	profiles := make([]Profile, len(nets))
+	for i, net := range nets {
+		p, err := soloProfile(cfg.Scale, net)
+		if err != nil {
+			return Model{}, nil, fmt.Errorf("predictor: profiling %s: %w", net.Name, err)
+		}
+		profiles[i] = p
+	}
+
+	var samples []Sample
+	for k := 0; k < cfg.Pairs; k++ {
+		i := rng.Intn(len(nets))
+		j := rng.Intn(len(nets))
+		c := sim.NewConfig(cfg.Scale, cfg.Sharing, nets[i], nets[j])
+		r, err := sim.Run(c)
+		if err != nil {
+			return Model{}, nil, fmt.Errorf("predictor: co-run %s+%s: %w", nets[i].Name, nets[j].Name, err)
+		}
+		samples = append(samples,
+			Sample{A: profiles[i], B: profiles[j], Slowdown: slowdown(profiles[i].Cycles, r.Cores[0].Cycles)},
+			Sample{A: profiles[j], B: profiles[i], Slowdown: slowdown(profiles[j].Cycles, r.Cores[1].Cycles)},
+		)
+	}
+	m, err := Fit(samples)
+	return m, samples, err
+}
+
+func slowdown(ideal, measured int64) float64 {
+	if ideal <= 0 {
+		return 1
+	}
+	return float64(measured) / float64(ideal)
+}
+
+// soloProfile runs net alone on the Ideal single-core configuration.
+func soloProfile(scale workloads.Scale, net model.Network) (Profile, error) {
+	cfg := sim.NewConfig(scale, sim.Static, net)
+	r, err := sim.Run(sim.IdealFor(cfg, 0))
+	if err != nil {
+		return Profile{}, err
+	}
+	return ProfileOf(r.Cores[0]), nil
+}

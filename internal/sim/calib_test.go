@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"mnpusim/internal/dram"
+	"mnpusim/internal/mmu"
+	"mnpusim/internal/workloads"
+)
+
+// TestCalibrate sweeps scaled-system knobs over all 36 dual-core mixes
+// and prints the Fig-4 aggregates. Run explicitly with MNPUSIM_CALIB=1.
+func TestCalibrate(t *testing.T) {
+	if os.Getenv("MNPUSIM_CALIB") == "" {
+		t.Skip("set MNPUSIM_CALIB=1 to run")
+	}
+	type knobs struct {
+		bl2, pageKB, walkLat, ptw, mpw int
+	}
+	grid := []knobs{
+		{8, 2, 75, 2, 16},
+		{16, 2, 75, 2, 16},
+		{16, 2, 50, 2, 16},
+		{16, 1, 50, 2, 16},
+	}
+	names := workloads.Names()
+	apply := func(cfg *Config, k knobs) {
+		cfg.DRAM = dram.HBM2Scaled(cfg.Cores()*2, k.bl2)
+		cfg.PageSize = mmu.PageSize(k.pageKB << 10)
+		cfg.WalkLatencyPerLevel = k.walkLat
+		cfg.PTWPerCore = k.ptw
+		cfg.MaxPendingWalks = k.mpw
+	}
+	for _, k := range grid {
+		ideal := map[string]int64{}
+		for _, n := range names {
+			cfg, _ := NewWorkloadConfig(workloads.ScaleTiny, Static, n, n)
+			apply(&cfg, k)
+			r, err := Run(IdealFor(cfg, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ideal[n] = r.Cores[0].Cycles
+		}
+		sums := map[Sharing]float64{}
+		fair := map[Sharing]float64{}
+		n := 0
+		for i := 0; i < len(names); i++ {
+			for j := i; j < len(names); j++ {
+				n++
+				for _, lv := range Levels() {
+					cfg, _ := NewWorkloadConfig(workloads.ScaleTiny, lv, names[i], names[j])
+					apply(&cfg, k)
+					r, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("%s+%s %v: %v", names[i], names[j], lv, err)
+					}
+					s0 := float64(ideal[names[i]]) / float64(r.Cores[0].Cycles)
+					s1 := float64(ideal[names[j]]) / float64(r.Cores[1].Cycles)
+					sums[lv] += math.Log(math.Sqrt(s0 * s1))
+					d0, d1 := 1/s0, 1/s1
+					mu := (d0 + d1) / 2
+					sd := math.Sqrt(((d0-mu)*(d0-mu) + (d1-mu)*(d1-mu)) / 2)
+					fair[lv] += 1 - sd/mu
+				}
+			}
+		}
+		fmt.Printf("bl2=%d page=%dK walk=%d ptw=%d mpw=%d:", k.bl2, k.pageKB, k.walkLat, k.ptw, k.mpw)
+		for _, lv := range Levels() {
+			fmt.Printf("  %s=%.3f/f%.2f", lv, math.Exp(sums[lv]/float64(n)), fair[lv]/float64(n))
+		}
+		fmt.Println()
+	}
+}

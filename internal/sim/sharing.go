@@ -1,0 +1,60 @@
+// Package sim assembles the full multi-core NPU system — cores, MMU,
+// DRAM — and runs the execution-driven simulation under a chosen
+// resource-sharing level, reproducing mNPUsim's top-level behavior.
+package sim
+
+import "fmt"
+
+// Sharing is the paper's resource-sharing level (§4.1.3). Each level
+// cumulatively shares DRAM bandwidth (D), page-table walkers (W), and
+// TLB capacity (T) between the cores of one package.
+type Sharing int
+
+const (
+	// Static splits all shareable resources equally and statically:
+	// per-core channel subsets, per-core walker partitions, private
+	// TLBs.
+	Static Sharing = iota
+	// ShareD (+D) shares DRAM bandwidth dynamically; walkers and TLB
+	// stay partitioned.
+	ShareD
+	// ShareDW (+DW) also shares the page-table walker pool.
+	ShareDW
+	// ShareDWT (+DWT) also shares the TLB capacity.
+	ShareDWT
+	// Ideal gives each workload the entire multi-core resource pool
+	// with no co-runners; it is the normalization baseline. Running a
+	// multi-core config with Ideal is rejected — use IdealFor to
+	// derive the single-core configs.
+	Ideal
+)
+
+func (s Sharing) String() string {
+	switch s {
+	case Static:
+		return "Static"
+	case ShareD:
+		return "+D"
+	case ShareDW:
+		return "+DW"
+	case ShareDWT:
+		return "+DWT"
+	case Ideal:
+		return "Ideal"
+	default:
+		return fmt.Sprintf("Sharing(%d)", int(s))
+	}
+}
+
+// SharesDRAM reports whether DRAM channels are shared across cores.
+func (s Sharing) SharesDRAM() bool { return s == ShareD || s == ShareDW || s == ShareDWT || s == Ideal }
+
+// SharesPTW reports whether the walker pool is shared.
+func (s Sharing) SharesPTW() bool { return s == ShareDW || s == ShareDWT || s == Ideal }
+
+// SharesTLB reports whether the TLB is shared.
+func (s Sharing) SharesTLB() bool { return s == ShareDWT || s == Ideal }
+
+// Levels returns the four co-running sharing levels in the paper's
+// order (Ideal excluded).
+func Levels() []Sharing { return []Sharing{Static, ShareD, ShareDW, ShareDWT} }

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/dram"
+	"mnpusim/internal/mem"
+	"mnpusim/internal/mmu"
+	"mnpusim/internal/npu"
+	"mnpusim/internal/tile"
+)
+
+// CoreResult summarizes one core's measured inference.
+type CoreResult struct {
+	Net string
+	// Cycles is the first-iteration latency in the core's local clock:
+	// the avg_cycle output of the original simulator.
+	Cycles int64
+	// Utilization is PE utilization over the first iteration.
+	Utilization float64
+	// Iterations counts completed inferences including co-runner loops.
+	Iterations int
+	// TrafficBytes is the schedule's off-chip traffic per inference.
+	TrafficBytes int64
+	// FootprintBytes is the virtual-address footprint (the
+	// memory_footprint output).
+	FootprintBytes int64
+	// LayerEndCycles maps layer index to first-iteration completion
+	// cycle (the execution_cycle output).
+	LayerEndCycles map[int]int64
+
+	NPU npu.Stats
+	MMU mmu.CoreStats
+	// TLBHitRate is the hit rate of the TLB serving this core (shared
+	// TLBs report the merged rate).
+	TLBHitRate float64
+	// DataBytes and PTBytes split completed DRAM traffic by class.
+	DataBytes int64
+	PTBytes   int64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Cores        []CoreResult
+	GlobalCycles int64
+	DRAM         dram.Stats
+	Sharing      Sharing
+}
+
+// DRAMEnergy returns the off-chip energy breakdown of the run under the
+// given energy parameters.
+func (r Result) DRAMEnergy(p dram.EnergyParams) dram.EnergyBreakdown {
+	return r.DRAM.Energy(p, r.GlobalCycles)
+}
+
+const farFuture = int64(1) << 62
+
+// Run executes the configured system until every core completes its
+// first inference (co-runners loop to keep generating contention, per
+// the mix methodology of §4.1.1), and returns the per-core results.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := cfg.Cores()
+
+	// Build the hardware.
+	memory, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, set := range cfg.channelSets() {
+		memory.SetCoreChannels(i, set)
+	}
+
+	ids := &mem.IDAllocator{}
+	tables := make([]*mmu.PageTable, n)
+	for i := 0; i < n; i++ {
+		alloc := mmu.NewPhysAllocator(uint64(i)*cfg.PhysBytesPerCore, cfg.PhysBytesPerCore, cfg.PageSize)
+		tables[i] = mmu.NewPageTable(cfg.PageSize, cfg.WalkLevels, alloc)
+	}
+	unit, err := mmu.New(cfg.mmuConfig(), memory, tables, ids)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Compile the software and build the cores.
+	cores := make([]*npu.Core, n)
+	scheds := make([]*tile.Schedule, n)
+	for i := 0; i < n; i++ {
+		a := cfg.Arch[i]
+		sched, err := tile.Build(cfg.Nets[i], tile.Params{
+			Array:      a.Array,
+			Dataflow:   a.Dataflow,
+			SPMBytes:   a.SPMBytes,
+			DTypeBytes: a.DTypeBytes,
+			BlockBytes: a.BlockBytes,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: core %d: %w", i, err)
+		}
+		scheds[i] = sched
+		dom := clock.NewDomain(a.FreqHz, clock.Hz(cfg.DRAM.FreqHz))
+		core, err := npu.NewCore(i, a, sched, dom, unit, ids)
+		if err != nil {
+			return Result{}, err
+		}
+		if cfg.OnIssue != nil {
+			core.OnIssue = cfg.OnIssue
+		}
+		cores[i] = core
+	}
+
+	// Per-core transfer accounting (plus the caller's hook).
+	dataBytes := make([]int64, n)
+	ptBytes := make([]int64, n)
+	memory.OnTransfer = func(now int64, core int, bytes int, class mem.Class) {
+		if core >= 0 && core < n {
+			if class == mem.PageTable {
+				ptBytes[core] += int64(bytes)
+			} else {
+				dataBytes[core] += int64(bytes)
+			}
+		}
+		if cfg.OnTransfer != nil {
+			cfg.OnTransfer(now, core, bytes, class)
+		}
+	}
+
+	starts := cfg.StartCycles
+	if starts == nil {
+		starts = make([]int64, n)
+	}
+
+	allDone := func() bool {
+		for _, c := range cores {
+			if !c.FinishedFirstIteration() {
+				return false
+			}
+		}
+		return true
+	}
+
+	now := int64(0)
+	for !allDone() {
+		if cfg.MaxGlobalCycles > 0 && now > cfg.MaxGlobalCycles {
+			return Result{}, fmt.Errorf("sim: exceeded MaxGlobalCycles=%d (deadlock or runaway config)", cfg.MaxGlobalCycles)
+		}
+		memory.Tick(now)
+		unit.Tick(now)
+		for i, c := range cores {
+			if now < starts[i] {
+				continue
+			}
+			c.Tick(now - starts[i])
+		}
+		// Busyness must be evaluated after the cores tick: a request
+		// submitted this cycle may have armed the MMU or DRAM.
+		busy := memory.Busy() || unit.Busy()
+		for i, c := range cores {
+			if now >= starts[i] && c.HasIssuableWork() {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			now++
+			continue
+		}
+		// Fully idle: fast-forward to the next compute completion or
+		// core start.
+		next := farFuture
+		for i, c := range cores {
+			if now < starts[i] {
+				next = min(next, starts[i])
+				continue
+			}
+			if e := c.NextEventAfter(now-starts[i]) + starts[i]; e < next {
+				next = e
+			}
+		}
+		if next <= now {
+			now++
+			continue
+		}
+		if next >= farFuture {
+			return Result{}, fmt.Errorf("sim: system wedged at cycle %d with no pending events: %s", now, describeWedge(cores, unit))
+		}
+		memory.SkipTo(next)
+		now = next
+	}
+
+	res := Result{
+		Cores:        make([]CoreResult, n),
+		GlobalCycles: now,
+		DRAM:         memory.Stats(),
+		Sharing:      cfg.Sharing,
+	}
+	for i, c := range cores {
+		st := c.Stats()
+		res.Cores[i] = CoreResult{
+			Net:            cfg.Nets[i].Name,
+			Cycles:         st.FirstIterCycles,
+			Utilization:    st.Utilization(cfg.Arch[i]),
+			Iterations:     st.Iterations,
+			TrafficBytes:   scheds[i].TrafficBytes(),
+			FootprintBytes: scheds[i].FootprintBytes,
+			LayerEndCycles: st.LayerEndCycles,
+			NPU:            st,
+			MMU:            unit.Stats(i),
+			DataBytes:      dataBytes[i],
+			PTBytes:        ptBytes[i],
+		}
+		if !cfg.NoTranslation {
+			res.Cores[i].TLBHitRate = unit.TLBFor(i).HitRate()
+		}
+	}
+	return res, nil
+}
+
+// RunIdeal runs each core's workload alone on the Ideal configuration
+// derived from cfg, returning one single-core result per workload. These
+// are the normalization baselines for speedup and slowdown.
+func RunIdeal(cfg Config) ([]CoreResult, error) {
+	out := make([]CoreResult, cfg.Cores())
+	for i := range out {
+		r, err := Run(IdealFor(cfg, i))
+		if err != nil {
+			return nil, fmt.Errorf("sim: ideal run for core %d: %w", i, err)
+		}
+		out[i] = r.Cores[0]
+	}
+	return out, nil
+}
+
+// describeWedge reports per-core pipeline state for the wedge error.
+func describeWedge(cores []*npu.Core, unit *mmu.MMU) string {
+	s := ""
+	for i, c := range cores {
+		s += fmt.Sprintf(" core%d{%s pendingWalks=%d walkersInUse=%d}", i, c.DebugState(), unit.PendingWalks(i), unit.WalkersInUse(i))
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+// Package stats provides the combinatorics and regression machinery the
+// evaluation needs: multiset combinations for workload mixes (M(8,2)=36,
+// M(8,4)=330, M(8,8)=6435), perfect matchings for core pairings, and a
+// least-squares solver for the performance prediction model.
+package stats
+
+// Multisets enumerates all multisets of size k drawn from n items,
+// represented as sorted index slices (repetition allowed). The count is
+// M(n,k) = C(n+k-1, k), matching the paper's mix counts.
+func Multisets(n, k int) [][]int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	var out [][]int
+	cur := make([]int, k)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := start; v < n; v++ {
+			cur[pos] = v
+			rec(pos+1, v)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// MultisetCount returns M(n,k) = C(n+k-1, k).
+func MultisetCount(n, k int) int {
+	return Binomial(n+k-1, k)
+}
+
+// Binomial returns C(n, k) using exact integer arithmetic; it panics on
+// overflow of int64 intermediate products for the sizes used here.
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for i := 1; i <= k; i++ {
+		r = r * int64(n-k+i) / int64(i)
+	}
+	return int(r)
+}
+
+// Pairings enumerates all ways to partition the items 0..n-1 (n even)
+// into unordered pairs. For n=8 there are 7!! = 105 pairings — the
+// mapping choices when placing eight workloads onto four dual-core NPUs
+// (§4.6).
+func Pairings(n int) [][][2]int {
+	if n <= 0 || n%2 != 0 {
+		return nil
+	}
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	var out [][][2]int
+	cur := make([][2]int, 0, n/2)
+	var rec func(remaining []int)
+	rec = func(remaining []int) {
+		if len(remaining) == 0 {
+			out = append(out, append([][2]int(nil), cur...))
+			return
+		}
+		first := remaining[0]
+		for i := 1; i < len(remaining); i++ {
+			partner := remaining[i]
+			rest := make([]int, 0, len(remaining)-2)
+			rest = append(rest, remaining[1:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			cur = append(cur, [2]int{first, partner})
+			rec(rest)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(items)
+	return out
+}
+
+// DoubleFactorialOdd returns (2k-1)!! — the number of perfect matchings
+// of 2k items.
+func DoubleFactorialOdd(k int) int {
+	r := 1
+	for i := 2*k - 1; i > 1; i -= 2 {
+		r *= i
+	}
+	return r
+}

@@ -1,0 +1,19 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"mnpusim/internal/stats"
+)
+
+func ExampleMultisetCount() {
+	// The paper's mix counts: M(8,2), M(8,4), M(8,8).
+	fmt.Println(stats.MultisetCount(8, 2), stats.MultisetCount(8, 4), stats.MultisetCount(8, 8))
+	// Output: 36 330 6435
+}
+
+func ExamplePairings() {
+	// Ways to place four workloads onto two dual-core NPUs.
+	fmt.Println(len(stats.Pairings(4)))
+	// Output: 3
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares fits y ≈ X·beta by ordinary least squares using the
+// normal equations with Gaussian elimination and partial pivoting. X is
+// row-major: one row per observation. The caller includes an intercept
+// by adding a constant-1 column.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: need matching non-empty X (%d) and y (%d)", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, fmt.Errorf("stats: zero predictors")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), p)
+		}
+	}
+	if n < p {
+		return nil, fmt.Errorf("stats: underdetermined system: %d rows for %d predictors", n, p)
+	}
+
+	// Normal equations: (X'X) beta = X'y.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1) // augmented with X'y
+	}
+	for _, row := range x {
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for k, row := range x {
+		for i := 0; i < p; i++ {
+			xtx[i][p] += row[i] * y[k]
+		}
+	}
+	// Small ridge term for numerical stability on collinear features.
+	for i := 0; i < p; i++ {
+		xtx[i][i] += 1e-9
+	}
+	return solveAugmented(xtx)
+}
+
+// solveAugmented solves the p x (p+1) augmented system in place.
+func solveAugmented(a [][]float64) ([]float64, error) {
+	p := len(a)
+	for col := 0; col < p; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system at column %d", col)
+		}
+		inv := 1 / a[col][col]
+		for j := col; j <= p; j++ {
+			a[col][j] *= inv
+		}
+		for r := 0; r < p; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= p; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	beta := make([]float64, p)
+	for i := range beta {
+		beta[i] = a[i][p]
+	}
+	return beta, nil
+}
+
+// Predict evaluates the fitted model on one feature row.
+func Predict(beta, row []float64) float64 {
+	s := 0.0
+	for i, b := range beta {
+		s += b * row[i]
+	}
+	return s
+}
+
+// R2 returns the coefficient of determination of predictions yhat
+// against observations y.
+func R2(y, yhat []float64) float64 {
+	if len(y) == 0 || len(y) != len(yhat) {
+		return math.NaN()
+	}
+	mu := 0.0
+	for _, v := range y {
+		mu += v
+	}
+	mu /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
+		ssTot += (y[i] - mu) * (y[i] - mu)
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{8, 2, 28}, {9, 2, 36}, {11, 4, 330}, {15, 8, 6435},
+		{5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestMultisetCountsMatchPaper(t *testing.T) {
+	// §4.1.1: M(8,2)=36 dual mixes, M(8,4)=330 quad mixes; §4.6.2:
+	// M(8,8)=6435 eight-workload sets.
+	if MultisetCount(8, 2) != 36 {
+		t.Errorf("M(8,2) = %d", MultisetCount(8, 2))
+	}
+	if MultisetCount(8, 4) != 330 {
+		t.Errorf("M(8,4) = %d", MultisetCount(8, 4))
+	}
+	if MultisetCount(8, 8) != 6435 {
+		t.Errorf("M(8,8) = %d", MultisetCount(8, 8))
+	}
+}
+
+func TestMultisetsEnumeration(t *testing.T) {
+	sets := Multisets(3, 2)
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}}
+	if len(sets) != len(want) {
+		t.Fatalf("got %d multisets: %v", len(sets), sets)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if sets[i][j] != want[i][j] {
+				t.Fatalf("sets[%d] = %v, want %v", i, sets[i], want[i])
+			}
+		}
+	}
+	if Multisets(0, 2) != nil || Multisets(2, 0) != nil {
+		t.Error("degenerate multisets should be nil")
+	}
+}
+
+func TestMultisetsSizesMatchCount(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for k := 1; k <= 4; k++ {
+			if got := len(Multisets(n, k)); got != MultisetCount(n, k) {
+				t.Errorf("len(Multisets(%d,%d)) = %d, want %d", n, k, got, MultisetCount(n, k))
+			}
+		}
+	}
+}
+
+func TestMultisetsAreSorted(t *testing.T) {
+	for _, s := range Multisets(5, 3) {
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				t.Fatalf("multiset %v not sorted", s)
+			}
+		}
+	}
+}
+
+func TestPairingsCount(t *testing.T) {
+	// (2k-1)!! perfect matchings: 8 items -> 105 (the paper's mapping
+	// choices for 4 dual-core NPUs).
+	if got := len(Pairings(8)); got != 105 {
+		t.Errorf("pairings(8) = %d, want 105", got)
+	}
+	if got := len(Pairings(4)); got != 3 {
+		t.Errorf("pairings(4) = %d, want 3", got)
+	}
+	if Pairings(3) != nil || Pairings(0) != nil {
+		t.Error("odd or zero n should give nil")
+	}
+	if DoubleFactorialOdd(4) != 105 {
+		t.Errorf("7!! = %d", DoubleFactorialOdd(4))
+	}
+}
+
+func TestPairingsAreValidPartitions(t *testing.T) {
+	for _, p := range Pairings(6) {
+		seen := map[int]bool{}
+		for _, pair := range p {
+			for _, v := range pair {
+				if seen[v] {
+					t.Fatalf("item %d repeated in %v", v, p)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != 6 {
+			t.Fatalf("pairing %v does not cover all items", p)
+		}
+	}
+}
+
+func TestPairingsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Pairings(6) {
+		key := ""
+		for _, pair := range p {
+			a, b := pair[0], pair[1]
+			if a > b {
+				a, b = b, a
+			}
+			key += string(rune('a'+a)) + string(rune('a'+b))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate pairing %v", p)
+		}
+		seen[key] = true
+	}
+}
+
+func TestLeastSquaresRecoversExactModel(t *testing.T) {
+	// y = 3 + 2a - b
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			x = append(x, []float64{1, a, b})
+			y = append(y, 3+2*a-b)
+		}
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if math.Abs(beta[i]-want[i]) > 1e-6 {
+			t.Errorf("beta[%d] = %v, want %v", i, beta[i], want[i])
+		}
+	}
+	yhat := make([]float64, len(y))
+	for i := range y {
+		yhat[i] = Predict(beta, x[i])
+	}
+	if r2 := R2(y, yhat); r2 < 0.999999 {
+		t.Errorf("R2 = %v", r2)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := LeastSquares([][]float64{{}, {}}, []float64{1, 2}); err == nil {
+		t.Error("zero predictors accepted")
+	}
+}
+
+func TestR2Degenerate(t *testing.T) {
+	if !math.IsNaN(R2(nil, nil)) {
+		t.Error("empty R2 should be NaN")
+	}
+	if !math.IsNaN(R2([]float64{2, 2}, []float64{2, 2})) {
+		t.Error("zero-variance R2 should be NaN")
+	}
+}
+
+// Property: least squares on noiseless linear data recovers predictions
+// exactly (even if coefficients are not unique).
+func TestQuickLeastSquaresInterpolates(t *testing.T) {
+	f := func(c0Raw, c1Raw int8, seeds []uint8) bool {
+		if len(seeds) < 6 {
+			return true
+		}
+		c0, c1 := float64(c0Raw)/16, float64(c1Raw)/16
+		var x [][]float64
+		var y []float64
+		for i, s := range seeds {
+			a := float64(s) / 8
+			x = append(x, []float64{1, a + float64(i%3)})
+			y = append(y, c0+c1*(a+float64(i%3)))
+		}
+		beta, err := LeastSquares(x, y)
+		if err != nil {
+			return true // collinear draws are fine to skip
+		}
+		for i := range x {
+			if math.Abs(Predict(beta, x[i])-y[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

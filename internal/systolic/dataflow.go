@@ -1,0 +1,65 @@
+package systolic
+
+import "fmt"
+
+// Dataflow selects how operands map onto the array. The paper's
+// evaluation uses the output-stationary dataflow and lists
+// weight-stationary as future work; both are implemented here, and the
+// dataflow ablation benchmark compares them.
+type Dataflow uint8
+
+const (
+	// OutputStationary pins one output element per PE; operands stream
+	// through. This is mNPUsim's (and the paper's) dataflow.
+	OutputStationary Dataflow = iota
+	// WeightStationary pins a Rows x Cols tile of the weight matrix in
+	// the PEs (TPU-style); inputs stream through and partial sums
+	// drain. Weights reload once per fold, so it rewards large M and
+	// punishes batch-1 GEMMs.
+	WeightStationary
+)
+
+func (d Dataflow) String() string {
+	if d == WeightStationary {
+		return "weight-stationary"
+	}
+	return "output-stationary"
+}
+
+// GEMMWith returns the cost of an M x K x N GEMM under the given
+// dataflow.
+//
+// Output-stationary is Array.GEMM. Weight-stationary tiles the weight
+// matrix into ceil(K/Rows) x ceil(N/Cols) folds; each fold first loads
+// its weights into the PEs (Rows cycles) and then streams the M input
+// rows through the array (M + Rows + Cols - 2 cycles of skewed
+// pipeline), accumulating partial sums across the K folds.
+func (a Array) GEMMWith(d Dataflow, m, k, n int) Cost {
+	if d == OutputStationary {
+		return a.GEMM(m, k, n)
+	}
+	if m <= 0 || k <= 0 || n <= 0 {
+		return Cost{}
+	}
+	foldsK := int64(ceilDiv(k, a.Rows))
+	foldsN := int64(ceilDiv(n, a.Cols))
+	folds := foldsK * foldsN
+	perFold := int64(a.Rows + m + a.Rows + a.Cols - 2)
+	return Cost{
+		Cycles: folds * perFold,
+		MACs:   int64(m) * int64(k) * int64(n),
+		Folds:  folds,
+	}
+}
+
+// ParseDataflow parses "os"/"output-stationary" or
+// "ws"/"weight-stationary".
+func ParseDataflow(s string) (Dataflow, error) {
+	switch s {
+	case "os", "output-stationary", "":
+		return OutputStationary, nil
+	case "ws", "weight-stationary":
+		return WeightStationary, nil
+	}
+	return 0, fmt.Errorf("systolic: unknown dataflow %q (want os or ws)", s)
+}

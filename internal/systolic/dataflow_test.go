@@ -1,0 +1,102 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDataflowString(t *testing.T) {
+	if OutputStationary.String() != "output-stationary" || WeightStationary.String() != "weight-stationary" {
+		t.Error("dataflow strings wrong")
+	}
+}
+
+func TestParseDataflow(t *testing.T) {
+	for in, want := range map[string]Dataflow{
+		"os": OutputStationary, "output-stationary": OutputStationary, "": OutputStationary,
+		"ws": WeightStationary, "weight-stationary": WeightStationary,
+	} {
+		got, err := ParseDataflow(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDataflow(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseDataflow("rs"); err == nil {
+		t.Error("unknown dataflow accepted")
+	}
+}
+
+func TestGEMMWithOSMatchesGEMM(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	for _, dims := range [][3]int{{16, 100, 16}, {1, 64, 256}, {33, 7, 9}} {
+		os := a.GEMMWith(OutputStationary, dims[0], dims[1], dims[2])
+		direct := a.GEMM(dims[0], dims[1], dims[2])
+		if os != direct {
+			t.Errorf("GEMMWith(OS, %v) = %+v, GEMM = %+v", dims, os, direct)
+		}
+	}
+}
+
+func TestWeightStationaryFolds(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	c := a.GEMMWith(WeightStationary, 100, 16, 16)
+	if c.Folds != 1 {
+		t.Errorf("folds = %d, want 1 (weights fit the array)", c.Folds)
+	}
+	// One fold: weight fill + skewed input stream.
+	want := int64(16 + 100 + 16 + 16 - 2)
+	if c.Cycles != want {
+		t.Errorf("cycles = %d, want %d", c.Cycles, want)
+	}
+	c2 := a.GEMMWith(WeightStationary, 100, 32, 48)
+	if c2.Folds != 2*3 {
+		t.Errorf("folds = %d, want 6", c2.Folds)
+	}
+}
+
+func TestWeightStationaryDegenerate(t *testing.T) {
+	a := Array{Rows: 8, Cols: 8}
+	if c := a.GEMMWith(WeightStationary, 0, 4, 4); c.Cycles != 0 {
+		t.Errorf("degenerate WS: %+v", c)
+	}
+}
+
+func TestDataflowCharacter(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	// Batch-1 GEMM (RNN step): OS amortizes over K, WS reloads weights
+	// per fold — WS must be much slower.
+	osThin := a.GEMMWith(OutputStationary, 1, 512, 512)
+	wsThin := a.GEMMWith(WeightStationary, 1, 512, 512)
+	if wsThin.Cycles <= osThin.Cycles {
+		t.Errorf("WS should lose on batch-1: os=%d ws=%d", osThin.Cycles, wsThin.Cycles)
+	}
+	// Large-M GEMM with small K: WS streams the batch past resident
+	// weights and wins.
+	osFat := a.GEMMWith(OutputStationary, 4096, 16, 16)
+	wsFat := a.GEMMWith(WeightStationary, 4096, 16, 16)
+	if wsFat.Cycles >= osFat.Cycles {
+		t.Errorf("WS should win on large-M small-K: os=%d ws=%d", osFat.Cycles, wsFat.Cycles)
+	}
+}
+
+// Property: both dataflows count identical MACs and keep utilization in
+// (0, 1].
+func TestQuickDataflowInvariants(t *testing.T) {
+	a := Array{Rows: 8, Cols: 8}
+	f := func(mRaw, kRaw, nRaw uint8, ws bool) bool {
+		m, k, n := int(mRaw)+1, int(kRaw)+1, int(nRaw)+1
+		d := OutputStationary
+		if ws {
+			d = WeightStationary
+		}
+		c := a.GEMMWith(d, m, k, n)
+		if c.MACs != int64(m)*int64(k)*int64(n) {
+			return false
+		}
+		u := c.Utilization(a)
+		return u > 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

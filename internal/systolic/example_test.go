@@ -1,0 +1,14 @@
+package systolic_test
+
+import (
+	"fmt"
+
+	"mnpusim/internal/systolic"
+)
+
+func ExampleArray_GEMM() {
+	a := systolic.Array{Rows: 16, Cols: 16}
+	c := a.GEMM(16, 100, 16)
+	fmt.Printf("cycles=%d folds=%d util=%.2f\n", c.Cycles, c.Folds, c.Utilization(a))
+	// Output: cycles=130 folds=1 util=0.77
+}

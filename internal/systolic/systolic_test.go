@@ -1,0 +1,133 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Array{Rows: 16, Cols: 16}).Validate(); err != nil {
+		t.Errorf("valid array rejected: %v", err)
+	}
+	for _, a := range []Array{{0, 16}, {16, 0}, {-1, -1}} {
+		if err := a.Validate(); err == nil {
+			t.Errorf("%v accepted", a)
+		}
+	}
+}
+
+func TestPEsAndString(t *testing.T) {
+	a := Array{Rows: 128, Cols: 128}
+	if a.PEs() != 16384 {
+		t.Errorf("PEs() = %d", a.PEs())
+	}
+	if a.String() != "128x128" {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestGEMMSingleFold(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	c := a.GEMM(16, 100, 16)
+	if c.Folds != 1 {
+		t.Errorf("folds = %d, want 1", c.Folds)
+	}
+	want := int64(100 + 16 + 16 - 2)
+	if c.Cycles != want {
+		t.Errorf("cycles = %d, want %d", c.Cycles, want)
+	}
+	if c.MACs != 16*100*16 {
+		t.Errorf("MACs = %d", c.MACs)
+	}
+}
+
+func TestGEMMFoldCount(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	cases := []struct {
+		m, n  int
+		folds int64
+	}{
+		{16, 16, 1}, {17, 16, 2}, {16, 17, 2}, {32, 32, 4}, {33, 33, 9}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		got := a.GEMM(c.m, 8, c.n)
+		if got.Folds != c.folds {
+			t.Errorf("GEMM(%d,8,%d).Folds = %d, want %d", c.m, c.n, got.Folds, c.folds)
+		}
+	}
+}
+
+func TestGEMMDegenerateDims(t *testing.T) {
+	a := Array{Rows: 8, Cols: 8}
+	for _, dims := range [][3]int{{0, 5, 5}, {5, 0, 5}, {5, 5, 0}, {-1, 2, 2}} {
+		if c := a.GEMM(dims[0], dims[1], dims[2]); c.Cycles != 0 || c.MACs != 0 {
+			t.Errorf("GEMM(%v) = %+v, want zero", dims, c)
+		}
+	}
+}
+
+func TestUtilizationFullSquare(t *testing.T) {
+	// A GEMM exactly matching the array with huge K approaches full
+	// utilization.
+	a := Array{Rows: 16, Cols: 16}
+	c := a.GEMM(16, 100000, 16)
+	if u := c.Utilization(a); u < 0.99 || u > 1.0 {
+		t.Errorf("utilization = %v, want ~1", u)
+	}
+}
+
+func TestUtilizationThinGEMM(t *testing.T) {
+	// M=1 uses one row of PEs: utilization bounded by 1/Rows.
+	a := Array{Rows: 16, Cols: 16}
+	c := a.GEMM(1, 10000, 16)
+	if u := c.Utilization(a); u > 1.0/16+0.01 {
+		t.Errorf("thin GEMM utilization = %v, want <= ~1/16", u)
+	}
+}
+
+func TestUtilizationZeroCycles(t *testing.T) {
+	if (Cost{}).Utilization(Array{Rows: 2, Cols: 2}) != 0 {
+		t.Error("zero-cost utilization should be 0")
+	}
+}
+
+// Property: utilization is always in (0, 1] for positive dims.
+func TestQuickUtilizationBounded(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	f := func(mRaw, kRaw, nRaw uint8) bool {
+		m, k, n := int(mRaw)+1, int(kRaw)+1, int(nRaw)+1
+		u := a.GEMM(m, k, n).Utilization(a)
+		return u > 0 && u <= 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cycles are monotone non-decreasing in every dimension.
+func TestQuickCyclesMonotone(t *testing.T) {
+	a := Array{Rows: 8, Cols: 8}
+	f := func(mRaw, kRaw, nRaw uint8) bool {
+		m, k, n := int(mRaw)+1, int(kRaw)+1, int(nRaw)+1
+		base := a.GEMM(m, k, n).Cycles
+		return a.GEMM(m+1, k, n).Cycles >= base &&
+			a.GEMM(m, k+1, n).Cycles >= base &&
+			a.GEMM(m, k, n+1).Cycles >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a larger array never needs more cycles for the same GEMM.
+func TestQuickBiggerArrayNotSlower(t *testing.T) {
+	small := Array{Rows: 8, Cols: 8}
+	big := Array{Rows: 16, Cols: 16}
+	f := func(mRaw, kRaw, nRaw uint8) bool {
+		m, k, n := int(mRaw)+1, int(kRaw)+8, int(nRaw)+1
+		return big.GEMM(m, k, n).Cycles <= small.GEMM(m, k, n).Cycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

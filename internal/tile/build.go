@@ -1,0 +1,162 @@
+package tile
+
+import (
+	"fmt"
+
+	"mnpusim/internal/model"
+)
+
+// Build compiles a network into a tile schedule for one core.
+//
+// Tensor layout: each op's weight matrix gets a fresh page-aligned
+// region; an op's input reuses the previous op's output region when the
+// dimensions chain exactly (FC/MLP stacks), and otherwise gets a fresh
+// region (conv inputs are im2col buffers prepared by the host, per the
+// paper's early-im2col choice). Embedding tables are allocated at their
+// full size and gathered from sparsely.
+func Build(net model.Network, p Params) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	ops := net.Lower()
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("tile: network %q lowered to no ops", net.Name)
+	}
+
+	va := &vaAllocator{next: 0x1000_0000, align: uint64(p.align())}
+	d := int64(p.DTypeBytes)
+
+	s := &Schedule{
+		Net:    net.Name,
+		Params: p,
+		Layers: make(map[int][]int),
+	}
+
+	var prevOutBase uint64
+	var prevOutElems int64
+	for oi, op := range ops {
+		var inBase uint64
+		switch {
+		case op.Gather:
+			inBase = va.alloc(int64(op.TableRows) * int64(op.N) * d)
+		case oi > 0 && prevOutElems == op.InputElems():
+			inBase = prevOutBase
+		default:
+			inBase = va.alloc(op.InputElems() * d)
+		}
+		var wBase uint64
+		if !op.Gather {
+			wBase = va.alloc(op.WeightElems() * d)
+		}
+		outBase := va.alloc(op.OutputElems() * d)
+
+		if err := buildOp(s, oi, op, p, inBase, wBase, outBase); err != nil {
+			return nil, err
+		}
+		prevOutBase, prevOutElems = outBase, op.OutputElems()
+	}
+
+	for ti := range s.Tasks {
+		t := &s.Tasks[ti]
+		s.Layers[t.Layer] = append(s.Layers[t.Layer], ti)
+		s.TotalComputeCycles += t.ComputeCycles
+		s.TotalMACs += t.MACs
+		s.TotalLoadBytes += t.LoadBytes()
+		s.TotalStoreBytes += t.StoreBytes()
+	}
+	s.FootprintBytes = int64(va.next - 0x1000_0000)
+	return s, nil
+}
+
+// buildOp appends the tiles of one op to the schedule.
+func buildOp(s *Schedule, oi int, op model.Op, p Params, inBase, wBase, outBase uint64) error {
+	tl, err := chooseTiling(op, p)
+	if err != nil {
+		return fmt.Errorf("tile: %s: %w", s.Net, err)
+	}
+	d := int64(p.DTypeBytes)
+	mTiles := ceilDiv(op.M, tl.mt)
+	nTiles := ceilDiv(op.N, tl.nt)
+	kTiles := ceilDiv(op.K, tl.kt)
+
+	for mi := 0; mi < mTiles; mi++ {
+		mLo := mi * tl.mt
+		mA := minInt(tl.mt, op.M-mLo)
+		for ni := 0; ni < nTiles; ni++ {
+			nLo := ni * tl.nt
+			nA := minInt(tl.nt, op.N-nLo)
+			for ki := 0; ki < kTiles; ki++ {
+				kLo := ki * tl.kt
+				kA := minInt(tl.kt, op.K-kLo)
+
+				t := Task{
+					Op:     oi,
+					Layer:  op.Layer,
+					Name:   op.Name,
+					Gather: op.Gather,
+				}
+				if op.Gather {
+					t.Loads = gatherSlices(op, oi, mLo, mA, inBase, d)
+				} else {
+					t.Loads = blockSlices(inBase, mLo, mA, kLo, kA, op.K, d)
+					t.Loads = append(t.Loads, blockSlices(wBase, kLo, kA, nLo, nA, op.N, d)...)
+				}
+				if ki == kTiles-1 {
+					t.Stores = blockSlices(outBase, mLo, mA, nLo, nA, op.N, d)
+				}
+				cost := p.Array.GEMMWith(p.Dataflow, mA, kA, nA)
+				t.ComputeCycles = cost.Cycles
+				t.MACs = cost.MACs
+				s.Tasks = append(s.Tasks, t)
+			}
+		}
+	}
+	return nil
+}
+
+// blockSlices returns the address slices of a rows x cols sub-block of a
+// row-major matrix with rowStride columns, merging into one slice when
+// the block spans full rows.
+func blockSlices(base uint64, rowLo, rows, colLo, cols, rowStride int, d int64) []Slice {
+	if cols == rowStride && colLo == 0 {
+		return []Slice{{
+			Addr:  base + uint64(int64(rowLo)*int64(rowStride)*d),
+			Bytes: int64(rows) * int64(rowStride) * d,
+		}}
+	}
+	out := make([]Slice, 0, rows)
+	for r := rowLo; r < rowLo+rows; r++ {
+		out = append(out, Slice{
+			Addr:  base + uint64((int64(r)*int64(rowStride)+int64(colLo))*d),
+			Bytes: int64(cols) * d,
+		})
+	}
+	return out
+}
+
+// gatherSlices returns the scattered table-row reads of an embedding
+// tile: one slice per lookup, at a deterministic pseudo-random row.
+func gatherSlices(op model.Op, oi, lookupLo, lookups int, table uint64, d int64) []Slice {
+	rowBytes := int64(op.N) * d
+	out := make([]Slice, 0, lookups)
+	for i := lookupLo; i < lookupLo+lookups; i++ {
+		row := splitmix64(uint64(oi)<<32^uint64(i)) % uint64(op.TableRows)
+		out = append(out, Slice{
+			Addr:  table + uint64(int64(row)*rowBytes),
+			Bytes: rowBytes,
+		})
+	}
+	return out
+}
+
+// splitmix64 is the SplitMix64 mixing function, used for reproducible
+// scattered addresses without a stateful RNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,188 @@
+// Package tile implements the software stack of the simulator: mNPUsim's
+// "SW request generator". It lays the lowered GEMM operands out in a
+// core's virtual address space, splits each operation into tiles sized
+// for double buffering (each tile's working set fits half the
+// scratchpad), and produces the per-tile memory request slices and
+// compute cycles that drive the hardware simulation.
+package tile
+
+import (
+	"fmt"
+
+	"mnpusim/internal/model"
+	"mnpusim/internal/systolic"
+)
+
+// Params configures tiling for one core.
+type Params struct {
+	Array      systolic.Array
+	Dataflow   systolic.Dataflow
+	SPMBytes   int64
+	DTypeBytes int
+	// BlockBytes is the off-chip transaction granularity (one DRAM
+	// burst, typically 64).
+	BlockBytes int
+	// TensorAlign aligns each tensor's base virtual address; defaults
+	// to 4096 so distinct tensors never share a page.
+	TensorAlign int64
+}
+
+// Validate checks the parameters can tile at least a minimal block.
+func (p Params) Validate() error {
+	if err := p.Array.Validate(); err != nil {
+		return err
+	}
+	if p.SPMBytes <= 0 || p.DTypeBytes <= 0 || p.BlockBytes <= 0 {
+		return fmt.Errorf("tile: SPMBytes, DTypeBytes, BlockBytes must be positive")
+	}
+	minSet := int64(p.Array.Rows+p.Array.Cols+p.Array.Rows*p.Array.Cols) * int64(p.DTypeBytes)
+	if p.SPMBytes/2 < minSet {
+		return fmt.Errorf("tile: SPM half (%d B) cannot hold a minimal %s tile (%d B)",
+			p.SPMBytes/2, p.Array, minSet)
+	}
+	return nil
+}
+
+func (p Params) align() int64 {
+	if p.TensorAlign > 0 {
+		return p.TensorAlign
+	}
+	return 4096
+}
+
+// Slice is a contiguous virtual address range accessed by a tile.
+type Slice struct {
+	Addr  uint64
+	Bytes int64
+}
+
+// Task is one tile: the loads that must complete before its compute, the
+// compute occupancy, and the stores it emits afterwards.
+type Task struct {
+	Op    int
+	Layer int
+	Name  string
+
+	Loads  []Slice
+	Stores []Slice
+
+	ComputeCycles int64
+	MACs          int64
+	// Gather marks tiles of embedding ops (scattered loads).
+	Gather bool
+}
+
+// LoadBytes sums the load slices.
+func (t Task) LoadBytes() int64 {
+	var b int64
+	for _, s := range t.Loads {
+		b += s.Bytes
+	}
+	return b
+}
+
+// StoreBytes sums the store slices.
+func (t Task) StoreBytes() int64 {
+	var b int64
+	for _, s := range t.Stores {
+		b += s.Bytes
+	}
+	return b
+}
+
+// Schedule is the complete tile program of one network on one core.
+type Schedule struct {
+	Net    string
+	Params Params
+	Tasks  []Task
+
+	// Layers maps layer index -> indices into Tasks, for per-layer
+	// cycle reporting.
+	Layers map[int][]int
+
+	TotalComputeCycles int64
+	TotalMACs          int64
+	TotalLoadBytes     int64
+	TotalStoreBytes    int64
+	// FootprintBytes is the simulator's memory_footprint output: the
+	// extent of the virtual address space touched.
+	FootprintBytes int64
+}
+
+// TrafficBytes returns total off-chip traffic per inference.
+func (s *Schedule) TrafficBytes() int64 { return s.TotalLoadBytes + s.TotalStoreBytes }
+
+// IdealUtilization returns MACs / (PEs * compute cycles): PE utilization
+// assuming a perfect memory system.
+func (s *Schedule) IdealUtilization() float64 {
+	if s.TotalComputeCycles == 0 {
+		return 0
+	}
+	return float64(s.TotalMACs) / (float64(s.Params.Array.PEs()) * float64(s.TotalComputeCycles))
+}
+
+// vaAllocator hands out page-aligned tensor regions in one core's
+// virtual address space.
+type vaAllocator struct {
+	next  uint64
+	align uint64
+}
+
+func (a *vaAllocator) alloc(bytes int64) uint64 {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	base := a.next
+	a.next += (uint64(bytes) + a.align - 1) / a.align * a.align
+	return base
+}
+
+// tiling is the chosen (Mt, Kt, Nt) decomposition of one op.
+type tiling struct {
+	mt, kt, nt int
+}
+
+// chooseTiling picks the largest output-stationary tile whose working
+// set — input Mt x Kt, weight Kt x Nt, output Mt x Nt — fits half the
+// scratchpad (the other half holds the in-flight neighbor tile under
+// double buffering). It starts from one array pass (Rows x Cols) with
+// the full reduction depth and grows M and N alternately.
+func chooseTiling(op model.Op, p Params) (tiling, error) {
+	half := p.SPMBytes / 2
+	d := int64(p.DTypeBytes)
+	fits := func(mt, kt, nt int) bool {
+		set := (int64(mt)*int64(kt) + int64(kt)*int64(nt) + int64(mt)*int64(nt)) * d
+		return set <= half
+	}
+	mt := minInt(op.M, p.Array.Rows)
+	nt := minInt(op.N, p.Array.Cols)
+	kt := op.K
+	for !fits(mt, kt, nt) && kt > 1 {
+		kt = (kt + 1) / 2
+	}
+	if !fits(mt, kt, nt) {
+		return tiling{}, fmt.Errorf("tile: op %q (%dx%dx%d) cannot fit SPM half %d B", op.Name, op.M, op.K, op.N, half)
+	}
+	// Grow M, then N, doubling while the working set still fits.
+	for grew := true; grew; {
+		grew = false
+		if mt < op.M && fits(minInt(2*mt, op.M), kt, nt) {
+			mt = minInt(2*mt, op.M)
+			grew = true
+		}
+		if nt < op.N && fits(mt, kt, minInt(2*nt, op.N)) {
+			nt = minInt(2*nt, op.N)
+			grew = true
+		}
+	}
+	return tiling{mt: mt, kt: kt, nt: nt}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

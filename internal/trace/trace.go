@@ -1,0 +1,170 @@
+// Package trace provides the instrumentation the original simulator
+// emits as log files: per-window memory-request rates (the burstiness
+// plot of Fig. 2b), per-window DRAM bandwidth utilization (the timeline
+// of Fig. 12), and request logs for TLB/PTW/DRAM events.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"mnpusim/internal/mem"
+)
+
+// RateRecorder counts events per fixed-size cycle window; the paper's
+// Fig. 2(b) plots the moving average of memory requests over 1000-cycle
+// windows.
+type RateRecorder struct {
+	window  int64
+	counts  []int64
+	maxSeen int64
+}
+
+// NewRateRecorder creates a recorder with the given window size in
+// cycles.
+func NewRateRecorder(window int64) *RateRecorder {
+	if window <= 0 {
+		panic("trace: window must be positive")
+	}
+	return &RateRecorder{window: window}
+}
+
+// Record counts one event (weight 1) at the given cycle.
+func (r *RateRecorder) Record(cycle int64) { r.Add(cycle, 1) }
+
+// Add counts weight events at the given cycle.
+func (r *RateRecorder) Add(cycle, weight int64) {
+	if cycle < 0 {
+		return
+	}
+	w := cycle / r.window
+	for int64(len(r.counts)) <= w {
+		r.counts = append(r.counts, 0)
+	}
+	r.counts[w] += weight
+	if cycle > r.maxSeen {
+		r.maxSeen = cycle
+	}
+}
+
+// Window returns the window size.
+func (r *RateRecorder) Window() int64 { return r.window }
+
+// Counts returns the per-window event counts.
+func (r *RateRecorder) Counts() []int64 { return r.counts }
+
+// Rates returns events per cycle for each window.
+func (r *RateRecorder) Rates() []float64 {
+	out := make([]float64, len(r.counts))
+	for i, c := range r.counts {
+		out[i] = float64(c) / float64(r.window)
+	}
+	return out
+}
+
+// MovingAverage returns the k-window moving average of the per-window
+// rates (k>=1).
+func (r *RateRecorder) MovingAverage(k int) []float64 {
+	rates := r.Rates()
+	if k <= 1 || len(rates) == 0 {
+		return rates
+	}
+	out := make([]float64, len(rates))
+	sum := 0.0
+	for i, v := range rates {
+		sum += v
+		if i >= k {
+			sum -= rates[i-k]
+		}
+		n := min(i+1, k)
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// BandwidthRecorder accumulates bytes transferred per window, per core,
+// for the Fig. 12 utilization timeline. Core index -1 aggregates all.
+type BandwidthRecorder struct {
+	window int64
+	cores  int
+	bytes  [][]int64 // [core][window]
+}
+
+// NewBandwidthRecorder creates a recorder for the given core count.
+func NewBandwidthRecorder(cores int, window int64) *BandwidthRecorder {
+	if window <= 0 || cores <= 0 {
+		panic("trace: invalid bandwidth recorder geometry")
+	}
+	return &BandwidthRecorder{window: window, cores: cores, bytes: make([][]int64, cores)}
+}
+
+// Record attributes a completed transfer; it is shaped to plug directly
+// into dram.Memory's OnTransfer hook.
+func (b *BandwidthRecorder) Record(now int64, core int, bytes int, _ mem.Class) {
+	if core < 0 || core >= b.cores || now < 0 {
+		return
+	}
+	w := now / b.window
+	for int64(len(b.bytes[core])) <= w {
+		b.bytes[core] = append(b.bytes[core], 0)
+	}
+	b.bytes[core][w] += int64(bytes)
+}
+
+// Utilization returns per-window bandwidth of one core as a fraction of
+// peakBytesPerCycle (the paper normalizes to the 256 GB/s peak).
+func (b *BandwidthRecorder) Utilization(core int, peakBytesPerCycle float64) []float64 {
+	if core < 0 || core >= b.cores {
+		return nil
+	}
+	out := make([]float64, len(b.bytes[core]))
+	for i, v := range b.bytes[core] {
+		out[i] = float64(v) / (peakBytesPerCycle * float64(b.window))
+	}
+	return out
+}
+
+// Sum returns the per-window total across cores as a fraction of peak
+// (the ds2+gpt2 line of Fig. 12).
+func (b *BandwidthRecorder) Sum(peakBytesPerCycle float64) []float64 {
+	n := 0
+	for _, c := range b.bytes {
+		n = max(n, len(c))
+	}
+	out := make([]float64, n)
+	for _, c := range b.bytes {
+		for i, v := range c {
+			out[i] += float64(v) / (peakBytesPerCycle * float64(b.window))
+		}
+	}
+	return out
+}
+
+// Windows returns the number of recorded windows across all cores.
+func (b *BandwidthRecorder) Windows() int {
+	n := 0
+	for _, c := range b.bytes {
+		n = max(n, len(c))
+	}
+	return n
+}
+
+// RequestLog writes request records in the artifact's log format:
+// cycle, address, NPU index, and class.
+type RequestLog struct {
+	w     io.Writer
+	lines int64
+}
+
+// NewRequestLog creates a log writing to w.
+func NewRequestLog(w io.Writer) *RequestLog { return &RequestLog{w: w} }
+
+// Log writes one record.
+func (l *RequestLog) Log(now int64, r *mem.Request) error {
+	l.lines++
+	_, err := fmt.Fprintf(l.w, "%d %#x %d %s%s\n", now, r.VAddr, r.Core, r.Class, r.Kind)
+	return err
+}
+
+// Lines returns the number of records written.
+func (l *RequestLog) Lines() int64 { return l.lines }

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mnpusim/internal/mem"
+)
+
+func TestRateRecorderWindows(t *testing.T) {
+	r := NewRateRecorder(100)
+	r.Record(0)
+	r.Record(99)
+	r.Record(100)
+	r.Add(250, 5)
+	counts := r.Counts()
+	if len(counts) != 3 {
+		t.Fatalf("windows = %d", len(counts))
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 5 {
+		t.Errorf("counts = %v", counts)
+	}
+	rates := r.Rates()
+	if rates[0] != 0.02 || rates[2] != 0.05 {
+		t.Errorf("rates = %v", rates)
+	}
+	if r.Window() != 100 {
+		t.Errorf("window = %d", r.Window())
+	}
+}
+
+func TestRateRecorderIgnoresNegativeCycles(t *testing.T) {
+	r := NewRateRecorder(10)
+	r.Record(-1)
+	if len(r.Counts()) != 0 {
+		t.Error("negative cycle recorded")
+	}
+}
+
+func TestRateRecorderPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRateRecorder(0)
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	r := NewRateRecorder(10)
+	r.Add(0, 100) // spike in window 0
+	r.Add(35, 0)  // extend to 4 windows
+	ma := r.MovingAverage(2)
+	if len(ma) != 4 {
+		t.Fatalf("ma = %v", ma)
+	}
+	if ma[0] != 10 { // only one window so far
+		t.Errorf("ma[0] = %v", ma[0])
+	}
+	if ma[1] != 5 { // (10+0)/2
+		t.Errorf("ma[1] = %v", ma[1])
+	}
+	if ma[2] != 0 {
+		t.Errorf("ma[2] = %v", ma[2])
+	}
+	// k<=1 returns raw rates.
+	raw := r.MovingAverage(1)
+	if raw[0] != 10 {
+		t.Errorf("raw[0] = %v", raw[0])
+	}
+}
+
+func TestBandwidthRecorder(t *testing.T) {
+	b := NewBandwidthRecorder(2, 100)
+	b.Record(0, 0, 64, mem.Data)
+	b.Record(50, 0, 64, mem.Data)
+	b.Record(150, 1, 128, mem.Data)
+	b.Record(10, 5, 64, mem.Data) // out-of-range core ignored
+	b.Record(-1, 0, 64, mem.Data) // negative cycle ignored
+	u0 := b.Utilization(0, 1.28)  // peak 1.28 B/cyc -> 128 B per window
+	if len(u0) != 1 || u0[0] != 1.0 {
+		t.Errorf("core0 util = %v", u0)
+	}
+	u1 := b.Utilization(1, 1.28)
+	if len(u1) != 2 || u1[1] != 1.0 || u1[0] != 0 {
+		t.Errorf("core1 util = %v", u1)
+	}
+	sum := b.Sum(1.28)
+	if len(sum) != 2 || sum[0] != 1.0 || sum[1] != 1.0 {
+		t.Errorf("sum = %v", sum)
+	}
+	if b.Windows() != 2 {
+		t.Errorf("windows = %d", b.Windows())
+	}
+	if b.Utilization(7, 1) != nil {
+		t.Error("bad core should return nil")
+	}
+}
+
+func TestRequestLogFormat(t *testing.T) {
+	var sb strings.Builder
+	l := NewRequestLog(&sb)
+	r := &mem.Request{Core: 2, VAddr: 0x1000, Kind: mem.Write, Class: mem.PageTable}
+	if err := l.Log(42, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "42 0x1000 2 PTW\n"
+	if sb.String() != want {
+		t.Errorf("log line = %q, want %q", sb.String(), want)
+	}
+	if l.Lines() != 1 {
+		t.Errorf("lines = %d", l.Lines())
+	}
+}

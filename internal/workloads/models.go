@@ -1,0 +1,221 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mnpusim/internal/model"
+)
+
+// The eight benchmarks of Table 1. Shapes at ScalePaper follow the
+// published architectures (as distributed with SCALE-Sim, which the
+// paper's model files are based on); smaller scales divide channel and
+// spatial dimensions while keeping each network's arithmetic-intensity
+// character.
+
+// AlexNet returns alex: five convolutions and three fully connected
+// layers (Krizhevsky et al.).
+func AlexNet(s Scale) Workload {
+	d, sp := s.Div(), s.SpatialDiv()
+	h := sc(224, sp, 16)
+	c := func(n int) int { return sc(n, d, 4) }
+	layers := []model.Layer{
+		{Name: "conv1", Kind: model.Conv, InC: 3, InH: h, InW: h, OutC: c(96), KH: 11, KW: 11, Stride: 4, Pad: 2},
+	}
+	h2 := (h+2*2-11)/4 + 1
+	h2 /= 2 // pool
+	layers = append(layers,
+		model.Layer{Name: "conv2", Kind: model.Conv, InC: c(96), InH: h2, InW: h2, OutC: c(256), KH: 5, KW: 5, Stride: 1, Pad: 2},
+	)
+	h3 := h2 / 2
+	layers = append(layers,
+		model.Layer{Name: "conv3", Kind: model.Conv, InC: c(256), InH: h3, InW: h3, OutC: c(384), KH: 3, KW: 3, Stride: 1, Pad: 1},
+		model.Layer{Name: "conv4", Kind: model.Conv, InC: c(384), InH: h3, InW: h3, OutC: c(384), KH: 3, KW: 3, Stride: 1, Pad: 1},
+		model.Layer{Name: "conv5", Kind: model.Conv, InC: c(384), InH: h3, InW: h3, OutC: c(256), KH: 3, KW: 3, Stride: 1, Pad: 1},
+		model.Layer{Name: "fc6", Kind: model.FC, M: 1, K: c(9216), N: c(4096)},
+		model.Layer{Name: "fc7", Kind: model.FC, M: 1, K: c(4096), N: c(4096)},
+		model.Layer{Name: "fc8", Kind: model.FC, M: 1, K: c(4096), N: sc(1000, d, 10)},
+	)
+	return Workload{Short: "alex", Full: "AlexNet", Class: CNN, Net: model.Network{Name: "alex", Layers: layers}}
+}
+
+// ResNet50 returns res: the 50-layer residual network (He et al.),
+// generated as its four bottleneck stages.
+func ResNet50(s Scale) Workload {
+	d, sp := s.Div(), s.SpatialDiv()
+	c := func(n int) int { return sc(n, d, 4) }
+	h := sc(224, sp, 16)
+
+	layers := []model.Layer{
+		{Name: "conv1", Kind: model.Conv, InC: 3, InH: h, InW: h, OutC: c(64), KH: 7, KW: 7, Stride: 2, Pad: 3},
+	}
+	h = h / 4 // stride-2 conv + maxpool
+
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	inC := c(64)
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			mid, out := c(st.mid), c(st.out)
+			pfx := fmt.Sprintf("s%db%d", si+2, b)
+			layers = append(layers,
+				model.Layer{Name: pfx + ".c1", Kind: model.Conv, InC: inC, InH: h, InW: h, OutC: mid, KH: 1, KW: 1, Stride: 1, Pad: 0},
+				model.Layer{Name: pfx + ".c2", Kind: model.Conv, InC: mid, InH: h, InW: h, OutC: mid, KH: 3, KW: 3, Stride: stride, Pad: 1},
+			)
+			if stride > 1 {
+				h = (h+2-3)/stride + 1
+			}
+			layers = append(layers,
+				model.Layer{Name: pfx + ".c3", Kind: model.Conv, InC: mid, InH: h, InW: h, OutC: out, KH: 1, KW: 1, Stride: 1, Pad: 0},
+			)
+			inC = out
+		}
+	}
+	layers = append(layers, model.Layer{Name: "fc", Kind: model.FC, M: 1, K: inC, N: sc(1000, d, 10)})
+	return Workload{Short: "res", Full: "Resnet50", Class: CNN, Net: model.Network{Name: "res", Layers: layers}}
+}
+
+// YoloTiny returns yt: the nine-convolution Tiny-YOLO detector (Redmon &
+// Farhadi).
+func YoloTiny(s Scale) Workload {
+	d, sp := s.Div(), s.SpatialDiv()
+	c := func(n int) int { return sc(n, d, 4) }
+	h := sc(416, sp, 26)
+	chans := []int{16, 32, 64, 128, 256, 512}
+	inC := 3
+	var layers []model.Layer
+	for i, ch := range chans {
+		layers = append(layers, model.Layer{
+			Name: fmt.Sprintf("conv%d", i+1), Kind: model.Conv,
+			InC: inC, InH: h, InW: h, OutC: c(ch), KH: 3, KW: 3, Stride: 1, Pad: 1,
+		})
+		inC = c(ch)
+		if h > 2 {
+			h /= 2 // maxpool
+		}
+	}
+	layers = append(layers,
+		model.Layer{Name: "conv7", Kind: model.Conv, InC: inC, InH: h, InW: h, OutC: c(1024), KH: 3, KW: 3, Stride: 1, Pad: 1},
+		model.Layer{Name: "conv8", Kind: model.Conv, InC: c(1024), InH: h, InW: h, OutC: c(1024), KH: 3, KW: 3, Stride: 1, Pad: 1},
+		model.Layer{Name: "conv9", Kind: model.Conv, InC: c(1024), InH: h, InW: h, OutC: sc(125, d, 5), KH: 1, KW: 1, Stride: 1, Pad: 0},
+	)
+	return Workload{Short: "yt", Full: "Yolo-tiny", Class: CNN, Net: model.Network{Name: "yt", Layers: layers}}
+}
+
+// SelfishRNN returns sfrnn: a two-layer stacked LSTM in the shape used
+// by Selfish-RNN (Liu et al.). Each timestep is a batch-1 GEMM, so the
+// weight matrices stream from memory with no reuse — the most
+// memory-intensive behavior among the benchmarks.
+func SelfishRNN(s Scale) Workload {
+	d := s.Div()
+	hidden := sc(1500, max(1, d*d/4), 32) // batch-1 GEMMs keep it memory-bound at any size
+	steps := sc(35, s.SpatialDiv()*2, 4)
+	layers := []model.Layer{
+		{Name: "lstm1", Kind: model.RNNCell, Hidden: hidden, Input: hidden, Repeat: steps},
+		{Name: "lstm2", Kind: model.RNNCell, Hidden: hidden, Input: hidden, Repeat: steps},
+	}
+	return Workload{Short: "sfrnn", Full: "Selfish-RNN", Class: RNN, Net: model.Network{Name: "sfrnn", Layers: layers}}
+}
+
+// DeepSpeech2 returns ds2: two spectrogram convolutions followed by five
+// recurrent layers (Amodei et al.).
+func DeepSpeech2(s Scale) Workload {
+	d, sp := s.Div(), s.SpatialDiv()
+	freq := sc(161, sp, 20)
+	tsteps := sc(200, sp, 16)
+	hidden := sc(1760, max(1, d*d/4), 32)
+	layers := []model.Layer{
+		{Name: "conv1", Kind: model.Conv, InC: 1, InH: freq, InW: tsteps, OutC: sc(32, d, 4), KH: 11, KW: 5, Stride: 2, Pad: 5},
+		{Name: "conv2", Kind: model.Conv, InC: sc(32, d, 4), InH: freq / 2, InW: tsteps / 2, OutC: sc(32, d, 4), KH: 11, KW: 5, Stride: 1, Pad: 5},
+	}
+	steps := sc(100, sp*sp*3, 6)
+	for i := 0; i < 5; i++ {
+		in := hidden
+		layers = append(layers, model.Layer{
+			Name: fmt.Sprintf("rnn%d", i+1), Kind: model.RNNCell,
+			Hidden: hidden, Input: in, Repeat: steps,
+		})
+	}
+	layers = append(layers, model.Layer{Name: "fc", Kind: model.FC, M: steps, K: hidden, N: sc(29*64, d, 29)})
+	return Workload{Short: "ds2", Full: "DeepSpeech2", Class: RNN, Net: model.Network{Name: "ds2", Layers: layers}}
+}
+
+// DLRM returns dlrm: the deep learning recommendation model (Naumov et
+// al.) — sparse embedding gathers feeding a bottom and top MLP. The
+// gathers dominate: huge footprint, near-zero compute.
+func DLRM(s Scale) Workload {
+	d := s.Div()
+	batch := sc(128, s.SpatialDiv(), 16)
+	emb := sc(64, d, 8)
+	tables := 8
+	rows := 1 << 20 / d
+	var layers []model.Layer
+	layers = append(layers,
+		model.Layer{Name: "botmlp1", Kind: model.FC, M: batch, K: 13, N: sc(512, d, 16)},
+		model.Layer{Name: "botmlp2", Kind: model.FC, M: batch, K: sc(512, d, 16), N: sc(256, d, 16)},
+		model.Layer{Name: "botmlp3", Kind: model.FC, M: batch, K: sc(256, d, 16), N: emb},
+	)
+	for t := 0; t < tables; t++ {
+		layers = append(layers, model.Layer{
+			Name: fmt.Sprintf("emb%d", t), Kind: model.Embedding,
+			TableRows: rows, EmbDim: emb, Lookups: batch * 4,
+		})
+	}
+	featIn := (tables + 1) * emb
+	layers = append(layers,
+		model.Layer{Name: "topmlp1", Kind: model.FC, M: batch, K: featIn, N: sc(512, d, 16)},
+		model.Layer{Name: "topmlp2", Kind: model.FC, M: batch, K: sc(512, d, 16), N: sc(256, d, 16)},
+		model.Layer{Name: "topmlp3", Kind: model.FC, M: batch, K: sc(256, d, 16), N: 1},
+	)
+	return Workload{Short: "dlrm", Full: "DLRM", Class: Recommendation, Net: model.Network{Name: "dlrm", Layers: layers}}
+}
+
+// NCF returns ncf: neural collaborative filtering (He et al.) — user and
+// item embeddings plus a small MLP tower.
+func NCF(s Scale) Workload {
+	// NCF is small even at paper scale; scale its dims gently (d/2) so
+	// the tiny variant stays large relative to fixed memory latencies.
+	d := max(1, s.Div()/2)
+	batch := 256
+	emb := sc(64, d, 16)
+	users := 138_000 / d
+	items := 27_000 / d
+	layers := []model.Layer{
+		{Name: "user_emb", Kind: model.Embedding, TableRows: users, EmbDim: emb, Lookups: batch * 2},
+		{Name: "item_emb", Kind: model.Embedding, TableRows: items, EmbDim: emb, Lookups: batch * 2},
+		{Name: "mlp1", Kind: model.FC, M: batch, K: 2 * emb, N: sc(256, d, 32)},
+		{Name: "mlp2", Kind: model.FC, M: batch, K: sc(256, d, 32), N: sc(128, d, 32)},
+		{Name: "mlp3", Kind: model.FC, M: batch, K: sc(128, d, 32), N: sc(64, d, 16)},
+		{Name: "mlp4", Kind: model.FC, M: batch, K: sc(64, d, 16), N: 1},
+	}
+	return Workload{Short: "ncf", Full: "NCF", Class: Recommendation, Net: model.Network{Name: "ncf", Layers: layers}}
+}
+
+// GPT2 returns gpt2: GPT-2 small in prefill mode — twelve transformer
+// blocks of dense GEMMs over the full sequence (Radford et al.).
+func GPT2(s Scale) Workload {
+	d, sp := s.Div(), s.SpatialDiv()
+	dim := sc(768, d, 48)
+	heads := sc(12, d, 2)
+	for dim%heads != 0 {
+		heads--
+	}
+	layers := []model.Layer{
+		{
+			Name: "block", Kind: model.Attention,
+			SeqLen: sc(512, sp, 32), ModelDim: dim, Heads: heads,
+			Repeat: sc(12, sp*sp, 3),
+		},
+		{Name: "lm_head", Kind: model.FC, M: sc(512, sp, 32), K: dim, N: sc(50257, d*8, 256)},
+	}
+	return Workload{Short: "gpt2", Full: "gpt2", Class: AttentionClass, Net: model.Network{Name: "gpt2", Layers: layers}}
+}

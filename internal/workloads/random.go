@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnpusim/internal/model"
+)
+
+// RandomSpec bounds the DeepSniffer-style random network generator used
+// to train the mapping predictor without overfitting to the eight
+// benchmarks (§4.6.1). Dimensions are drawn uniformly from "a realistic
+// range", as the paper puts it.
+type RandomSpec struct {
+	MinLayers, MaxLayers int
+	// Conv parameter ranges.
+	MinChannels, MaxChannels int
+	MinSpatial, MaxSpatial   int
+	Kernels                  []int
+	Strides                  []int
+	// GEMM parameter ranges.
+	MinM, MaxM   int
+	MinKN, MaxKN int
+	// ConvProb is the probability a layer is a convolution (vs GEMM).
+	ConvProb float64
+}
+
+// DefaultRandomSpec returns ranges matched to the given scale: channels
+// and dims comparable to the scaled benchmarks.
+func DefaultRandomSpec(s Scale) RandomSpec {
+	d := s.Div()
+	return RandomSpec{
+		MinLayers:   3,
+		MaxLayers:   10,
+		MinChannels: sc(32, d, 4),
+		MaxChannels: sc(512, d, 16),
+		MinSpatial:  sc(14, s.SpatialDiv(), 7),
+		MaxSpatial:  sc(112, s.SpatialDiv(), 14),
+		Kernels:     []int{1, 3, 5},
+		Strides:     []int{1, 1, 2},
+		MinM:        1,
+		MaxM:        sc(256, s.SpatialDiv(), 32),
+		MinKN:       sc(64, d, 16),
+		MaxKN:       sc(4096, d, 128),
+		ConvProb:    0.5,
+	}
+}
+
+// Random generates a random network from the spec, deterministically for
+// a given seed.
+func Random(spec RandomSpec, seed int64) model.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := spec.MinLayers + rng.Intn(spec.MaxLayers-spec.MinLayers+1)
+	layers := make([]model.Layer, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < spec.ConvProb {
+			k := spec.Kernels[rng.Intn(len(spec.Kernels))]
+			h := randIn(rng, spec.MinSpatial, spec.MaxSpatial)
+			layers = append(layers, model.Layer{
+				Name:   fmt.Sprintf("rconv%d", i),
+				Kind:   model.Conv,
+				InC:    randIn(rng, spec.MinChannels, spec.MaxChannels),
+				InH:    h,
+				InW:    h,
+				OutC:   randIn(rng, spec.MinChannels, spec.MaxChannels),
+				KH:     k,
+				KW:     k,
+				Stride: spec.Strides[rng.Intn(len(spec.Strides))],
+				Pad:    k / 2,
+			})
+		} else {
+			layers = append(layers, model.Layer{
+				Name: fmt.Sprintf("rgemm%d", i),
+				Kind: model.GEMM,
+				M:    randIn(rng, spec.MinM, spec.MaxM),
+				K:    randIn(rng, spec.MinKN, spec.MaxKN),
+				N:    randIn(rng, spec.MinKN, spec.MaxKN),
+			})
+		}
+	}
+	return model.Network{Name: fmt.Sprintf("rand%d", seed), Layers: layers}
+}
+
+// RandomSet generates count random networks with consecutive seeds
+// starting at base.
+func RandomSet(spec RandomSpec, base int64, count int) []model.Network {
+	nets := make([]model.Network, count)
+	for i := range nets {
+		nets[i] = Random(spec, base+int64(i))
+	}
+	return nets
+}
+
+func randIn(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
