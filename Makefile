@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector: the
+# worker-pool runner (parallel determinism test included) and the
+# event-skipping simulator core.
+race:
+	$(GO) test -race ./internal/experiments ./internal/sim
+
+vet:
+	$(GO) vet ./...
+
+# Machine-readable wall-clock benchmark of the dual-core paper sweep
+# (serial vs worker pool, event skipping on vs off) -> BENCH_sweep.json.
+bench:
+	$(GO) run ./cmd/mnpubench -sweep-bench BENCH_sweep.json

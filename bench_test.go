@@ -5,7 +5,9 @@
 //
 // The benchmarks run at ScaleTiny by default so the whole suite
 // finishes in minutes; set MNPUSIM_SCALE=small or =paper for larger
-// systems, and MNPUSIM_QUAD_SAMPLE=0 to evaluate all 330 quad mixes.
+// systems, MNPUSIM_QUAD_SAMPLE=0 to evaluate all 330 quad mixes, and
+// MNPUSIM_WORKERS=1 to force strictly serial simulation (the default
+// fans independent simulations out over GOMAXPROCS workers).
 //
 // Results are cached across benchmarks within one `go test -bench` run
 // (the Ideal baselines and the 36 dual-core mixes feed Figs 4, 6, 8,
@@ -54,6 +56,13 @@ func sharedRunner() *experiments.Runner {
 				panic(err)
 			}
 			opts.QuadSample = n
+		}
+		if w := os.Getenv("MNPUSIM_WORKERS"); w != "" {
+			n, err := strconv.Atoi(w)
+			if err != nil {
+				panic(err)
+			}
+			opts.Workers = n
 		}
 		runner = experiments.NewRunner(opts)
 	})

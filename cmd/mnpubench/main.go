@@ -88,6 +88,9 @@ func run(args []string) error {
 		seedFlag   = fs.Int64("seed", 7, "random seed for predictor training")
 		verbose    = fs.Bool("v", false, "log each simulation")
 		csvFlag    = fs.String("csv", "", "directory for machine-readable CSV output")
+		workers    = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		noSkip     = fs.Bool("no-event-skip", false, "tick every cycle instead of event skipping (debug; results identical)")
+		sweepBench = fs.String("sweep-bench", "", "write a JSON wall-clock benchmark of the dual-core sweep to this file and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,18 +101,23 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	if *expFlag == "" {
-		return fmt.Errorf("need -exp <name> or -list")
-	}
 	scale, err := config.ParseScale(*scaleFlag)
 	if err != nil {
 		return err
 	}
+	if *sweepBench != "" {
+		return runSweepBench(*sweepBench, scale, *workers)
+	}
+	if *expFlag == "" {
+		return fmt.Errorf("need -exp <name> or -list")
+	}
 	opts := experiments.Options{
-		Scale:      scale,
-		QuadSample: *quadSample,
-		MapSample:  *mapSample,
-		Seed:       *seedFlag,
+		Scale:       scale,
+		QuadSample:  *quadSample,
+		MapSample:   *mapSample,
+		Seed:        *seedFlag,
+		Workers:     *workers,
+		NoEventSkip: *noSkip,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr

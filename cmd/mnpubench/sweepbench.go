@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"mnpusim/internal/experiments"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+// SweepBench is the machine-readable wall-clock record written by
+// -sweep-bench: the full dual-core sharing sweep (Figs 4/6) timed
+// serially and on the worker pool, plus an event-skip on/off comparison
+// over a small mix subset.
+type SweepBench struct {
+	Scale      string `json:"scale"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+
+	// Full dual sweep: 36 mixes x 4 sharing levels + 8 ideal baselines.
+	SweepSims            int     `json:"sweep_sims"`
+	SerialSeconds        float64 `json:"serial_seconds"`
+	ParallelSeconds      float64 `json:"parallel_seconds"`
+	ParallelSpeedup      float64 `json:"parallel_speedup"`
+	SerialSimsPerSecond  float64 `json:"serial_sims_per_sec"`
+	ParallelSimsPerSec   float64 `json:"parallel_sims_per_sec"`
+	ParallelGeomeanDrift float64 `json:"parallel_geomean_drift"` // must be 0: |serial - parallel| overall geomean
+
+	// Event-skip on/off over a 4-mix subset (serial, so the ratio
+	// isolates the hot-loop change from the pool).
+	SkipSubsetSims    int     `json:"skip_subset_sims"`
+	SkipOnSeconds     float64 `json:"skip_on_seconds"`
+	SkipOffSeconds    float64 `json:"skip_off_seconds"`
+	EventSkipSpeedup  float64 `json:"event_skip_speedup"`
+	SkipGeomeanDrift  float64 `json:"skip_geomean_drift"` // must be 0
+	SkipSubsetDetails string  `json:"skip_subset_details"`
+
+	// Per-configuration event-skip profile: what fraction of the
+	// simulated timeline the loop fast-forwarded instead of ticking.
+	SkipProfile []SkipProfile `json:"skip_profile"`
+}
+
+// SkipProfile records the event layer's effect on one configuration.
+type SkipProfile struct {
+	Config          string  `json:"config"`
+	GlobalCycles    int64   `json:"global_cycles"`
+	LoopIters       int64   `json:"loop_iters"`
+	SkippedCycles   int64   `json:"skipped_cycles"`
+	SkippedFraction float64 `json:"skipped_fraction"`
+	SkipOnSeconds   float64 `json:"skip_on_seconds"`
+	SkipOffSeconds  float64 `json:"skip_off_seconds"`
+	Identical       bool    `json:"identical"`
+}
+
+// profileSkip runs one config with the loop-stats hook and again with
+// event skipping disabled, comparing results and timing both.
+func profileSkip(name string, cfg sim.Config) (SkipProfile, error) {
+	p := SkipProfile{Config: name}
+	cfg.OnLoopStats = func(iters, skips, skipped int64) {
+		p.LoopIters, p.SkippedCycles = iters, skipped
+	}
+	start := time.Now()
+	on, err := sim.Run(cfg)
+	if err != nil {
+		return p, err
+	}
+	p.SkipOnSeconds = time.Since(start).Seconds()
+	p.GlobalCycles = on.GlobalCycles
+	if on.GlobalCycles > 0 {
+		p.SkippedFraction = float64(p.SkippedCycles) / float64(on.GlobalCycles)
+	}
+	cfg.NoEventSkip = true
+	cfg.OnLoopStats = nil
+	start = time.Now()
+	off, err := sim.Run(cfg)
+	if err != nil {
+		return p, err
+	}
+	p.SkipOffSeconds = time.Since(start).Seconds()
+	p.Identical = reflect.DeepEqual(on, off)
+	return p, nil
+}
+
+// timedDualSweep runs the full dual-core sharing study on a fresh
+// runner and returns the elapsed time, simulation count, and the +DWT
+// overall geomean (the determinism witness).
+func timedDualSweep(scale workloads.Scale, opts experiments.Options) (time.Duration, int, float64, error) {
+	opts.Scale = scale
+	r := experiments.NewRunner(opts)
+	start := time.Now()
+	res, err := experiments.DualCoreSharing(r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return time.Since(start), r.Simulations(), res.OverallGeomean(sim.ShareDWT), nil
+}
+
+// timedSubset runs a fixed 4-mix +DWT subset and returns elapsed time,
+// sims, and the geomean-of-geomeans witness.
+func timedSubset(scale workloads.Scale, opts experiments.Options) (time.Duration, int, float64, error) {
+	mixes := [][2]string{{"ncf", "gpt2"}, {"sfrnn", "res"}, {"dlrm", "yt"}, {"alex", "ds2"}}
+	opts.Scale = scale
+	r := experiments.NewRunner(opts)
+	start := time.Now()
+	prod := 1.0
+	for _, m := range mixes {
+		res, err := r.Dual(m[0], m[1], sim.ShareDWT)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		prod *= float64(res.Cores[0].Cycles) / float64(res.Cores[1].Cycles+1)
+	}
+	return time.Since(start), r.Simulations(), prod, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// runSweepBench measures the sweep and writes the JSON record.
+func runSweepBench(path string, scale workloads.Scale, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Open the output file first so a bad path fails before the
+	// multi-minute sweep, not after it.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := SweepBench{
+		Scale:      scale.String(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+
+	// Warm the process-wide schedule cache so both sweep legs measure
+	// simulation time, not one-off schedule compilation.
+	if _, _, _, err := timedSubset(scale, experiments.Options{Workers: 1}); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep-bench: dual sweep, serial...\n")
+	serialT, sims, serialGeo, err := timedDualSweep(scale, experiments.Options{Workers: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep-bench: dual sweep, %d workers...\n", workers)
+	parT, _, parGeo, err := timedDualSweep(scale, experiments.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	b.SweepSims = sims
+	b.SerialSeconds = serialT.Seconds()
+	b.ParallelSeconds = parT.Seconds()
+	b.ParallelSpeedup = serialT.Seconds() / parT.Seconds()
+	b.SerialSimsPerSecond = float64(sims) / serialT.Seconds()
+	b.ParallelSimsPerSec = float64(sims) / parT.Seconds()
+	b.ParallelGeomeanDrift = abs(serialGeo - parGeo)
+
+	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping on...\n")
+	onT, subSims, onW, err := timedSubset(scale, experiments.Options{Workers: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping off...\n")
+	offT, _, offW, err := timedSubset(scale, experiments.Options{Workers: 1, NoEventSkip: true})
+	if err != nil {
+		return err
+	}
+	b.SkipSubsetSims = subSims
+	b.SkipOnSeconds = onT.Seconds()
+	b.SkipOffSeconds = offT.Seconds()
+	b.EventSkipSpeedup = offT.Seconds() / onT.Seconds()
+	b.SkipGeomeanDrift = abs(onW - offW)
+	b.SkipSubsetDetails = "4 +DWT dual mixes: ncf+gpt2 sfrnn+res dlrm+yt alex+ds2"
+
+	fmt.Fprintf(os.Stderr, "sweep-bench: per-config skip profiles...\n")
+	for _, pc := range []struct {
+		name  string
+		level sim.Sharing
+		nets  []string
+		ideal bool
+	}{
+		{"gpt2-ideal", sim.Static, []string{"gpt2", "gpt2"}, true},
+		{"res-ideal", sim.Static, []string{"res", "res"}, true},
+		{"ncf+gpt2-dwt", sim.ShareDWT, []string{"ncf", "gpt2"}, false},
+	} {
+		cfg, err := sim.NewWorkloadConfig(scale, pc.level, pc.nets...)
+		if err != nil {
+			return err
+		}
+		if pc.ideal {
+			cfg = sim.IdealFor(cfg, 0)
+		}
+		prof, err := profileSkip(pc.name, cfg)
+		if err != nil {
+			return err
+		}
+		b.SkipProfile = append(b.SkipProfile, prof)
+	}
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return err
+	}
+	fmt.Printf("sweep-bench: %d sims serial=%.1fs parallel(%d)=%.1fs speedup=%.2fx; event-skip speedup=%.2fx -> %s\n",
+		b.SweepSims, b.SerialSeconds, b.Workers, b.ParallelSeconds, b.ParallelSpeedup, b.EventSkipSpeedup, path)
+	return nil
+}

@@ -113,11 +113,6 @@ func (c *channel) enqueue(req *mem.Request, loc Location, seq uint64) {
 	c.queue = append(c.queue, pending{req: req, loc: loc, seq: seq})
 }
 
-// busy reports whether the channel has queued work or in-flight data.
-func (c *channel) busy() bool {
-	return len(c.queue) > 0 || len(c.completions) > 0
-}
-
 // tick advances the controller by one global cycle: retire completions,
 // handle refresh, then issue at most one DRAM command.
 func (c *channel) tick(now int64) {
@@ -158,18 +153,27 @@ func (c *channel) handleRefresh(now int64) bool {
 		if now < c.nextRefresh[r] {
 			continue
 		}
-		// Refresh due: precharge any open bank in this rank first.
+		// Refresh due: close the rank's open banks with one precharge-all
+		// (PREA) command once every open bank is prechargeable.
 		base := r * c.cfg.BankGroups * c.cfg.BanksPerGroup
 		n := c.cfg.BankGroups * c.cfg.BanksPerGroup
+		anyOpen := false
 		for b := base; b < base+n; b++ {
 			bk := &c.banks[b]
 			if bk.openRow >= 0 {
 				if now < bk.nextPrecharge {
 					return false // wait; keep the command slot idle
 				}
-				c.precharge(now, b)
-				return true
+				anyOpen = true
 			}
+		}
+		if anyOpen {
+			for b := base; b < base+n; b++ {
+				if c.banks[b].openRow >= 0 {
+					c.precharge(now, b)
+				}
+			}
+			return true
 		}
 		// All banks precharged and past tRP: start refresh.
 		ready := true
@@ -323,7 +327,7 @@ func (c *channel) issue(now int64, idx int) {
 		c.nextCASGroup[grp] = now + int64(t.CCDL)
 		c.nextCASAny = now + int64(t.CCDS)
 		if p.req.Kind == mem.Read {
-			dataAt := max64(now+int64(t.CL), c.busNeededAt(true))
+			dataAt := max(now+int64(t.CL), c.busNeededAt(true))
 			c.busFreeAt = dataAt + int64(t.BL2)
 			c.lastWasRead = true
 			if nb := now + int64(t.RTP); nb > b.nextPrecharge {
@@ -332,7 +336,7 @@ func (c *channel) issue(now int64, idx int) {
 			c.finishAt(c.busFreeAt, p.req)
 			c.stats.Reads++
 		} else {
-			dataAt := max64(now+int64(t.CWL), c.busNeededAt(false))
+			dataAt := max(now+int64(t.CWL), c.busNeededAt(false))
 			c.busFreeAt = dataAt + int64(t.BL2)
 			c.lastWasRead = false
 			if nb := dataAt + int64(t.BL2) + int64(t.WR); nb > b.nextPrecharge {
@@ -364,7 +368,7 @@ func (c *channel) issue(now int64, idx int) {
 func (c *channel) precharge(now int64, bankIdx int) {
 	b := &c.banks[bankIdx]
 	b.openRow = -1
-	b.nextActivate = max64(b.nextActivate, now+int64(c.cfg.Timing.RP))
+	b.nextActivate = max(b.nextActivate, now+int64(c.cfg.Timing.RP))
 	c.stats.Precharges++
 }
 
@@ -404,7 +408,11 @@ func (c *channel) finishAt(at int64, req *mem.Request) {
 // nextEventAfter returns the earliest future cycle at which this channel
 // needs attention, for fast-forwarding. If the channel still has queued
 // commands it returns now+1 (command scheduling is cycle-by-cycle); with
-// only in-flight completions it returns the earliest completion.
+// only in-flight completions it returns the earliest completion. Refresh
+// deadlines bound the result too: a refresh that is due (or whose
+// precharge-all sequence is underway) runs cycle-by-cycle, and a future
+// deadline caps how far the system may fast-forward, so a skipped window
+// never spans a bank-state change.
 func (c *channel) nextEventAfter(now int64) int64 {
 	if len(c.queue) > 0 {
 		return now + 1
@@ -415,26 +423,15 @@ func (c *channel) nextEventAfter(now int64) int64 {
 			next = cmp.at
 		}
 	}
-	return next
-}
-
-// skipTo fast-forwards refresh bookkeeping across an idle interval.
-// Refreshes that would have occurred while fully idle are treated as
-// performed in the background.
-func (c *channel) skipTo(now int64) {
-	for r := range c.nextRefresh {
-		if c.cfg.Timing.REFI > 0 {
-			for c.nextRefresh[r] <= now {
-				c.nextRefresh[r] += int64(c.cfg.Timing.REFI)
-				c.stats.Refreshes++
+	if c.cfg.Timing.REFI > 0 {
+		for r := range c.nextRefresh {
+			if c.refreshing[r] <= now && c.nextRefresh[r] <= now+1 {
+				return now + 1
+			}
+			if c.nextRefresh[r] < next {
+				next = c.nextRefresh[r]
 			}
 		}
 	}
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
+	return next
 }

@@ -128,27 +128,29 @@ func (m *Memory) Tick(now int64) {
 func (m *Memory) Busy() bool { return m.inflight > 0 }
 
 // NextEventAfter returns the earliest future cycle at which the device
-// needs ticking. With no work at all it returns a far-future sentinel.
+// needs ticking. Every channel is consulted — even one with no queued
+// or in-flight work has refresh deadlines that bound how far the system
+// may fast-forward. With no work and no deadlines it returns a
+// far-future sentinel.
 func (m *Memory) NextEventAfter(now int64) int64 {
 	next := int64(1) << 62
 	for _, ch := range m.channels {
-		if !ch.busy() {
-			continue
+		e := ch.nextEventAfter(now)
+		if e <= now+1 {
+			return e
 		}
-		if e := ch.nextEventAfter(now); e < next {
+		if e < next {
 			next = e
 		}
 	}
 	return next
 }
 
-// SkipTo fast-forwards idle-time bookkeeping (refresh schedules) to now.
-// It must only be called while !Busy().
-func (m *Memory) SkipTo(now int64) {
-	for _, ch := range m.channels {
-		ch.skipTo(now)
-	}
-}
+// SkipTo is a no-op: NextEventAfter already refuses to fast-forward
+// past any completion or refresh deadline, so a skipped window contains
+// no channel state change and there is no bookkeeping to catch up. It
+// exists to complete the NextEventAfter/SkipTo fast-forward protocol.
+func (m *Memory) SkipTo(now int64) {}
 
 // Stats aggregates counters across channels.
 type Stats struct {

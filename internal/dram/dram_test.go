@@ -277,20 +277,32 @@ func TestRefreshHappens(t *testing.T) {
 	}
 }
 
-func TestSkipToAccountsBackgroundRefresh(t *testing.T) {
+func TestSkipWindowBoundedByRefresh(t *testing.T) {
 	cfg := HBM2(1)
 	tm := newTestMemory(t, cfg)
-	tm.m.SkipTo(int64(cfg.Timing.REFI) * 10)
-	if got := tm.m.Stats().Totals().Refreshes; got != 10 {
-		t.Errorf("background refreshes = %d, want 10", got)
+	refi := int64(cfg.Timing.REFI)
+	// SkipTo performs no bookkeeping: refreshes happen by ticking at
+	// the deadline NextEventAfter reports, never by crediting, so
+	// skipped and ticked executions stay bit-identical.
+	tm.m.SkipTo(refi - 1)
+	if got := tm.m.Stats().Totals().Refreshes; got != 0 {
+		t.Errorf("SkipTo credited %d refreshes, want 0", got)
+	}
+	for now := refi - 1; now < refi+10; now++ {
+		tm.m.Tick(now)
+	}
+	if got := tm.m.Stats().Totals().Refreshes; got != 1 {
+		t.Errorf("refreshes after ticking past the deadline = %d, want 1", got)
 	}
 }
 
 func TestNextEventAfter(t *testing.T) {
 	cfg := HBM2(1)
 	tm := newTestMemory(t, cfg)
-	if e := tm.m.NextEventAfter(0); e < 1<<61 {
-		t.Errorf("idle device should report far-future event, got %d", e)
+	// An idle device's next event is its first refresh deadline: a
+	// fast-forward must never jump a refresh.
+	if e := tm.m.NextEventAfter(0); e != int64(cfg.Timing.REFI) {
+		t.Errorf("idle next event = %d, want refresh deadline %d", e, cfg.Timing.REFI)
 	}
 	tm.m.Enqueue(0, tm.request(0, 0, mem.Read, nil))
 	if e := tm.m.NextEventAfter(0); e != 1 {

@@ -40,34 +40,43 @@ func (s SweepResult) String() string {
 	return b.String()
 }
 
-// runAblation executes the mixes with a config mutator per setting.
+// runAblation executes the mixes with a config mutator per setting; the
+// setting x mix grid fans out onto the worker pool.
 func runAblation(r *Runner, name string, labels []string, mutate func(cfg *sim.Config, setting int)) (SweepResult, error) {
 	out := SweepResult{Name: name, Labels: labels}
-	for si := range labels {
-		var geos, fairs []float64
-		for _, mix := range ablationMixes() {
-			cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.ShareDWT, mix[0], mix[1])
-			if err != nil {
-				return SweepResult{}, err
-			}
-			mutate(&cfg, si)
-			res, err := r.run(cfg)
-			if err != nil {
-				return SweepResult{}, fmt.Errorf("experiments: %s %s %v: %w", name, labels[si], mix, err)
-			}
-			sa, err := r.Speedup(mix[0], res.Cores[0].Cycles)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			sb, err := r.Speedup(mix[1], res.Cores[1].Cycles)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			geos = append(geos, metrics.MustGeomean([]float64{sa, sb}))
-			fairs = append(fairs, metrics.FairnessFromSpeedups([]float64{sa, sb}))
+	mixes := ablationMixes()
+	nm := len(mixes)
+	geos := make([]float64, len(labels)*nm)
+	fairs := make([]float64, len(labels)*nm)
+	err := r.ForEach(len(geos), func(i int) error {
+		si, mix := i/nm, mixes[i%nm]
+		cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.ShareDWT, mix[0], mix[1])
+		if err != nil {
+			return err
 		}
-		out.Geomeans = append(out.Geomeans, metrics.MustGeomean(geos))
-		out.Fairness = append(out.Fairness, metrics.Mean(fairs))
+		mutate(&cfg, si)
+		res, err := r.run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s %s %v: %w", name, labels[si], mix, err)
+		}
+		sa, err := r.Speedup(mix[0], res.Cores[0].Cycles)
+		if err != nil {
+			return err
+		}
+		sb, err := r.Speedup(mix[1], res.Cores[1].Cycles)
+		if err != nil {
+			return err
+		}
+		geos[i] = metrics.MustGeomean([]float64{sa, sb})
+		fairs[i] = metrics.FairnessFromSpeedups([]float64{sa, sb})
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	for si := range labels {
+		out.Geomeans = append(out.Geomeans, metrics.MustGeomean(geos[si*nm:(si+1)*nm]))
+		out.Fairness = append(out.Fairness, metrics.Mean(fairs[si*nm:(si+1)*nm]))
 		r.logf("%s %s done", name, labels[si])
 	}
 	return out, nil

@@ -178,41 +178,60 @@ func BandwidthPartitioning(r *Runner) (BWPartitionResult, error) {
 	}
 
 	// No-translation Ideal baselines on the 8-slice device.
-	ideal := map[string]int64{}
-	for _, w := range r.Names() {
-		cfg, err := bwConfig(r, w, w, BWScheme{})
+	names := r.Names()
+	idealCycles := make([]int64, len(names))
+	err := r.ForEach(len(names), func(i int) error {
+		cfg, err := bwConfig(r, names[i], names[i], BWScheme{})
 		if err != nil {
-			return BWPartitionResult{}, err
+			return err
 		}
 		res, err := r.run(sim.IdealFor(cfg, 0))
 		if err != nil {
-			return BWPartitionResult{}, fmt.Errorf("experiments: bw ideal %s: %w", w, err)
+			return fmt.Errorf("experiments: bw ideal %s: %w", names[i], err)
 		}
-		ideal[w] = res.Cores[0].Cycles
+		idealCycles[i] = res.Cores[0].Cycles
+		return nil
+	})
+	if err != nil {
+		return BWPartitionResult{}, err
+	}
+	ideal := map[string]int64{}
+	for i, w := range names {
+		ideal[w] = idealCycles[i]
 	}
 
-	for _, mix := range r.DualMixes() {
-		for _, s := range schemes {
-			cfg, err := bwConfig(r, mix[0], mix[1], s)
-			if err != nil {
-				return BWPartitionResult{}, err
-			}
-			res, err := r.run(cfg)
-			if err != nil {
-				return BWPartitionResult{}, fmt.Errorf("experiments: bw %s+%s %s: %w", mix[0], mix[1], s.Name, err)
-			}
-			r.logf("bw %s+%s %s done", mix[0], mix[1], s.Name)
-			sp := []float64{
-				metrics.Speedup(ideal[mix[0]], res.Cores[0].Cycles),
-				metrics.Speedup(ideal[mix[1]], res.Cores[1].Cycles),
-			}
-			out.Mixes[s.Name] = append(out.Mixes[s.Name], MixScore{
-				Workloads: []string{mix[0], mix[1]},
-				Speedups:  sp,
-				Geomean:   metrics.MustGeomean(sp),
-				Fairness:  metrics.FairnessFromSpeedups(sp),
-			})
+	mixes := r.DualMixes()
+	ns := len(schemes)
+	scores := make([]MixScore, len(mixes)*ns)
+	err = r.ForEach(len(scores), func(i int) error {
+		mix, s := mixes[i/ns], schemes[i%ns]
+		cfg, err := bwConfig(r, mix[0], mix[1], s)
+		if err != nil {
+			return err
 		}
+		res, err := r.run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: bw %s+%s %s: %w", mix[0], mix[1], s.Name, err)
+		}
+		r.logf("bw %s+%s %s done", mix[0], mix[1], s.Name)
+		sp := []float64{
+			metrics.Speedup(ideal[mix[0]], res.Cores[0].Cycles),
+			metrics.Speedup(ideal[mix[1]], res.Cores[1].Cycles),
+		}
+		scores[i] = MixScore{
+			Workloads: []string{mix[0], mix[1]},
+			Speedups:  sp,
+			Geomean:   metrics.MustGeomean(sp),
+			Fairness:  metrics.FairnessFromSpeedups(sp),
+		}
+		return nil
+	})
+	if err != nil {
+		return BWPartitionResult{}, err
+	}
+	for i, sc := range scores {
+		name := schemes[i%ns].Name
+		out.Mixes[name] = append(out.Mixes[name], sc)
 	}
 	// Static Best per workload.
 	for _, w := range r.Names() {
@@ -286,24 +305,31 @@ func BandwidthSweep(r *Runner) (BWSweepResult, error) {
 	for _, pt := range points {
 		out.Factors = append(out.Factors, pt.factor)
 	}
-	for _, w := range r.Names() {
-		base := []int64{}
-		for _, pt := range points {
-			cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Ideal, w)
-			if err != nil {
-				return BWSweepResult{}, err
-			}
-			cfg.NoTranslation = true
-			cfg.DRAM = dram.HBM2Scaled(pt.channels, pt.bl2)
-			res, err := r.run(cfg)
-			if err != nil {
-				return BWSweepResult{}, fmt.Errorf("experiments: sweep %s x%d: %w", w, pt.factor, err)
-			}
-			base = append(base, res.Cores[0].Cycles)
+	names := r.Names()
+	np := len(points)
+	cycles := make([]int64, len(names)*np)
+	err := r.ForEach(len(cycles), func(i int) error {
+		w, pt := names[i/np], points[i%np]
+		cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Ideal, w)
+		if err != nil {
+			return err
 		}
-		sp := make([]float64, len(points))
-		for i, c := range base {
-			sp[i] = float64(base[0]) / float64(c)
+		cfg.NoTranslation = true
+		cfg.DRAM = dram.HBM2Scaled(pt.channels, pt.bl2)
+		res, err := r.run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: sweep %s x%d: %w", w, pt.factor, err)
+		}
+		cycles[i] = res.Cores[0].Cycles
+		return nil
+	})
+	if err != nil {
+		return BWSweepResult{}, err
+	}
+	for wi, w := range names {
+		sp := make([]float64, np)
+		for i := 0; i < np; i++ {
+			sp[i] = float64(cycles[wi*np]) / float64(cycles[wi*np+i])
 		}
 		out.Speedup[w] = sp
 		r.logf("sweep %s done", w)
@@ -356,14 +382,20 @@ func BandwidthTimeline(r *Runner, a, b string) (BWTimelineResult, error) {
 		return rec.Utilization(0, peak), nil
 	}
 
-	ua, err := runOne(a)
+	utils := make([][]float64, 2)
+	err := r.ForEach(2, func(i int) error {
+		w := a
+		if i == 1 {
+			w = b
+		}
+		u, err := runOne(w)
+		utils[i] = u
+		return err
+	})
 	if err != nil {
 		return BWTimelineResult{}, err
 	}
-	ub, err := runOne(b)
-	if err != nil {
-		return BWTimelineResult{}, err
-	}
+	ua, ub := utils[0], utils[1]
 	n := max(len(ua), len(ub))
 	sum := make([]float64, n)
 	for i := range sum {

@@ -45,14 +45,24 @@ func (r MappingResult) String() string {
 func BuildPairTable(r *Runner) (*predictor.PairTable, error) {
 	names := r.Names()
 	t := predictor.NewPairTable(len(names))
+	var pairs [][2]int
 	for i := 0; i < len(names); i++ {
 		for j := i; j < len(names); j++ {
-			sa, sb, err := r.mixSpeedups(names[i], names[j], sim.ShareDWT)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(i, j, sa, sb)
+			pairs = append(pairs, [2]int{i, j})
 		}
+	}
+	speedups := make([][2]float64, len(pairs))
+	err := r.ForEach(len(pairs), func(k int) error {
+		i, j := pairs[k][0], pairs[k][1]
+		sa, sb, err := r.mixSpeedups(names[i], names[j], sim.ShareDWT)
+		speedups[k] = [2]float64{sa, sb}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, p := range pairs {
+		t.Set(p[0], p[1], speedups[k][0], speedups[k][1])
 	}
 	return t, nil
 }
@@ -60,13 +70,18 @@ func BuildPairTable(r *Runner) (*predictor.PairTable, error) {
 // WorkloadProfiles returns the solo profiles of the eight benchmarks,
 // indexed like Names().
 func WorkloadProfiles(r *Runner) ([]predictor.Profile, error) {
-	out := make([]predictor.Profile, len(r.Names()))
-	for i, w := range r.Names() {
-		ib, err := r.Ideal(w)
+	names := r.Names()
+	out := make([]predictor.Profile, len(names))
+	err := r.ForEach(len(names), func(i int) error {
+		ib, err := r.Ideal(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = predictor.ProfileOf(ib)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -85,10 +100,12 @@ func WorkloadMapping(r *Runner) (MappingResult, error) {
 	}
 
 	model, samples, err := predictor.Train(predictor.TrainConfig{
-		Scale:   r.opts.Scale,
-		Pairs:   24,
-		Seed:    r.opts.Seed,
-		Sharing: sim.ShareDWT,
+		Scale:    r.opts.Scale,
+		Pairs:    24,
+		Seed:     r.opts.Seed,
+		Sharing:  sim.ShareDWT,
+		Run:      r.run,
+		Parallel: r.ForEach,
 	})
 	if err != nil {
 		return MappingResult{}, fmt.Errorf("experiments: training predictor: %w", err)

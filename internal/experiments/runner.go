@@ -8,6 +8,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mnpusim/internal/metrics"
 	"mnpusim/internal/sim"
@@ -29,7 +32,18 @@ type Options struct {
 	// Seed drives the predictor's random-network training.
 	Seed int64
 	// Progress, if non-nil, receives one line per completed simulation.
+	// Output is serialized; under the worker pool the completion order
+	// (but never the content) may vary between runs.
 	Progress io.Writer
+	// Workers bounds how many simulations run concurrently. 0 means
+	// GOMAXPROCS; 1 runs strictly serially on the calling goroutine.
+	// Every experiment's results are deterministic and identical for
+	// any worker count — simulations are independent and results are
+	// assembled in enumeration order.
+	Workers int
+	// NoEventSkip forces every simulation to tick cycle-by-cycle
+	// (see sim.Config.NoEventSkip); results are identical either way.
+	NoEventSkip bool
 }
 
 // DefaultOptions returns tiny-scale options suitable for benchmarks.
@@ -37,88 +51,180 @@ func DefaultOptions() Options {
 	return Options{Scale: workloads.ScaleTiny, QuadSample: 40, Seed: 7}
 }
 
+// memoCell is one singleflight cache slot: the first caller computes,
+// concurrent callers for the same key block on the same Once, and the
+// result (or error) is kept forever.
+type memoCell[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// memoMap is a concurrency-safe singleflight memo table.
+type memoMap[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoCell[V]
+}
+
+func newMemoMap[V any]() *memoMap[V] {
+	return &memoMap[V]{m: make(map[string]*memoCell[V])}
+}
+
+// do returns the cached value for key, computing it via fn exactly once
+// across all goroutines.
+func (mm *memoMap[V]) do(key string, fn func() (V, error)) (V, error) {
+	mm.mu.Lock()
+	cell, ok := mm.m[key]
+	if !ok {
+		cell = &memoCell[V]{}
+		mm.m[key] = cell
+	}
+	mm.mu.Unlock()
+	cell.once.Do(func() { cell.val, cell.err = fn() })
+	return cell.val, cell.err
+}
+
 // Runner executes simulations with memoization: the Ideal baselines and
 // the dual-core mix results are shared across experiments (Figs 4, 6, 8,
-// and 17 all consume the same 36 mixes).
+// and 17 all consume the same 36 mixes). All methods are safe for
+// concurrent use; independent simulations run on a bounded worker pool
+// sized by Options.Workers.
 type Runner struct {
 	opts  Options
 	names []string
 
-	ideal map[string]sim.CoreResult
+	// sem bounds concurrent sim.Run calls. It is acquired only inside
+	// run, never while holding it, so experiment fan-outs may nest
+	// (a Dual that triggers an Ideal) without deadlock.
+	sem chan struct{}
+
+	ideal *memoMap[sim.CoreResult]
 	// dual caches mix results: key "a+b@level".
-	dual map[string]sim.Result
-	runs int
+	dual *memoMap[sim.Result]
+	runs atomic.Int64
+
+	logMu sync.Mutex
 }
 
 // NewRunner creates a Runner over the eight benchmarks.
 func NewRunner(opts Options) *Runner {
-	return &Runner{
+	r := &Runner{
 		opts:  opts,
 		names: workloads.Names(),
-		ideal: make(map[string]sim.CoreResult),
-		dual:  make(map[string]sim.Result),
+		ideal: newMemoMap[sim.CoreResult](),
+		dual:  newMemoMap[sim.Result](),
 	}
+	r.sem = make(chan struct{}, r.Workers())
+	return r
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
+// Workers returns the effective worker-pool size.
+func (r *Runner) Workers() int {
+	if r.opts.Workers > 0 {
+		return r.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Names returns the benchmark short names in Table 1 order.
 func (r *Runner) Names() []string { return r.names }
 
-// Simulations returns the number of simulations executed so far.
-func (r *Runner) Simulations() int { return r.runs }
+// Simulations returns the number of simulations executed so far. The
+// total for any experiment sequence is deterministic: memoized runs
+// execute exactly once regardless of worker count.
+func (r *Runner) Simulations() int { return int(r.runs.Load()) }
 
 func (r *Runner) logf(format string, args ...any) {
-	if r.opts.Progress != nil {
-		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+	if r.opts.Progress == nil {
+		return
 	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.opts.Progress, format+"\n", args...)
 }
 
-// run executes one simulation, counting it.
+// run executes one simulation, counting it. The worker-pool semaphore
+// is held only around sim.Run itself.
 func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
-	r.runs++
+	if r.opts.NoEventSkip {
+		cfg.NoEventSkip = true
+	}
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	r.runs.Add(1)
 	return sim.Run(cfg)
+}
+
+// ForEach runs fn(0) .. fn(n-1) on the worker pool and returns the
+// lowest-index error, if any. Each fn typically performs one
+// simulation and writes its result into an index-addressed slot, so
+// callers assemble outputs in deterministic enumeration order no matter
+// how the pool interleaves execution. With a single worker it degrades
+// to a plain serial loop that stops at the first error.
+func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	if r.Workers() <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Ideal returns the cached Ideal (solo, full-resource) result for a
 // workload, simulating it on first use. The Ideal configuration is
 // derived from the dual-core system, per §4.1.3.
 func (r *Runner) Ideal(name string) (sim.CoreResult, error) {
-	if res, ok := r.ideal[name]; ok {
-		return res, nil
-	}
-	cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, name, name)
-	if err != nil {
-		return sim.CoreResult{}, err
-	}
-	res, err := r.run(sim.IdealFor(cfg, 0))
-	if err != nil {
-		return sim.CoreResult{}, fmt.Errorf("experiments: ideal %s: %w", name, err)
-	}
-	r.logf("ideal %-6s cycles=%d", name, res.Cores[0].Cycles)
-	r.ideal[name] = res.Cores[0]
-	return res.Cores[0], nil
+	return r.ideal.do(name, func() (sim.CoreResult, error) {
+		cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, name, name)
+		if err != nil {
+			return sim.CoreResult{}, err
+		}
+		res, err := r.run(sim.IdealFor(cfg, 0))
+		if err != nil {
+			return sim.CoreResult{}, fmt.Errorf("experiments: ideal %s: %w", name, err)
+		}
+		r.logf("ideal %-6s cycles=%d", name, res.Cores[0].Cycles)
+		return res.Cores[0], nil
+	})
 }
 
 // Dual returns the cached dual-core mix result for (a, b) at the given
 // sharing level.
 func (r *Runner) Dual(a, b string, level sim.Sharing) (sim.Result, error) {
 	key := a + "+" + b + "@" + level.String()
-	if res, ok := r.dual[key]; ok {
+	return r.dual.do(key, func() (sim.Result, error) {
+		cfg, err := sim.NewWorkloadConfig(r.opts.Scale, level, a, b)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		res, err := r.run(cfg)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: %s+%s %s: %w", a, b, level, err)
+		}
+		r.logf("dual %s+%s %s done", a, b, level)
 		return res, nil
-	}
-	cfg, err := sim.NewWorkloadConfig(r.opts.Scale, level, a, b)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	res, err := r.run(cfg)
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %s+%s %s: %w", a, b, level, err)
-	}
-	r.logf("dual %s+%s %s done", a, b, level)
-	r.dual[key] = res
-	return res, nil
+	})
 }
 
 // Speedup returns workload name's speedup given its measured cycles,

@@ -98,23 +98,34 @@ func (r SharingResult) String() string {
 }
 
 // DualCoreSharing runs Fig 4 (performance) and Fig 6 (fairness): all 36
-// dual-core mixes under Static, +D, +DW, +DWT, normalized to Ideal.
+// dual-core mixes under Static, +D, +DW, +DWT, normalized to Ideal. The
+// mix x level grid fans out onto the worker pool; scores are assembled
+// in enumeration order so the result is identical at any worker count.
 func DualCoreSharing(r *Runner) (SharingResult, error) {
 	out := SharingResult{Cores: 2, Levels: sim.Levels(), Mixes: map[sim.Sharing][]MixScore{}}
-	for _, mix := range r.DualMixes() {
-		for _, lv := range out.Levels {
-			sa, sb, err := r.mixSpeedups(mix[0], mix[1], lv)
-			if err != nil {
-				return SharingResult{}, err
-			}
-			sp := []float64{sa, sb}
-			out.Mixes[lv] = append(out.Mixes[lv], MixScore{
-				Workloads: []string{mix[0], mix[1]},
-				Speedups:  sp,
-				Geomean:   metrics.MustGeomean(sp),
-				Fairness:  metrics.FairnessFromSpeedups(sp),
-			})
+	mixes := r.DualMixes()
+	nl := len(out.Levels)
+	scores := make([]MixScore, len(mixes)*nl)
+	err := r.ForEach(len(scores), func(i int) error {
+		mix, lv := mixes[i/nl], out.Levels[i%nl]
+		sa, sb, err := r.mixSpeedups(mix[0], mix[1], lv)
+		if err != nil {
+			return err
 		}
+		sp := []float64{sa, sb}
+		scores[i] = MixScore{
+			Workloads: []string{mix[0], mix[1]},
+			Speedups:  sp,
+			Geomean:   metrics.MustGeomean(sp),
+			Fairness:  metrics.FairnessFromSpeedups(sp),
+		}
+		return nil
+	})
+	if err != nil {
+		return SharingResult{}, err
+	}
+	for i, sc := range scores {
+		out.Mixes[out.Levels[i%nl]] = append(out.Mixes[out.Levels[i%nl]], sc)
 	}
 	return out, nil
 }
@@ -143,30 +154,38 @@ func QuadMixes(names []string, sample int) [][]string {
 func QuadCoreSharing(r *Runner) (SharingResult, error) {
 	out := SharingResult{Cores: 4, Levels: sim.Levels(), Mixes: map[sim.Sharing][]MixScore{}}
 	mixes := QuadMixes(r.Names(), r.opts.QuadSample)
-	for _, mix := range mixes {
-		for _, lv := range out.Levels {
-			cfg, err := sim.NewWorkloadConfig(r.opts.Scale, lv, mix...)
-			if err != nil {
-				return SharingResult{}, err
-			}
-			res, err := r.run(cfg)
-			if err != nil {
-				return SharingResult{}, fmt.Errorf("experiments: quad %v %s: %w", mix, lv, err)
-			}
-			r.logf("quad %v %s done", mix, lv)
-			sp := make([]float64, 4)
-			for i := range mix {
-				if sp[i], err = r.Speedup(mix[i], res.Cores[i].Cycles); err != nil {
-					return SharingResult{}, err
-				}
-			}
-			out.Mixes[lv] = append(out.Mixes[lv], MixScore{
-				Workloads: append([]string(nil), mix...),
-				Speedups:  sp,
-				Geomean:   metrics.MustGeomean(sp),
-				Fairness:  metrics.FairnessFromSpeedups(sp),
-			})
+	nl := len(out.Levels)
+	scores := make([]MixScore, len(mixes)*nl)
+	err := r.ForEach(len(scores), func(i int) error {
+		mix, lv := mixes[i/nl], out.Levels[i%nl]
+		cfg, err := sim.NewWorkloadConfig(r.opts.Scale, lv, mix...)
+		if err != nil {
+			return err
 		}
+		res, err := r.run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: quad %v %s: %w", mix, lv, err)
+		}
+		r.logf("quad %v %s done", mix, lv)
+		sp := make([]float64, 4)
+		for k := range mix {
+			if sp[k], err = r.Speedup(mix[k], res.Cores[k].Cycles); err != nil {
+				return err
+			}
+		}
+		scores[i] = MixScore{
+			Workloads: append([]string(nil), mix...),
+			Speedups:  sp,
+			Geomean:   metrics.MustGeomean(sp),
+			Fairness:  metrics.FairnessFromSpeedups(sp),
+		}
+		return nil
+	})
+	if err != nil {
+		return SharingResult{}, err
+	}
+	for i, sc := range scores {
+		out.Mixes[out.Levels[i%nl]] = append(out.Mixes[out.Levels[i%nl]], sc)
 	}
 	return out, nil
 }
@@ -192,13 +211,19 @@ func (s SensitivityResult) String() string {
 // ContentionSensitivity runs Fig 8 over the cached dual +DWT mixes.
 func ContentionSensitivity(r *Runner) (SensitivityResult, error) {
 	out := SensitivityResult{Speedups: map[string][]float64{}, Boxes: map[string]metrics.BoxStats{}}
-	for _, mix := range r.DualMixes() {
-		sa, sb, err := r.mixSpeedups(mix[0], mix[1], sim.ShareDWT)
-		if err != nil {
-			return SensitivityResult{}, err
-		}
-		out.Speedups[mix[0]] = append(out.Speedups[mix[0]], sa)
-		out.Speedups[mix[1]] = append(out.Speedups[mix[1]], sb)
+	mixes := r.DualMixes()
+	pairs := make([][2]float64, len(mixes))
+	err := r.ForEach(len(mixes), func(i int) error {
+		sa, sb, err := r.mixSpeedups(mixes[i][0], mixes[i][1], sim.ShareDWT)
+		pairs[i] = [2]float64{sa, sb}
+		return err
+	})
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	for i, mix := range mixes {
+		out.Speedups[mix[0]] = append(out.Speedups[mix[0]], pairs[i][0])
+		out.Speedups[mix[1]] = append(out.Speedups[mix[1]], pairs[i][1])
 	}
 	for w, sp := range out.Speedups {
 		out.Boxes[w] = metrics.Box(sp)

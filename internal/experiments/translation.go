@@ -83,37 +83,47 @@ func PTWPartitioning(r *Runner) (PTWPartitionResult, error) {
 	for _, s := range schemes {
 		out.Schemes = append(out.Schemes, s.Name)
 	}
-	for _, mix := range r.DualMixes() {
-		for _, s := range schemes {
-			cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.ShareDW, mix[0], mix[1])
-			if err != nil {
-				return PTWPartitionResult{}, err
-			}
-			if s.Split != [2]int{} {
-				cfg.WalkerMin = []int{s.Split[0], s.Split[1]}
-				cfg.WalkerMax = []int{s.Split[0], s.Split[1]}
-			}
-			res, err := r.run(cfg)
-			if err != nil {
-				return PTWPartitionResult{}, fmt.Errorf("experiments: ptw %s+%s %s: %w", mix[0], mix[1], s.Name, err)
-			}
-			r.logf("ptw %s+%s %s done", mix[0], mix[1], s.Name)
-			sa, err := r.Speedup(mix[0], res.Cores[0].Cycles)
-			if err != nil {
-				return PTWPartitionResult{}, err
-			}
-			sb, err := r.Speedup(mix[1], res.Cores[1].Cycles)
-			if err != nil {
-				return PTWPartitionResult{}, err
-			}
-			sp := []float64{sa, sb}
-			out.Mixes[s.Name] = append(out.Mixes[s.Name], MixScore{
-				Workloads: []string{mix[0], mix[1]},
-				Speedups:  sp,
-				Geomean:   metrics.MustGeomean(sp),
-				Fairness:  metrics.FairnessFromSpeedups(sp),
-			})
+	mixes := r.DualMixes()
+	ns := len(schemes)
+	scores := make([]MixScore, len(mixes)*ns)
+	err := r.ForEach(len(scores), func(i int) error {
+		mix, s := mixes[i/ns], schemes[i%ns]
+		cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.ShareDW, mix[0], mix[1])
+		if err != nil {
+			return err
 		}
+		if s.Split != [2]int{} {
+			cfg.WalkerMin = []int{s.Split[0], s.Split[1]}
+			cfg.WalkerMax = []int{s.Split[0], s.Split[1]}
+		}
+		res, err := r.run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: ptw %s+%s %s: %w", mix[0], mix[1], s.Name, err)
+		}
+		r.logf("ptw %s+%s %s done", mix[0], mix[1], s.Name)
+		sa, err := r.Speedup(mix[0], res.Cores[0].Cycles)
+		if err != nil {
+			return err
+		}
+		sb, err := r.Speedup(mix[1], res.Cores[1].Cycles)
+		if err != nil {
+			return err
+		}
+		sp := []float64{sa, sb}
+		scores[i] = MixScore{
+			Workloads: []string{mix[0], mix[1]},
+			Speedups:  sp,
+			Geomean:   metrics.MustGeomean(sp),
+			Fairness:  metrics.FairnessFromSpeedups(sp),
+		}
+		return nil
+	})
+	if err != nil {
+		return PTWPartitionResult{}, err
+	}
+	for i, sc := range scores {
+		name := schemes[i%ns].Name
+		out.Mixes[name] = append(out.Mixes[name], sc)
 	}
 	return out, nil
 }
@@ -152,24 +162,31 @@ func pageConfig(cfg *sim.Config, scale workloads.Scale, rung int) {
 func PageSizeSingle(r *Runner) (PageSizeSingleResult, error) {
 	p := sim.ParamsFor(r.opts.Scale)
 	out := PageSizeSingleResult{Pages: p.PageLadder[:], Speedup: map[string][]float64{}}
-	for _, w := range r.Names() {
-		cycles := make([]int64, len(out.Pages))
-		for i := range out.Pages {
-			base, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, w, w)
-			if err != nil {
-				return PageSizeSingleResult{}, err
-			}
-			cfg := sim.IdealFor(base, 0)
-			pageConfig(&cfg, r.opts.Scale, i)
-			res, err := r.run(cfg)
-			if err != nil {
-				return PageSizeSingleResult{}, fmt.Errorf("experiments: page %s %s: %w", w, out.Pages[i], err)
-			}
-			cycles[i] = res.Cores[0].Cycles
+	names := r.Names()
+	np := len(out.Pages)
+	cycles := make([]int64, len(names)*np)
+	err := r.ForEach(len(cycles), func(i int) error {
+		w, pi := names[i/np], i%np
+		base, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, w, w)
+		if err != nil {
+			return err
 		}
-		sp := make([]float64, len(out.Pages))
-		for i, c := range cycles {
-			sp[i] = float64(cycles[0]) / float64(c)
+		cfg := sim.IdealFor(base, 0)
+		pageConfig(&cfg, r.opts.Scale, pi)
+		res, err := r.run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: page %s %s: %w", w, out.Pages[pi], err)
+		}
+		cycles[i] = res.Cores[0].Cycles
+		return nil
+	})
+	if err != nil {
+		return PageSizeSingleResult{}, err
+	}
+	for wi, w := range names {
+		sp := make([]float64, np)
+		for i := 0; i < np; i++ {
+			sp[i] = float64(cycles[wi*np]) / float64(cycles[wi*np+i])
 		}
 		out.Speedup[w] = sp
 		r.logf("page single %s done", w)
@@ -226,58 +243,76 @@ func PageSizeMulti(r *Runner) (PageSizeMultiResult, error) {
 			}
 			mixes = QuadMixes(r.Names(), sample)
 		}
-		// Ideal baselines per page size per workload.
-		ideals := make([]map[string]int64, len(out.Pages))
-		for i := range out.Pages {
-			ideals[i] = map[string]int64{}
-			for _, w := range r.Names() {
-				base, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, w, w)
-				if err != nil {
-					return PageSizeMultiResult{}, err
-				}
-				cfg := sim.IdealFor(base, 0)
-				pageConfig(&cfg, r.opts.Scale, i)
-				res, err := r.run(cfg)
-				if err != nil {
-					return PageSizeMultiResult{}, err
-				}
-				ideals[i][w] = res.Cores[0].Cycles
+		// Ideal baselines per page size per workload, fanned out together.
+		names := r.Names()
+		np, nw := len(out.Pages), len(names)
+		idealCycles := make([]int64, np*nw)
+		err := r.ForEach(len(idealCycles), func(i int) error {
+			pi, w := i/nw, names[i%nw]
+			base, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, w, w)
+			if err != nil {
+				return err
+			}
+			cfg := sim.IdealFor(base, 0)
+			pageConfig(&cfg, r.opts.Scale, pi)
+			res, err := r.run(cfg)
+			if err != nil {
+				return err
+			}
+			idealCycles[i] = res.Cores[0].Cycles
+			return nil
+		})
+		if err != nil {
+			return PageSizeMultiResult{}, err
+		}
+		ideals := make([]map[string]int64, np)
+		for pi := range ideals {
+			ideals[pi] = map[string]int64{}
+			for wi, w := range names {
+				ideals[pi][w] = idealCycles[pi*nw+wi]
 			}
 		}
 
-		perfGeo := make([][]float64, len(out.Pages)) // per-mix geomean of raw cycles ratio vs page0
-		fairVals := make([][]float64, len(out.Pages))
-		for _, mix := range mixes {
-			base := make([]int64, 0, len(mix)) // page-0 cycles per workload
-			for i := range out.Pages {
-				cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.ShareDWT, mix...)
-				if err != nil {
-					return PageSizeMultiResult{}, err
-				}
-				pageConfig(&cfg, r.opts.Scale, i)
-				res, err := r.run(cfg)
-				if err != nil {
-					return PageSizeMultiResult{}, fmt.Errorf("experiments: page multi %v %s: %w", mix, out.Pages[i], err)
-				}
-				r.logf("page multi %d-core %v %s done", cores, mix, out.Pages[i])
-				if i == 0 {
-					for _, c := range res.Cores {
-						base = append(base, c.Cycles)
-					}
-				}
-				// Performance vs the same mix at page 0.
+		// All (mix, page) cells fan out; the page-0 baseline each mix
+		// normalizes against is read back from the same slice afterwards.
+		mixCycles := make([][]int64, len(mixes)*np)
+		err = r.ForEach(len(mixCycles), func(i int) error {
+			mix, pi := mixes[i/np], i%np
+			cfg, err := sim.NewWorkloadConfig(r.opts.Scale, sim.ShareDWT, mix...)
+			if err != nil {
+				return err
+			}
+			pageConfig(&cfg, r.opts.Scale, pi)
+			res, err := r.run(cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: page multi %v %s: %w", mix, out.Pages[pi], err)
+			}
+			r.logf("page multi %d-core %v %s done", cores, mix, out.Pages[pi])
+			cyc := make([]int64, len(res.Cores))
+			for k, c := range res.Cores {
+				cyc[k] = c.Cycles
+			}
+			mixCycles[i] = cyc
+			return nil
+		})
+		if err != nil {
+			return PageSizeMultiResult{}, err
+		}
+
+		perfGeo := make([][]float64, np) // per-mix geomean of raw cycles ratio vs page0
+		fairVals := make([][]float64, np)
+		for mi, mix := range mixes {
+			base := mixCycles[mi*np] // page-0 cycles per workload
+			for pi := 0; pi < np; pi++ {
+				cyc := mixCycles[mi*np+pi]
 				ratios := make([]float64, len(mix))
 				speedups := make([]float64, len(mix))
-				for k, c := range res.Cores {
-					if i == 0 {
-						ratios[k] = 1
-					} else {
-						ratios[k] = float64(base[k]) / float64(c.Cycles)
-					}
-					speedups[k] = metrics.Speedup(ideals[i][mix[k]], c.Cycles)
+				for k := range mix {
+					ratios[k] = float64(base[k]) / float64(cyc[k])
+					speedups[k] = metrics.Speedup(ideals[pi][mix[k]], cyc[k])
 				}
-				perfGeo[i] = append(perfGeo[i], metrics.MustGeomean(ratios))
-				fairVals[i] = append(fairVals[i], metrics.FairnessFromSpeedups(speedups))
+				perfGeo[pi] = append(perfGeo[pi], metrics.MustGeomean(ratios))
+				fairVals[pi] = append(fairVals[pi], metrics.FairnessFromSpeedups(speedups))
 			}
 		}
 		perf := make([]float64, len(out.Pages))

@@ -380,6 +380,45 @@ func (m *MMU) drainOne(now int64, core int) bool {
 	return false
 }
 
+// NextEventAfter returns the earliest global cycle at which the MMU
+// needs ticking. Queued walks, translated requests awaiting DRAM
+// admission, and DRAM-backed walks between PTE reads all progress
+// cycle-by-cycle (now+1); fixed-latency walks sleep until their
+// deadline; walks waiting on a DRAM PTE read are woken by the memory
+// completion, which the DRAM's own NextEventAfter bounds.
+func (m *MMU) NextEventAfter(now int64) int64 {
+	if len(m.walkFIFO) > 0 {
+		return now + 1
+	}
+	for i := range m.issueQ {
+		if !m.issueQ[i].Empty() {
+			return now + 1
+		}
+	}
+	next := int64(1) << 62
+	for _, job := range m.active {
+		if m.cfg.WalkMemory == FixedWalkLatency {
+			if job.readyAt <= now {
+				return now + 1
+			}
+			if job.readyAt < next {
+				next = job.readyAt
+			}
+			continue
+		}
+		if !job.waiting {
+			return now + 1
+		}
+	}
+	return next
+}
+
+// SkipTo is a no-op: the MMU keeps no cycle-decaying state. Port
+// accounting is keyed to the absolute cycle of the first Submit, and
+// every deadline (walk readyAt) is absolute. It exists to complete the
+// NextEventAfter/SkipTo fast-forward protocol.
+func (m *MMU) SkipTo(now int64) {}
+
 // Busy reports whether the MMU holds any pending work.
 func (m *MMU) Busy() bool {
 	if len(m.walkFIFO) > 0 || len(m.active) > 0 {

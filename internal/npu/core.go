@@ -329,12 +329,34 @@ func (c *Core) NextEventAfter(now int64) int64 {
 		if !c.computeInit {
 			rem = c.sched.Tasks[c.computeTile].ComputeCycles
 		}
-		return c.dom.ToGlobal(c.localDone + rem)
+		// A completion at local cycle L fires during the global tick
+		// whose window first covers L: Tick(T) processes through
+		// LocalFloor(T+1), so that tick is ToGlobal(L)-1, not
+		// ToGlobal(L).
+		return c.dom.ToGlobal(c.localDone+rem) - 1
 	}
 	if c.inflight > 0 {
 		return 1 << 62 // memory callbacks will create work
 	}
 	return now + 1 // iteration restart
+}
+
+// SkipTo fast-forwards the core to global cycle now without observing
+// any events: the skipped window is spent computing (or stalling on
+// loads) exactly as per-cycle ticking would, but no tile completes and
+// no request is issued. The caller guarantees now is at or before the
+// core's NextEventAfter, which makes both properties hold: the local
+// target LocalFloor(now) is strictly before the pending completion, and
+// HasIssuableWork was false with no memory callback in the window.
+func (c *Core) SkipTo(now int64) {
+	targetLocal := c.dom.LocalFloor(now)
+	elapsed := targetLocal - c.localDone
+	if elapsed <= 0 {
+		return
+	}
+	c.advanceCompute(elapsed)
+	c.localDone = targetLocal
+	c.stats.LocalCycles = c.localDone
 }
 
 // DebugState summarizes the pipeline state for diagnostics.

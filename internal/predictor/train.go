@@ -19,6 +19,34 @@ type TrainConfig struct {
 	// Sharing is the level the model is trained for; the mapping study
 	// runs under +DWT.
 	Sharing sim.Sharing
+	// Run executes one simulation; nil means sim.Run. The experiment
+	// runner injects its pooled, counted run here.
+	Run func(sim.Config) (sim.Result, error)
+	// Parallel runs fn(0)..fn(n-1), possibly concurrently; nil means a
+	// serial loop. All random draws happen before fan-out, so training
+	// is deterministic for any scheduler.
+	Parallel func(n int, fn func(i int) error) error
+}
+
+func (cfg TrainConfig) runner() func(sim.Config) (sim.Result, error) {
+	if cfg.Run != nil {
+		return cfg.Run
+	}
+	return sim.Run
+}
+
+func (cfg TrainConfig) parallel() func(n int, fn func(i int) error) error {
+	if cfg.Parallel != nil {
+		return cfg.Parallel
+	}
+	return func(n int, fn func(i int) error) error {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // Train generates random networks, profiles them solo, simulates random
@@ -28,6 +56,8 @@ func Train(cfg TrainConfig) (Model, []Sample, error) {
 	if cfg.Pairs <= 0 {
 		cfg.Pairs = 24
 	}
+	run := cfg.runner()
+	par := cfg.parallel()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	spec := workloads.DefaultRandomSpec(cfg.Scale)
 
@@ -35,23 +65,42 @@ func Train(cfg TrainConfig) (Model, []Sample, error) {
 	poolSize := max(2*cfg.Pairs/3, 8)
 	nets := workloads.RandomSet(spec, cfg.Seed*1000+1, poolSize)
 	profiles := make([]Profile, len(nets))
-	for i, net := range nets {
-		p, err := soloProfile(cfg.Scale, net)
+	err := par(len(nets), func(i int) error {
+		p, err := soloProfile(run, cfg.Scale, nets[i])
 		if err != nil {
-			return Model{}, nil, fmt.Errorf("predictor: profiling %s: %w", net.Name, err)
+			return fmt.Errorf("predictor: profiling %s: %w", nets[i].Name, err)
 		}
 		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return Model{}, nil, err
+	}
+
+	// Draw every pair up front so the rng stream is consumed in a fixed
+	// order, then fan the simulations out.
+	pairs := make([][2]int, cfg.Pairs)
+	for k := range pairs {
+		pairs[k] = [2]int{rng.Intn(len(nets)), rng.Intn(len(nets))}
+	}
+	results := make([]sim.Result, cfg.Pairs)
+	err = par(cfg.Pairs, func(k int) error {
+		i, j := pairs[k][0], pairs[k][1]
+		c := sim.NewConfig(cfg.Scale, cfg.Sharing, nets[i], nets[j])
+		r, err := run(c)
+		if err != nil {
+			return fmt.Errorf("predictor: co-run %s+%s: %w", nets[i].Name, nets[j].Name, err)
+		}
+		results[k] = r
+		return nil
+	})
+	if err != nil {
+		return Model{}, nil, err
 	}
 
 	var samples []Sample
-	for k := 0; k < cfg.Pairs; k++ {
-		i := rng.Intn(len(nets))
-		j := rng.Intn(len(nets))
-		c := sim.NewConfig(cfg.Scale, cfg.Sharing, nets[i], nets[j])
-		r, err := sim.Run(c)
-		if err != nil {
-			return Model{}, nil, fmt.Errorf("predictor: co-run %s+%s: %w", nets[i].Name, nets[j].Name, err)
-		}
+	for k, r := range results {
+		i, j := pairs[k][0], pairs[k][1]
 		samples = append(samples,
 			Sample{A: profiles[i], B: profiles[j], Slowdown: slowdown(profiles[i].Cycles, r.Cores[0].Cycles)},
 			Sample{A: profiles[j], B: profiles[i], Slowdown: slowdown(profiles[j].Cycles, r.Cores[1].Cycles)},
@@ -69,9 +118,9 @@ func slowdown(ideal, measured int64) float64 {
 }
 
 // soloProfile runs net alone on the Ideal single-core configuration.
-func soloProfile(scale workloads.Scale, net model.Network) (Profile, error) {
+func soloProfile(run func(sim.Config) (sim.Result, error), scale workloads.Scale, net model.Network) (Profile, error) {
 	cfg := sim.NewConfig(scale, sim.Static, net)
-	r, err := sim.Run(sim.IdealFor(cfg, 0))
+	r, err := run(sim.IdealFor(cfg, 0))
 	if err != nil {
 		return Profile{}, err
 	}

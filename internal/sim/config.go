@@ -36,6 +36,12 @@ type Config struct {
 	// bandwidth-isolation experiments).
 	NoTranslation bool
 
+	// NoEventSkip forces the main loop to tick every global cycle
+	// instead of fast-forwarding across windows with no state changes.
+	// Results are bit-identical either way; the knob exists so tests can
+	// prove it and so anomalies can be bisected to the skip logic.
+	NoEventSkip bool
+
 	// DRAMBackedWalks times page-table walks as real DRAM PTE reads
 	// instead of the default NeuMMU-style fixed latency (see
 	// mmu.WalkMemoryModel); used by the walk-model ablation.
@@ -73,6 +79,14 @@ type Config struct {
 	// OnIssue, if non-nil, observes every DMA request issue (the
 	// request burstiness of Fig. 2b).
 	OnIssue func(now int64, r *mem.Request)
+	// OnLoopStats, if non-nil, receives the main loop's bookkeeping when
+	// the run completes: ticked loop iterations, fast-forward jumps, and
+	// total cycles crossed by those jumps. iters + skippedCycles equals
+	// the run's GlobalCycles (modulo the final partial tick), so the
+	// skipped fraction measures how much of the timeline the event
+	// layer never had to simulate. Reported via a hook rather than in
+	// Result so skip-on and skip-off runs stay bit-identical.
+	OnLoopStats func(iters, skips, skippedCycles int64)
 }
 
 // Cores returns the number of cores.
@@ -211,5 +225,6 @@ func IdealFor(cfg Config, i int) Config {
 	out.StartCycles = nil
 	out.OnTransfer = nil
 	out.OnIssue = nil
+	out.OnLoopStats = nil
 	return out
 }

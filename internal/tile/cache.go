@@ -1,0 +1,42 @@
+package tile
+
+import (
+	"fmt"
+	"sync"
+
+	"mnpusim/internal/model"
+)
+
+// buildCell is one cache entry; Once serializes the single Build for a
+// key while letting other keys proceed concurrently.
+type buildCell struct {
+	once  sync.Once
+	sched *Schedule
+	err   error
+}
+
+var buildCache = struct {
+	mu sync.Mutex
+	m  map[string]*buildCell
+}{m: make(map[string]*buildCell)}
+
+// BuildCached is Build behind a process-wide cache keyed on the full
+// network structure and tiling parameters, so the schedule of a (net,
+// arch) pair is compiled once no matter how many mixes or experiments
+// reuse it. The returned *Schedule is shared across simulations and
+// must be treated as immutable — the npu package only ever reads it.
+//
+// The key must capture the network's layers, not just its name: tests
+// and random-network training reuse names with different topologies.
+func BuildCached(net model.Network, p Params) (*Schedule, error) {
+	key := fmt.Sprintf("%+v|%+v", p, net)
+	buildCache.mu.Lock()
+	cell, ok := buildCache.m[key]
+	if !ok {
+		cell = &buildCell{}
+		buildCache.m[key] = cell
+	}
+	buildCache.mu.Unlock()
+	cell.once.Do(func() { cell.sched, cell.err = Build(net, p) })
+	return cell.sched, cell.err
+}

@@ -154,8 +154,8 @@ func chooseTiling(op model.Op, p Params) (tiling, error) {
 		set := (int64(mt)*int64(kt) + int64(kt)*int64(nt) + int64(mt)*int64(nt)) * d
 		return set <= half
 	}
-	mt := minInt(op.M, p.Array.Rows)
-	nt := minInt(op.N, p.Array.Cols)
+	mt := min(op.M, p.Array.Rows)
+	nt := min(op.N, p.Array.Cols)
 	kt := op.K
 	for !fits(mt, kt, nt) && kt > 1 {
 		kt = (kt + 1) / 2
@@ -166,23 +166,16 @@ func chooseTiling(op model.Op, p Params) (tiling, error) {
 	// Grow M, then N, doubling while the working set still fits.
 	for grew := true; grew; {
 		grew = false
-		if mt < op.M && fits(minInt(2*mt, op.M), kt, nt) {
-			mt = minInt(2*mt, op.M)
+		if mt < op.M && fits(min(2*mt, op.M), kt, nt) {
+			mt = min(2*mt, op.M)
 			grew = true
 		}
-		if nt < op.N && fits(mt, kt, minInt(2*nt, op.N)) {
-			nt = minInt(2*nt, op.N)
+		if nt < op.N && fits(mt, kt, min(2*nt, op.N)) {
+			nt = min(2*nt, op.N)
 			grew = true
 		}
 	}
 	return tiling{mt: mt, kt: kt, nt: nt}, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
