@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet lint invariants check bench
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,24 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting, go vet, and the project analyzers (nodeterminism,
+# clockdomain, nolibpanic). mnpulint exits non-zero on any finding
+# that is not allowlisted with a justified //lint:allow directive.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/mnpulint ./...
+
+# The full test suite with the build-tag-gated runtime invariants
+# compiled in (DRAM timing windows, MSHR accounting, SPM
+# double-buffer bounds, clock monotonicity).
+invariants:
+	$(GO) test -tags=invariants ./...
+
+# Everything CI runs: analyzers, plain tests, race detector, and the
+# invariant-checked build.
+check: lint test race invariants
 
 # Machine-readable wall-clock benchmark of the dual-core paper sweep
 # (serial vs worker pool, event skipping on vs off) -> BENCH_sweep.json.

@@ -1,0 +1,128 @@
+// Command mnpulint runs the project's static analyzer suite
+// (internal/analysis) over the module: determinism, clock-domain
+// hygiene, and the library panic policy. It exits 1 if any finding
+// survives the allowlist.
+//
+// Usage:
+//
+//	mnpulint [-tags tag,tag] [./...|dir ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mnpusim/internal/analysis"
+)
+
+// scopes maps each analyzer to the import-path prefixes it applies to.
+// nodeterminism targets the packages whose outputs must replay
+// bit-identically; clockdomain and nolibpanic cover every library
+// package. cmd/ and examples/ are deliberately outside all scopes:
+// main packages may read the wall clock (benchmark timing) and panic.
+var scopes = map[string][]string{
+	"nodeterminism": {
+		"mnpusim/internal/sim", "mnpusim/internal/experiments",
+		"mnpusim/internal/dram", "mnpusim/internal/mmu",
+		"mnpusim/internal/report", "mnpusim/internal/config",
+	},
+	"clockdomain": {"mnpusim/internal/"},
+	"nolibpanic":  {"mnpusim/internal/"},
+}
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags to consider satisfied")
+	flag.Parse()
+	if err := run(flag.Args(), strings.Split(*tags, ","), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mnpulint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns, tags []string, out *os.File) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(cwd, tags)
+	if err != nil {
+		return err
+	}
+	dirs, err := resolvePatterns(loader, cwd, patterns)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return err
+		}
+		var active []*analysis.Analyzer
+		for _, a := range analysis.All() {
+			if inScope(a.Name, pkg.Path) {
+				active = append(active, a)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		for _, f := range analysis.Run(pkg, active) {
+			rel := f
+			if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Fprintln(out, rel)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(out, "mnpulint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// resolvePatterns expands "./..." (and "dir/...") into package
+// directories; plain arguments name single directories. No arguments
+// means "./...".
+func resolvePatterns(loader *analysis.Loader, cwd string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		var found []string
+		var err error
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			start := filepath.Join(cwd, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			found, err = loader.ModuleDirs(start)
+		} else {
+			found = []string{filepath.Join(cwd, filepath.FromSlash(pat))}
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range found {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, nil
+}
+
+func inScope(analyzer, pkgPath string) bool {
+	for _, prefix := range scopes[analyzer] {
+		if pkgPath == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(pkgPath, prefix) ||
+			strings.HasPrefix(pkgPath, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}

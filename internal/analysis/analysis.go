@@ -1,0 +1,173 @@
+// Package analysis is a stdlib-only static analyzer suite for the
+// simulator's project-specific correctness properties: deterministic
+// replay (nodeterminism), clock-domain hygiene (clockdomain), and
+// library panic policy (nolibpanic).
+//
+// Findings on a line can be suppressed with an allowlist comment on the
+// same line or the line directly above:
+//
+//	//lint:allow <analyzer> <justification>
+//
+// The justification is mandatory; an allow comment without one does not
+// suppress anything.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package plus the report sink.
+type Pass struct {
+	*Package
+	analyzer *Analyzer
+	report   func(Finding)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Nodeterminism, Clockdomain, Nolibpanic}
+}
+
+// Run applies the analyzers to pkg and returns the surviving findings
+// sorted by position, with allowlisted lines suppressed.
+func Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	allow := collectAllows(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{Package: pkg, analyzer: a}
+		pass.report = func(f Finding) {
+			if allow.covers(f) {
+				return
+			}
+			out = append(out, f)
+		}
+		a.Run(pass)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowSet maps file -> line -> analyzer names allowlisted there.
+type allowSet map[string]map[int]map[string]bool
+
+const allowPrefix = "//lint:allow "
+
+// collectAllows scans every comment for allowlist directives.
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				name, justification, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" || strings.TrimSpace(justification) == "" {
+					continue // a justification is mandatory
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][name] = true
+			}
+		}
+	}
+	return set
+}
+
+// covers reports whether f is suppressed by an allow directive on its
+// line or the line directly above.
+func (s allowSet) covers(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if names := lines[ln]; names != nil && names[f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of an expression chain
+// (x, x.y, x[i], x.y[i].z -> x), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// leafName returns the rightmost name of an identifier or selector
+// chain (x -> "x", a.b.cycles -> "cycles"), or "".
+func leafName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.ParenExpr:
+		return leafName(v.X)
+	}
+	return ""
+}

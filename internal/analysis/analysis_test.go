@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCorpus type-checks one testdata package through the same Loader
+// mnpulint uses, so the corpus exercises the full pipeline.
+func loadCorpus(t *testing.T, dir string) *Package {
+	t.Helper()
+	loader, err := NewLoader(".", nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+// wantedLines collects the lines carrying a `// want:<analyzer>` marker.
+func wantedLines(pkg *Package, analyzer string) map[int]bool {
+	out := map[int]bool{}
+	marker := "// want:" + analyzer
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == marker {
+					out[pkg.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestCorpus(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer *Analyzer
+		minWant  int
+	}{
+		{"nodet_bad", Nodeterminism, 2},
+		{"nodet_good", Nodeterminism, 0},
+		{"clockdom_bad", Clockdomain, 2},
+		{"clockdom_good", Clockdomain, 0},
+		{"libpanic_bad", Nolibpanic, 2},
+		{"libpanic_good", Nolibpanic, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			pkg := loadCorpus(t, c.dir)
+			want := wantedLines(pkg, c.analyzer.Name)
+			if len(want) < c.minWant {
+				t.Fatalf("corpus %s seeds %d violations, want >= %d", c.dir, len(want), c.minWant)
+			}
+			got := map[int]bool{}
+			for _, f := range Run(pkg, []*Analyzer{c.analyzer}) {
+				got[f.Pos.Line] = true
+			}
+			for line := range want {
+				if !got[line] {
+					t.Errorf("%s: no %s finding at line %d", c.dir, c.analyzer.Name, line)
+				}
+			}
+			for line := range got {
+				if !want[line] {
+					t.Errorf("%s: unexpected %s finding at line %d", c.dir, c.analyzer.Name, line)
+				}
+			}
+		})
+	}
+}

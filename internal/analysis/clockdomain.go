@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Clockdomain flags arithmetic that mixes local-clock and global-clock
+// cycle values without converting through clock.Domain
+// (ToGlobal/ToLocal/LocalFloor), and truncating integer conversions in
+// cycle math. Cycle variables are recognized by name: an identifier
+// (or selector leaf) containing "local" belongs to the local domain,
+// one containing "global" to the global domain.
+var Clockdomain = &Analyzer{
+	Name: "clockdomain",
+	Doc:  "flags local/global cycle arithmetic without Domain conversion and truncating cycle conversions",
+	Run:  runClockdomain,
+}
+
+var (
+	localNameRE  = regexp.MustCompile(`(?i)local`)
+	globalNameRE = regexp.MustCompile(`(?i)global`)
+	cycleNameRE  = regexp.MustCompile(`(?i)cycle|\bcyc\b|deadline|readyat`)
+)
+
+// conversion methods of clock.Domain whose results carry the target
+// domain explicitly.
+var domainConverters = map[string]clockDomain{
+	"ToGlobal":   domainGlobal,
+	"ToLocal":    domainLocal,
+	"LocalFloor": domainLocal,
+}
+
+type clockDomain int
+
+const (
+	domainUnknown clockDomain = iota
+	domainNeutral             // literals and plain constants
+	domainLocal
+	domainGlobal
+)
+
+func runClockdomain(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkMixedDomains(p, n)
+			case *ast.CallExpr:
+				checkTruncatingConversion(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkMixedDomains(p *Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if !isInteger(p.Info.TypeOf(be.X)) || !isInteger(p.Info.TypeOf(be.Y)) {
+		return
+	}
+	dx, dy := domainOf(be.X), domainOf(be.Y)
+	if (dx == domainLocal && dy == domainGlobal) || (dx == domainGlobal && dy == domainLocal) {
+		p.Report(be.Pos(), "arithmetic mixes local-clock and global-clock cycles (%s %s %s); convert through clock.Domain.ToGlobal/ToLocal first",
+			leafName(be.X), be.Op, leafName(be.Y))
+	}
+}
+
+// domainOf classifies an expression's clock domain by name, unwrapping
+// parens and recognizing Domain conversion calls.
+func domainOf(e ast.Expr) clockDomain {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return domainOf(v.X)
+	case *ast.BasicLit:
+		return domainNeutral
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			if d, ok := domainConverters[sel.Sel.Name]; ok {
+				return d
+			}
+		}
+		return domainUnknown
+	case *ast.Ident, *ast.SelectorExpr:
+		name := leafName(e.(ast.Expr))
+		switch {
+		case localNameRE.MatchString(name) && globalNameRE.MatchString(name):
+			return domainUnknown // e.g. localToGlobal helpers: can't tell
+		case localNameRE.MatchString(name):
+			return domainLocal
+		case globalNameRE.MatchString(name):
+			return domainGlobal
+		}
+	}
+	return domainUnknown
+}
+
+// checkTruncatingConversion flags T(x) where T is a narrower integer
+// than x's int64 and x is cycle-named: cycle math must stay in int64.
+func checkTruncatingConversion(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch dst.Kind() {
+	case types.Int, types.Int32, types.Int16, types.Int8,
+		types.Uint32, types.Uint16, types.Uint8, types.Uint:
+	default:
+		return
+	}
+	arg := call.Args[0]
+	src, ok := p.Info.TypeOf(arg).Underlying().(*types.Basic)
+	if !ok || (src.Kind() != types.Int64 && src.Kind() != types.Uint64) {
+		return
+	}
+	name := leafName(arg)
+	if name == "" {
+		if root := rootIdent(arg); root != nil {
+			name = root.Name
+		}
+	}
+	if !cycleNameRE.MatchString(name) {
+		return
+	}
+	p.Report(call.Pos(), "truncating conversion %s(%s) in cycle math; cycle counts must stay int64", dst.Name(), name)
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

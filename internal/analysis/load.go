@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path within the module
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one Go module using only
+// the standard library: module-internal imports are resolved by mapping
+// the import path onto the module directory tree; everything else is
+// delegated to the source importer (which understands GOROOT).
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	// Tags are extra build tags considered satisfied (e.g. "invariants").
+	Tags map[string]bool
+
+	fset *token.FileSet
+	pkgs map[string]*Package // memoized by directory
+	std  types.ImporterFrom
+}
+
+// NewLoader creates a loader for the module containing dir.
+func NewLoader(dir string, tags []string) (*Loader, error) {
+	root, path, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: path,
+		Tags:       map[string]bool{},
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*Package{},
+	}
+	for _, t := range tags {
+		if t != "" {
+			l.Tags[t] = true
+		}
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// loaded from source inside the module; all others go to the stdlib
+// source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// LoadDir parses and type-checks the single package in dir (test files
+// excluded). Results are memoized per directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[abs]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+		}
+		return pkg, nil
+	}
+	l.pkgs[abs] = nil // cycle guard
+
+	names, err := l.sourceFiles(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", abs)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	importPath := l.importPath(abs)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: abs, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}
+
+// importPath derives the module-relative import path for a directory.
+func (l *Loader) importPath(abs string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// sourceFiles lists the non-test .go files in dir that satisfy the
+// loader's build tags, sorted for deterministic type-checking order.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		ok, err := l.buildable(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// buildable evaluates the file's //go:build constraint (if any) against
+// the loader's tags plus the host GOOS/GOARCH.
+func (l *Loader) buildable(path string) (bool, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if constraint.IsGoBuild(line) {
+				expr, err := constraint.Parse(line)
+				if err != nil {
+					return false, fmt.Errorf("%s: %w", path, err)
+				}
+				return expr.Eval(l.tagSatisfied), nil
+			}
+			continue
+		}
+		break // reached package clause or code: no constraint
+	}
+	return true, nil
+}
+
+func (l *Loader) tagSatisfied(tag string) bool {
+	if l.Tags[tag] {
+		return true
+	}
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		strings.HasPrefix(tag, "go1")
+}
+
+// ModuleDirs walks the module tree below start and returns every
+// directory containing buildable Go files, skipping testdata, hidden
+// directories, and vendored trees. It implements the "./..." pattern.
+func (l *Loader) ModuleDirs(start string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != start && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := l.sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			out = append(out, path)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nodeterminism flags constructs that break bit-identical replay: wall
+// clock reads, the process-global math/rand source, and map iteration
+// whose visit order leaks into results (appends to slices, float
+// accumulation, channel sends). The required fix for map iteration is
+// collecting the keys and sorting them first; a collect-then-sort in
+// the same function is recognized and accepted.
+var Nodeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "flags wall-clock reads, global math/rand, and order-dependent map iteration",
+	Run:  runNodeterminism,
+}
+
+// randConstructors are the math/rand names that build deterministic,
+// locally seeded sources and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNodeterminism(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkWallClockAndRand(p, call)
+			}
+			return true
+		})
+		// Map-iteration order is judged per function body so a later
+		// sort of the collected keys can clear the finding.
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapRanges(p, fd.Body)
+			}
+		}
+	}
+}
+
+// checkWallClockAndRand flags time.Now/Since/Until and package-level
+// math/rand calls.
+func checkWallClockAndRand(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		switch sel.Sel.Name {
+		case "Now", "Since", "Until":
+			p.Report(call.Pos(), "time.%s reads the wall clock; simulated components must derive timing from cycle counts", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			p.Report(call.Pos(), "global math/rand.%s is process-seeded; use rand.New(rand.NewSource(seed)) so runs replay bit-identically", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRanges walks one function body, flagging map-range loops
+// whose bodies feed order-sensitive sinks, unless the collected slice
+// is sorted later in the same function.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	sorted := sortedIdents(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportMapRangeSinks(p, rs, sorted)
+		return true
+	})
+}
+
+// sortedIdents collects the names of identifiers passed to sort.* or
+// slices.Sort* calls anywhere in the function.
+func sortedIdents(p *Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if root := rootIdent(arg); root != nil {
+					out[root.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reportMapRangeSinks flags the order-sensitive sinks inside one
+// map-range body: appends to unsorted slices, float accumulation, and
+// channel sends.
+func reportMapRangeSinks(p *Pass, rs *ast.RangeStmt, sorted map[string]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			p.Report(st.Pos(), "channel send inside map iteration publishes values in random order; iterate over sorted keys instead")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, st, sorted)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, st *ast.AssignStmt, sorted map[string]bool) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(st.Lhs) == 1 && isFloat(p.Info.TypeOf(st.Lhs[0])) {
+			p.Report(st.Pos(), "float accumulation inside map iteration is order-dependent (rounding); iterate over sorted keys instead")
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(st.Lhs) <= i {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := p.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			target := rootIdent(st.Lhs[i])
+			if target == nil || sorted[target.Name] {
+				continue // collected keys are sorted later: the canonical fix
+			}
+			p.Report(st.Pos(), "append to %q inside map iteration records random order; collect keys and sort, or sort %q before use", target.Name, target.Name)
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

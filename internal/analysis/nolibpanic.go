@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nolibpanic flags panic(...) in library packages. A library must
+// report failures as errors the caller can attribute (config file,
+// line, core index); panics are reserved for init-time setup and
+// Must-style convenience constructors, which are exempt by name.
+// Anything else needs either a fix or an explicit
+// `//lint:allow nolibpanic <justification>` on the call.
+var Nolibpanic = &Analyzer{
+	Name: "nolibpanic",
+	Doc:  "flags panic in library code outside init and Must-style constructors",
+	Run:  runNolibpanic,
+}
+
+func runNolibpanic(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if name == "init" || strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				p.Report(call.Pos(), "panic in library function %s; return an error, move the check behind the invariants build tag, or allowlist with a justification", name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package clockdom_good holds correct clock-domain code the analyzer
+// must accept: zero findings expected.
+package clockdom_good
+
+import "mnpusim/internal/clock"
+
+// Budget converts to the global domain before comparing.
+func Budget(d clock.Domain, localCycles, globalBudget int64) bool {
+	return d.ToGlobal(localCycles) <= globalBudget
+}
+
+// Remaining subtracts within a single domain.
+func Remaining(localTarget, localDone int64) int64 {
+	return localTarget - localDone
+}
+
+// Arrival translates a global latency into local cycles before adding.
+func Arrival(d clock.Domain, globalLatency, localNow int64) int64 {
+	return localNow + d.ToLocal(globalLatency)
+}
+
+// Widen grows a cycle count, which cannot truncate.
+func Widen(tickCycles int32) int64 {
+	return int64(tickCycles)
+}

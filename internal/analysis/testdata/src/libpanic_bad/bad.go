@@ -1,0 +1,31 @@
+// Package libpanic_bad seeds nolibpanic violations: every line marked
+// `// want:nolibpanic` must be flagged by the analyzer.
+package libpanic_bad
+
+import "errors"
+
+// Parse panics instead of returning its error.
+func Parse(s string) int {
+	if s == "" {
+		panic("empty input") // want:nolibpanic
+	}
+	return len(s)
+}
+
+// Divide panics on a caller mistake.
+func Divide(a, b int) int {
+	if b == 0 {
+		panic(errors.New("division by zero")) // want:nolibpanic
+	}
+	return a / b
+}
+
+// Reset carries an allow comment WITHOUT a justification, which must
+// not suppress the finding.
+func Reset(m map[string]int) {
+	if m == nil {
+		//lint:allow nolibpanic
+		panic("nil map") // want:nolibpanic
+	}
+	clear(m)
+}

@@ -1,0 +1,39 @@
+// Package libpanic_good holds panic usage the nolibpanic analyzer must
+// accept: zero findings expected.
+package libpanic_good
+
+import "fmt"
+
+var registry = map[string]int{}
+
+func init() {
+	if len(registry) != 0 {
+		panic("registry pre-populated") // init is exempt
+	}
+}
+
+// New returns an error for the caller to handle: the required style.
+func New(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative %d", n)
+	}
+	return n, nil
+}
+
+// MustNew is the sanctioned panicking convenience wrapper.
+func MustNew(n int) int {
+	v, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Checked carries an allowlisted panic with a justification.
+func Checked(i int, xs []int) int {
+	if i < 0 || i >= len(xs) {
+		//lint:allow nolibpanic mirrors the built-in slice bounds panic for a documented precondition
+		panic("index out of range")
+	}
+	return xs[i]
+}

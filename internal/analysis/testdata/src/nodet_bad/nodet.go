@@ -1,0 +1,44 @@
+// Package nodet_bad seeds nodeterminism violations: every line marked
+// `// want:nodeterminism` must be flagged by the analyzer.
+package nodet_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Keys leaks map iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want:nodeterminism
+	}
+	return out
+}
+
+// Total accumulates floats in map order: the rounding depends on the
+// visit order, so results differ across runs.
+func Total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want:nodeterminism
+	}
+	return sum
+}
+
+// Publish sends map entries in random order.
+func Publish(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want:nodeterminism
+	}
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want:nodeterminism
+}
+
+// Jitter draws from the process-global random source.
+func Jitter() int {
+	return rand.Intn(8) // want:nodeterminism
+}

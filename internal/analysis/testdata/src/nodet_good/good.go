@@ -1,0 +1,56 @@
+// Package nodet_good holds correct code the nodeterminism analyzer
+// must accept: zero findings expected.
+package nodet_good
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SortedKeys collects then sorts: the canonical ordered-iteration fix.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SumSorted accumulates in sorted key order.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Invert writes map-to-map, which is order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Draw uses a locally seeded source, which replays bit-identically.
+func Draw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+// Count accumulates an integer, which is order-insensitive.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

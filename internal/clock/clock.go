@@ -43,6 +43,7 @@ type Domain struct {
 // system whose global clock runs at global hertz. Both must be positive.
 func NewDomain(local, global Hz) Domain {
 	if local <= 0 || global <= 0 {
+		//lint:allow nolibpanic frequencies come from validated ArchConfig/presets; a bad Domain would corrupt every cycle conversion downstream
 		panic(fmt.Sprintf("clock: non-positive frequency local=%d global=%d", local, global))
 	}
 	g := gcd(int64(local), int64(global))

@@ -1,0 +1,117 @@
+package clock
+
+import "testing"
+
+// edgeDomains is the ratio spread the conversion edge tests run over:
+// identity, integer multiples both ways, and incommensurate pairs.
+func edgeDomains() map[string]Domain {
+	return map[string]Domain{
+		"1:1":     NewDomain(GHz, GHz),
+		"2:1":     NewDomain(2*GHz, GHz),
+		"1:2":     NewDomain(GHz, 2*GHz),
+		"7:12":    NewDomain(700*MHz, 1200*MHz),
+		"12:7":    NewDomain(1200*MHz, 700*MHz),
+		"3:1000":  NewDomain(3*MHz, GHz),
+		"941:400": NewDomain(941*MHz, 400*MHz),
+	}
+}
+
+// TestUnityRatioIsIdentity pins the 1:1 case: every conversion must be
+// the identity, with no rounding drift.
+func TestUnityRatioIsIdentity(t *testing.T) {
+	d := NewDomain(GHz, GHz)
+	for _, n := range []int64{0, 1, 2, 3, 999, 1 << 40} {
+		if g := d.ToGlobal(n); g != n {
+			t.Errorf("ToGlobal(%d) = %d, want identity", n, g)
+		}
+		if l := d.ToLocal(n); l != n {
+			t.Errorf("ToLocal(%d) = %d, want identity", n, l)
+		}
+		if f := d.LocalFloor(n); f != n {
+			t.Errorf("LocalFloor(%d) = %d, want identity", n, f)
+		}
+	}
+}
+
+// TestNonDivisibleRatioExact pins exact conversion values for the
+// 700MHz/1200MHz pair, which reduces to the non-divisible ratio 7:12.
+func TestNonDivisibleRatioExact(t *testing.T) {
+	d := NewDomain(700*MHz, 1200*MHz)
+	cases := []struct {
+		name string
+		fn   func(int64) int64
+		in   int64
+		want int64
+	}{
+		{"ToGlobal", d.ToGlobal, 1, 2},      // ceil(12/7)
+		{"ToGlobal", d.ToGlobal, 7, 12},     // exact multiple
+		{"ToGlobal", d.ToGlobal, 8, 14},     // ceil(96/7)
+		{"ToLocal", d.ToLocal, 1, 1},        // ceil(7/12)
+		{"ToLocal", d.ToLocal, 12, 7},       // exact multiple
+		{"ToLocal", d.ToLocal, 13, 8},       // ceil(91/12)
+		{"LocalFloor", d.LocalFloor, 11, 6}, // floor(77/12)
+		{"LocalFloor", d.LocalFloor, 12, 7}, // exact multiple
+		{"LocalFloor", d.LocalFloor, 1, 0},  // floor(7/12)
+	}
+	for _, c := range cases {
+		if got := c.fn(c.in); got != c.want {
+			t.Errorf("%s(%d) = %d, want %d", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestZeroAndNegativeCycles pins the clamp-to-zero contract at and
+// below the origin for every ratio shape.
+func TestZeroAndNegativeCycles(t *testing.T) {
+	for name, d := range edgeDomains() {
+		for _, n := range []int64{0, -1, -1000} {
+			if g := d.ToGlobal(n); g != 0 {
+				t.Errorf("%s: ToGlobal(%d) = %d, want 0", name, n, g)
+			}
+			if l := d.ToLocal(n); l != 0 {
+				t.Errorf("%s: ToLocal(%d) = %d, want 0", name, n, l)
+			}
+			if f := d.LocalFloor(n); f != 0 {
+				t.Errorf("%s: LocalFloor(%d) = %d, want 0", name, n, f)
+			}
+		}
+	}
+}
+
+// TestRoundTripNeverEarly asserts the directional-rounding contract:
+// converting out and back can only overestimate, never underestimate,
+// so a synchronized event can never fire before its cause.
+func TestRoundTripNeverEarly(t *testing.T) {
+	for name, d := range edgeDomains() {
+		for n := int64(1); n <= 500; n++ {
+			if rt := d.ToLocal(d.ToGlobal(n)); rt < n {
+				t.Fatalf("%s: ToLocal(ToGlobal(%d)) = %d, arrived early", name, n, rt)
+			}
+			if rt := d.ToGlobal(d.ToLocal(n)); rt < n {
+				t.Fatalf("%s: ToGlobal(ToLocal(%d)) = %d, arrived early", name, n, rt)
+			}
+		}
+	}
+}
+
+// TestSkipBoundaryOffByOne pins the event-skip boundary at the clock
+// layer: the first global tick T whose window covers local cycle L
+// (LocalFloor(T+1) >= L) is exactly ToGlobal(L)-1. The event-skip
+// protocol in internal/sim depends on this identity; regressing it
+// reintroduces the one-tick-late completion bug.
+func TestSkipBoundaryOffByOne(t *testing.T) {
+	for name, d := range edgeDomains() {
+		for L := int64(1); L <= 300; L++ {
+			want := int64(-1)
+			for T := int64(0); ; T++ {
+				if d.LocalFloor(T+1) >= L {
+					want = T
+					break
+				}
+			}
+			if got := d.ToGlobal(L) - 1; got != want {
+				t.Fatalf("%s: local %d: ToGlobal(L)-1 = %d, first covering tick = %d", name, L, got, want)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -135,8 +136,9 @@ func (kv *KV) Ints(key string) ([]int64, error) {
 	return out, nil
 }
 
-// Unused returns keys that were never read — typos surface as errors at
-// the call site.
+// Unused returns keys that were never read, sorted — typos surface as
+// errors at the call site, and the message must not depend on map
+// iteration order.
 func (kv *KV) Unused() []string {
 	var out []string
 	for k := range kv.values {
@@ -144,6 +146,7 @@ func (kv *KV) Unused() []string {
 			out = append(out, k)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
 )
 
@@ -53,6 +54,9 @@ type channel struct {
 	nextRefresh []int64
 	refreshing  []int64 // busy-until cycle; 0 when idle
 
+	// lastTick tracks tick monotonicity under -tags=invariants.
+	lastTick int64
+
 	stats ChannelStats
 }
 
@@ -83,6 +87,7 @@ func newChannel(cfg Config, id int) *channel {
 		actWindowPos: make([]int, cfg.Ranks),
 		nextRefresh:  make([]int64, cfg.Ranks),
 		refreshing:   make([]int64, cfg.Ranks),
+		lastTick:     -1,
 	}
 	for i := range ch.banks {
 		ch.banks[i].openRow = -1
@@ -116,6 +121,23 @@ func (c *channel) enqueue(req *mem.Request, loc Location, seq uint64) {
 // tick advances the controller by one global cycle: retire completions,
 // handle refresh, then issue at most one DRAM command.
 func (c *channel) tick(now int64) {
+	if invariant.Enabled {
+		invariant.Check(now > c.lastTick,
+			"dram: channel %d ticked backwards: %d after %d", c.id, now, c.lastTick)
+		c.lastTick = now
+		// Refresh-window bound: a due refresh may be delayed by the
+		// precharge-all sequence, but never by a whole refresh interval
+		// — that would mean fast-forward skipped over the deadline.
+		if t := c.cfg.Timing; t.REFI > 0 {
+			for r := range c.nextRefresh {
+				if c.refreshing[r] <= now {
+					invariant.Check(now < c.nextRefresh[r]+int64(t.REFI),
+						"dram: channel %d rank %d refresh overdue by a full interval at cycle %d (deadline %d)",
+						c.id, r, now, c.nextRefresh[r])
+				}
+			}
+		}
+	}
 	c.retire(now)
 	if c.handleRefresh(now) {
 		return
@@ -185,6 +207,14 @@ func (c *channel) handleRefresh(now int64) bool {
 		}
 		if !ready {
 			return false
+		}
+		if invariant.Enabled {
+			invariant.Check(now >= c.nextRefresh[r],
+				"dram: refresh started early at %d (deadline %d)", now, c.nextRefresh[r])
+			for b := base; b < base+n; b++ {
+				invariant.Check(c.banks[b].openRow == -1,
+					"dram: refresh with bank %d open (row %d)", b, c.banks[b].openRow)
+			}
 		}
 		c.refreshing[r] = now + int64(t.RFC)
 		c.nextRefresh[r] = now + int64(t.REFI)
@@ -390,6 +420,17 @@ func (c *channel) canActivate(now int64, loc Location) bool {
 func (c *channel) activate(now int64, loc Location) {
 	t := c.cfg.Timing
 	b := &c.banks[c.cfg.BankIndex(loc)]
+	if invariant.Enabled {
+		invariant.Check(b.openRow == -1,
+			"dram: activate on open bank (ch=%d bank=%d row=%d)", c.id, c.cfg.BankIndex(loc), b.openRow)
+		invariant.Check(now >= b.nextActivate,
+			"dram: tRC/tRP violated: activate at %d before %d", now, b.nextActivate)
+		invariant.Check(now >= c.lastActivate[loc.Rank]+int64(t.RRDS),
+			"dram: tRRD violated: activate at %d, last %d, RRDS=%d", now, c.lastActivate[loc.Rank], t.RRDS)
+		oldest := c.actWindow[loc.Rank][c.actWindowPos[loc.Rank]]
+		invariant.Check(now >= oldest+int64(t.FAW),
+			"dram: tFAW violated: 5th activate at %d within FAW=%d of %d", now, t.FAW, oldest)
+	}
 	b.openRow = loc.Row
 	b.nextRead = now + int64(t.RCD)
 	b.nextWrite = now + int64(t.RCD)

@@ -53,10 +53,16 @@ func MustNew(cfg Config) *Memory {
 func (m *Memory) Config() Config { return m.cfg }
 
 // SetCoreChannels routes core's physical blocks across the given channel
-// set. Passing nil or an empty set assigns all channels.
-func (m *Memory) SetCoreChannels(core int, channels []int) {
+// set. Passing nil or an empty set assigns all channels. It rejects a
+// negative core or a channel outside the device.
+func (m *Memory) SetCoreChannels(core int, channels []int) error {
 	if core < 0 {
-		panic("dram: negative core")
+		return fmt.Errorf("dram: negative core %d", core)
+	}
+	for _, ch := range channels {
+		if ch < 0 || ch >= m.cfg.Channels {
+			return fmt.Errorf("dram: core %d routed to channel %d, device has %d", core, ch, m.cfg.Channels)
+		}
 	}
 	for core >= len(m.mappers) {
 		m.mappers = append(m.mappers, Mapper{})
@@ -68,6 +74,7 @@ func (m *Memory) SetCoreChannels(core int, channels []int) {
 		}
 	}
 	m.mappers[core] = NewMapper(m.cfg, channels)
+	return nil
 }
 
 func (m *Memory) mapperFor(core int) Mapper {
@@ -79,7 +86,12 @@ func (m *Memory) mapperFor(core int) Mapper {
 		all[i] = i
 	}
 	mp := NewMapper(m.cfg, all)
-	m.SetCoreChannels(core, all)
+	if core >= 0 {
+		for core >= len(m.mappers) {
+			m.mappers = append(m.mappers, Mapper{})
+		}
+		m.mappers[core] = mp
+	}
 	return mp
 }
 

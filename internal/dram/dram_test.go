@@ -183,8 +183,12 @@ func TestChannelPartitionIsolation(t *testing.T) {
 	run := func(withCo bool) int64 {
 		cfg := HBM2(2)
 		tm := newTestMemory(t, cfg)
-		tm.m.SetCoreChannels(0, []int{0})
-		tm.m.SetCoreChannels(1, []int{1})
+		if err := tm.m.SetCoreChannels(0, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tm.m.SetCoreChannels(1, []int{1}); err != nil {
+			t.Fatal(err)
+		}
 		const n = 200
 		var last0 int64
 		done0 := 0
@@ -447,7 +451,9 @@ func TestTransferHookObservesBytesAndCore(t *testing.T) {
 
 func TestStatsBytesMoved(t *testing.T) {
 	tm := newTestMemory(t, HBM2(2))
-	tm.m.SetCoreChannels(0, []int{0, 1})
+	if err := tm.m.SetCoreChannels(0, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 20; i++ {
 		tm.m.Enqueue(0, tm.request(0, uint64(i*64), mem.Read, nil))
 	}

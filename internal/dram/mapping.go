@@ -1,5 +1,7 @@
 package dram
 
+import "mnpusim/internal/invariant"
+
 // Location identifies where a physical block lives inside the device.
 type Location struct {
 	Channel   int
@@ -43,14 +45,14 @@ type Mapper struct {
 }
 
 // NewMapper returns a Mapper for the given channel set. The set must be
-// non-empty and every channel must exist in cfg.
+// non-empty and every channel must exist in cfg; callers reaching this
+// from user input validate first (Memory.SetCoreChannels returns an
+// error), so the checks here guard internal construction only.
 func NewMapper(cfg Config, channels []int) Mapper {
-	if len(channels) == 0 {
-		panic("dram: empty channel set")
-	}
-	for _, ch := range channels {
-		if ch < 0 || ch >= cfg.Channels {
-			panic("dram: channel out of range")
+	if invariant.Enabled {
+		invariant.Check(len(channels) > 0, "dram: empty channel set")
+		for _, ch := range channels {
+			invariant.Check(ch >= 0 && ch < cfg.Channels, "dram: channel %d out of range [0,%d)", ch, cfg.Channels)
 		}
 	}
 	cp := make([]int, len(channels))

@@ -3,19 +3,35 @@ package dram
 import (
 	"testing"
 	"testing/quick"
+
+	"mnpusim/internal/invariant"
 )
 
-func TestMapperPanicsOnBadChannelSet(t *testing.T) {
+func TestMapperBadChannelSet(t *testing.T) {
+	// NewMapper's validation lives behind the invariants build tag;
+	// the error-returning public path is Memory.SetCoreChannels.
 	cfg := HBM2(4)
 	for _, set := range [][]int{nil, {}, {-1}, {4}} {
 		func() {
 			defer func() {
-				if recover() == nil {
-					t.Errorf("NewMapper(%v) did not panic", set)
+				if r := recover(); invariant.Enabled && r == nil && len(set) == 0 {
+					t.Errorf("NewMapper(%v) did not panic under -tags=invariants", set)
 				}
 			}()
 			NewMapper(cfg, set)
 		}()
+	}
+	m := MustNew(cfg)
+	for _, set := range [][]int{{-1}, {4}} {
+		if err := m.SetCoreChannels(0, set); err == nil {
+			t.Errorf("SetCoreChannels(0, %v): no error", set)
+		}
+	}
+	if err := m.SetCoreChannels(-1, []int{0}); err == nil {
+		t.Error("SetCoreChannels(-1, ...): no error")
+	}
+	if err := m.SetCoreChannels(0, []int{0, 1}); err != nil {
+		t.Errorf("valid SetCoreChannels failed: %v", err)
 	}
 }
 

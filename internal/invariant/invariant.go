@@ -1,0 +1,28 @@
+//go:build invariants
+
+// Package invariant provides build-tag-gated runtime assertions for the
+// simulator's timing-safety properties: the checks exist only under
+// `-tags=invariants` and compile to nothing otherwise.
+//
+// Call sites guard with the Enabled constant so argument evaluation is
+// dead-code-eliminated in normal builds:
+//
+//	if invariant.Enabled {
+//		invariant.Check(now > last, "clock went backwards: %d -> %d", last, now)
+//	}
+package invariant
+
+import "fmt"
+
+// Enabled reports whether this binary was built with -tags=invariants.
+const Enabled = true
+
+// Check panics with a formatted message when cond is false. A violated
+// invariant means the simulator's state is corrupt; there is no caller
+// that could meaningfully handle it as an error.
+func Check(cond bool, format string, args ...any) {
+	if !cond {
+		//lint:allow nolibpanic invariant violations are simulator bugs; fail-fast is the package's purpose
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,21 @@
+package invariant
+
+import "testing"
+
+// TestCheck exercises both builds: with -tags=invariants a false
+// condition must panic and a true one must not; without the tag Check
+// is a no-op either way.
+func TestCheck(t *testing.T) {
+	Check(true, "must not fire")
+
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("Check(false) did not panic under -tags=invariants")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("Check(false) panicked in a normal build: %v", r)
+		}
+	}()
+	Check(false, "seed %d", 7)
+}

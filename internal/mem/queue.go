@@ -48,6 +48,7 @@ func (q *Queue) Peek() *Request {
 // panics if i is out of range.
 func (q *Queue) At(i int) *Request {
 	if i < 0 || i >= q.n {
+		//lint:allow nolibpanic mirrors the built-in slice bounds panic; callers index within Len() by construction
 		panic("mem: queue index out of range")
 	}
 	return q.buf[(q.head+i)%len(q.buf)]
@@ -57,6 +58,7 @@ func (q *Queue) At(i int) *Request {
 // preserving the order of the remaining requests.
 func (q *Queue) RemoveAt(i int) *Request {
 	if i < 0 || i >= q.n {
+		//lint:allow nolibpanic mirrors the built-in slice bounds panic; callers index within Len() by construction
 		panic("mem: queue index out of range")
 	}
 	r := q.buf[(q.head+i)%len(q.buf)]

@@ -3,6 +3,7 @@ package mmu
 import (
 	"fmt"
 
+	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
 )
 
@@ -186,6 +187,10 @@ func (m *MMU) Submit(now int64, r *mem.Request) bool {
 	m.stats[core].TLBMisses++
 	m.mshr[core][vpn] = &mshrEntry{waiters: []*mem.Request{r}}
 	m.walkFIFO = append(m.walkFIFO, walkRequest{core: core, vpn: vpn, at: now})
+	if invariant.Enabled {
+		invariant.Check(len(m.mshr[core]) <= m.cfg.MaxPendingWalks,
+			"mmu: MSHR leak: core %d holds %d entries, limit %d", core, len(m.mshr[core]), m.cfg.MaxPendingWalks)
+	}
 	return true
 }
 
@@ -320,7 +325,16 @@ func (m *MMU) completeWalk(now int64, job *walkJob) {
 	} else {
 		m.pool.release(job.core)
 	}
-	if e, ok := m.mshr[job.core][job.vpn]; ok {
+	e, ok := m.mshr[job.core][job.vpn]
+	if invariant.Enabled {
+		// A completed walk without an MSHR entry means the entry was
+		// freed twice or the walk was dispatched without one (leak on
+		// the other side); its waiters would hang forever.
+		invariant.Check(ok, "mmu: walk completed with no MSHR entry (double free?) core=%d vpn=%#x", job.core, job.vpn)
+		invariant.Check(!ok || len(e.waiters) > 0,
+			"mmu: MSHR entry with no waiters core=%d vpn=%#x", job.core, job.vpn)
+	}
+	if ok {
 		for _, r := range e.waiters {
 			r.Addr = job.ppn | (r.VAddr & (uint64(m.cfg.PageSize) - 1))
 			m.issueQ[job.core].Push(r)

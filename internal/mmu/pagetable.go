@@ -17,6 +17,7 @@ type PhysAllocator struct {
 // NewPhysAllocator creates an allocator over [base, base+size).
 func NewPhysAllocator(base, size uint64, pageSize PageSize) *PhysAllocator {
 	if size == 0 {
+		//lint:allow nolibpanic constructor misuse: region size comes from validated sim.Config (PhysBytesPerCore > 0)
 		panic("mmu: zero-size physical region")
 	}
 	return &PhysAllocator{
@@ -31,6 +32,7 @@ func NewPhysAllocator(base, size uint64, pageSize PageSize) *PhysAllocator {
 // AllocPage returns the physical base of a fresh data page.
 func (a *PhysAllocator) AllocPage() uint64 {
 	if a.nextData+a.pageSize > a.nextNode {
+		//lint:allow nolibpanic exhaustion is an undersized capacity_per_core; surfacing it mid-walk as an error would thread failure through every Translate hot path for a setup-time mistake
 		panic(fmt.Sprintf("mmu: physical region exhausted (data=%#x node=%#x)", a.nextData, a.nextNode))
 	}
 	pa := a.nextData
@@ -42,6 +44,7 @@ func (a *PhysAllocator) AllocPage() uint64 {
 // of the given size in bytes.
 func (a *PhysAllocator) AllocNode(bytes uint64) uint64 {
 	if a.nextNode-bytes < a.nextData {
+		//lint:allow nolibpanic exhaustion is an undersized capacity_per_core; surfacing it mid-walk as an error would thread failure through every Translate hot path for a setup-time mistake
 		panic("mmu: physical region exhausted by page-table nodes")
 	}
 	a.nextNode -= bytes

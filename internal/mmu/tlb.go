@@ -25,6 +25,7 @@ type TLB struct {
 // entries must be a positive multiple of assoc.
 func NewTLB(entries, assoc int) *TLB {
 	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
+		//lint:allow nolibpanic geometry comes from mmu.Config.Validate-checked fields; reaching here is a programming error
 		panic("mmu: bad TLB geometry")
 	}
 	numSets := entries / assoc

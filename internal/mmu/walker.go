@@ -1,5 +1,7 @@
 package mmu
 
+import "mnpusim/internal/invariant"
+
 // walkJob tracks one in-flight page-table walk. The walker issues one
 // PTE read per level, serially — level i+1's node address depends on the
 // PTE fetched at level i — so a full walk costs `levels` dependent DRAM
@@ -48,6 +50,7 @@ func newWalkerPool(total int, min, max []int) *walkerPool {
 		reserved += m
 	}
 	if reserved > total {
+		//lint:allow nolibpanic bounds come from mmu.Config.Validate-checked walker counts; reaching here is a programming error
 		panic("mmu: walker reservations exceed pool size")
 	}
 	return &walkerPool{
@@ -87,8 +90,10 @@ func (p *walkerPool) grab(core int) {
 func (p *walkerPool) release(core int) {
 	p.inUse[core]--
 	p.free++
-	if p.inUse[core] < 0 || p.free > p.total {
-		panic("mmu: walker pool accounting corrupted")
+	if invariant.Enabled {
+		invariant.Check(p.inUse[core] >= 0 && p.free <= p.total,
+			"mmu: walker pool accounting corrupted (double release?) core=%d inUse=%d free=%d total=%d",
+			core, p.inUse[core], p.free, p.total)
 	}
 }
 
@@ -134,8 +139,10 @@ func (p *dwsPool) grab(core int, pending []int) (owner int, ok bool) {
 
 func (p *dwsPool) release(owner int) {
 	p.freeHome[owner]++
-	if p.freeHome[owner] > p.perCore {
-		panic("mmu: dws pool accounting corrupted")
+	if invariant.Enabled {
+		invariant.Check(p.freeHome[owner] <= p.perCore,
+			"mmu: dws pool accounting corrupted (double release?) owner=%d free=%d perCore=%d",
+			owner, p.freeHome[owner], p.perCore)
 	}
 }
 

@@ -1,6 +1,10 @@
 package mmu
 
-import "testing"
+import (
+	"testing"
+
+	"mnpusim/internal/invariant"
+)
 
 func TestWalkerPoolEqualStatic(t *testing.T) {
 	// min=max=2 per core: each core capped at 2, reservations held.
@@ -92,6 +96,10 @@ func TestWalkerPoolOverReservationPanics(t *testing.T) {
 }
 
 func TestWalkerPoolAccountingCorruptionPanics(t *testing.T) {
+	// The accounting cross-check is gated behind -tags=invariants.
+	if !invariant.Enabled {
+		t.Skip("requires -tags=invariants")
+	}
 	p := newWalkerPool(2, []int{0, 0}, []int{2, 2})
 	defer func() {
 		if recover() == nil {
@@ -146,6 +154,9 @@ func TestDWSPoolReleaseReturnsToOwner(t *testing.T) {
 }
 
 func TestDWSPoolOverReleasePanics(t *testing.T) {
+	if !invariant.Enabled {
+		t.Skip("requires -tags=invariants")
+	}
 	p := newDWSPool(1, 1)
 	defer func() {
 		if recover() == nil {

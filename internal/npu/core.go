@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mnpusim/internal/clock"
+	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/tile"
 )
@@ -129,6 +130,11 @@ func (c *Core) FinishedFirstIteration() bool { return c.finishedFirst }
 func (c *Core) Tick(now int64) {
 	targetLocal := c.dom.LocalFloor(now + 1)
 	elapsed := targetLocal - c.localDone
+	if invariant.Enabled {
+		invariant.Check(elapsed >= 0,
+			"npu: core %d local clock would run backwards: done=%d target=%d (global %d)",
+			c.id, c.localDone, targetLocal, now)
+	}
 	if elapsed <= 0 {
 		return
 	}
@@ -278,6 +284,17 @@ func (c *Core) advanceLoadWindow() {
 			c.loadEmit = newEmitter(c.sched.Tasks[c.loadTile].Loads, c.arch.BlockBytes)
 		}
 	}
+	if invariant.Enabled {
+		// SPM double-buffer overlap: the scratchpad holds the computing
+		// tile plus at most one prefetched tile, so the load pipeline
+		// must never run further ahead of compute than the window.
+		invariant.Check(c.loadedThrough <= c.loadWindow(),
+			"npu: core %d SPM overlap: loadedThrough=%d exceeds window=%d (compute=%d)",
+			c.id, c.loadedThrough, c.loadWindow(), c.computeTile)
+		invariant.Check(c.loadTile <= c.loadedThrough+1,
+			"npu: core %d load pipeline skipped a tile: loadTile=%d loadedThrough=%d",
+			c.id, c.loadTile, c.loadedThrough)
+	}
 }
 
 // checkIterationEnd detects the end of one full inference (all tiles
@@ -354,7 +371,16 @@ func (c *Core) SkipTo(now int64) {
 	if elapsed <= 0 {
 		return
 	}
+	tileBefore := c.computeTile
 	c.advanceCompute(elapsed)
+	if invariant.Enabled {
+		// The skip window was chosen to end strictly before the pending
+		// tile completion; a tile finishing inside it means the skipped
+		// cycles would have emitted stores and issued requests.
+		invariant.Check(c.computeTile == tileBefore,
+			"npu: core %d completed tile %d inside a skipped window ending at global %d",
+			c.id, tileBefore, now)
+	}
 	c.localDone = targetLocal
 	c.stats.LocalCycles = c.localDone
 }

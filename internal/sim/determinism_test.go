@@ -1,0 +1,48 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mnpusim/internal/report"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+// TestRunDeterministic runs a small full-sharing simulation twice and
+// byte-compares the serialized metrics. Any map-iteration-order or
+// wall-clock leak anywhere in the pipeline shows up here as a diff.
+// CI runs this under -tags=invariants so the runtime checks are live.
+func TestRunDeterministic(t *testing.T) {
+	cfg, err := sim.NewWorkloadConfig(workloads.ScaleTiny, sim.ShareDWT, "ncf", "gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serialize := func() ([]byte, []byte) {
+		t.Helper()
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := report.CoreResultCSV(&csv, res); err != nil {
+			t.Fatal(err)
+		}
+		return js, csv.Bytes()
+	}
+
+	js1, csv1 := serialize()
+	js2, csv2 := serialize()
+	if !bytes.Equal(js1, js2) {
+		t.Errorf("JSON output differs between identical runs:\nfirst:  %s\nsecond: %s", js1, js2)
+	}
+	if !bytes.Equal(csv1, csv2) {
+		t.Errorf("CSV output differs between identical runs:\nfirst:\n%s\nsecond:\n%s", csv1, csv2)
+	}
+}

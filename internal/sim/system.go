@@ -5,6 +5,7 @@ import (
 
 	"mnpusim/internal/clock"
 	"mnpusim/internal/dram"
+	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/npu"
@@ -71,7 +72,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	for i, set := range cfg.channelSets() {
-		memory.SetCoreChannels(i, set)
+		if err := memory.SetCoreChannels(i, set); err != nil {
+			return Result{}, err
+		}
 	}
 
 	ids := &mem.IDAllocator{}
@@ -144,8 +147,14 @@ func Run(cfg Config) (Result, error) {
 
 	var loopIters, loopSkips, loopSkipped int64
 	now := int64(0)
+	prevNow := int64(-1)
 	for !allDone() {
 		loopIters++
+		if invariant.Enabled {
+			invariant.Check(now > prevNow,
+				"sim: global clock not monotonic: %d after %d", now, prevNow)
+			prevNow = now
+		}
 		if cfg.MaxGlobalCycles > 0 && now > cfg.MaxGlobalCycles {
 			return Result{}, fmt.Errorf("sim: exceeded MaxGlobalCycles=%d (deadlock or runaway config)", cfg.MaxGlobalCycles)
 		}
@@ -192,6 +201,10 @@ func Run(cfg Config) (Result, error) {
 		}
 		if next >= farFuture {
 			return Result{}, fmt.Errorf("sim: system wedged at cycle %d with no pending events: %s", now, describeWedge(cores, unit))
+		}
+		if invariant.Enabled {
+			invariant.Check(next > now+1,
+				"sim: fast-forward target %d does not advance past %d", next, now)
 		}
 		loopSkips++
 		loopSkipped += next - now - 1

@@ -51,9 +51,14 @@ func (c Cost) Utilization(a Array) float64 {
 //
 // The output is tiled into ceil(M/Rows) x ceil(N/Cols) folds. In each
 // fold every PE accumulates one output element: operands are skewed into
-// the array over Rows-1 cycles, K partial products accumulate over K
-// cycles, and results drain over Cols-1 cycles, giving K + Rows + Cols
-// - 2 cycles per fold (the SCALE-Sim output-stationary formula).
+// the array over its occupied rows, K partial products accumulate over K
+// cycles, and results drain over its occupied columns, giving
+// K + rows + cols - 2 cycles per fold (the SCALE-Sim output-stationary
+// formula, with the skew/drain lengths of the fold actually computed —
+// a fold occupying one row fills in one cycle, not Rows cycles).
+// Summed over the fold grid this gives the closed form below: the
+// occupied rows of a column of folds total M and the occupied columns
+// of a row of folds total N.
 //
 // If a dimension is smaller than the array (e.g. a thin tensor on a
 // 128-wide array), whole rows or columns of PEs idle for the entire
@@ -65,9 +70,9 @@ func (a Array) GEMM(m, k, n int) Cost {
 	foldsM := int64(ceilDiv(m, a.Rows))
 	foldsN := int64(ceilDiv(n, a.Cols))
 	folds := foldsM * foldsN
-	perFold := int64(k + a.Rows + a.Cols - 2)
+	cycles := folds*int64(k-2) + foldsN*int64(m) + foldsM*int64(n)
 	return Cost{
-		Cycles: folds * perFold,
+		Cycles: cycles,
 		MACs:   int64(m) * int64(k) * int64(n),
 		Folds:  folds,
 	}

@@ -24,6 +24,7 @@ type RateRecorder struct {
 // cycles.
 func NewRateRecorder(window int64) *RateRecorder {
 	if window <= 0 {
+		//lint:allow nolibpanic instrumentation constructor with compile-time-constant window sizes at every call site
 		panic("trace: window must be positive")
 	}
 	return &RateRecorder{window: window}
@@ -93,6 +94,7 @@ type BandwidthRecorder struct {
 // NewBandwidthRecorder creates a recorder for the given core count.
 func NewBandwidthRecorder(cores int, window int64) *BandwidthRecorder {
 	if window <= 0 || cores <= 0 {
+		//lint:allow nolibpanic instrumentation constructor with compile-time-constant geometry at every call site
 		panic("trace: invalid bandwidth recorder geometry")
 	}
 	return &BandwidthRecorder{window: window, cores: cores, bytes: make([][]int64, cores)}
