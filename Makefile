@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint invariants check bench
+.PHONY: build test race vet lint invariants check bench obs-smoke
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,12 @@ check: lint test race invariants
 # (serial vs worker pool, event skipping on vs off) -> BENCH_sweep.json.
 bench:
 	$(GO) run ./cmd/mnpubench -sweep-bench BENCH_sweep.json
+
+# End-to-end observability smoke: run a tiny dual-core simulation with
+# the Chrome-trace exporter and counter registry on, then re-validate
+# the trace's structural invariants with the exporter's own checker.
+obs-smoke:
+	$(GO) run ./cmd/mnpusim -workloads ncf,gpt2 -scale tiny -sharing +dwt \
+		-obs /tmp/mnpusim_obs_smoke.json -obs-counters /tmp/mnpusim_obs_smoke.txt
+	$(GO) run ./cmd/mnputrace -mode validate -in /tmp/mnpusim_obs_smoke.json
+	@head -3 /tmp/mnpusim_obs_smoke.txt

@@ -10,13 +10,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"mnpusim/internal/asciiplot"
 	"mnpusim/internal/config"
 	"mnpusim/internal/experiments"
+	"mnpusim/internal/obs"
 	"mnpusim/internal/report"
 	"mnpusim/internal/workloads"
 )
@@ -91,9 +95,29 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		noSkip     = fs.Bool("no-event-skip", false, "tick every cycle instead of event skipping (debug; results identical)")
 		sweepBench = fs.String("sweep-bench", "", "write a JSON wall-clock benchmark of the dual-core sweep to this file and exit")
+		obsCtr     = fs.String("obs-counters", "", "write the accumulated metric counters of every simulation as sorted 'name value' lines to this file, or - for stdout")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "pprof:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Fprintf(os.Stderr, "pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	if *listFlag {
 		for _, e := range table() {
@@ -122,6 +146,9 @@ func run(args []string) error {
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
+	if *obsCtr != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
 	csvDir = *csvFlag
 	r := experiments.NewRunner(opts)
 	for _, e := range table() {
@@ -135,7 +162,28 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	fmt.Printf("(%d simulations)\n", r.Simulations())
+	if opts.Metrics != nil {
+		if err := writeCounters(*obsCtr, opts.Metrics.Snapshot()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeCounters writes a registry snapshot to path, or stdout for "-".
+func writeCounters(path string, snap obs.Snapshot) error {
+	if path == "-" {
+		return snap.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runFig2b(r *experiments.Runner) error {

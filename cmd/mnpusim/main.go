@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"mnpusim/internal/config"
+	"mnpusim/internal/obs"
 	"mnpusim/internal/sim"
 )
 
@@ -43,6 +44,8 @@ func run(args []string) error {
 		noXlat        = fs.Bool("no-translation", false, "remove address translation (bandwidth isolation mode)")
 		outFlag       = fs.String("out", "", "result directory (omit to print to stdout only)")
 		idealFlag     = fs.Bool("ideal", false, "also run each workload on the Ideal baseline and report speedups")
+		obsFlag       = fs.String("obs", "", "write a Chrome trace-event timeline (Perfetto-loadable JSON) to this file")
+		obsCounters   = fs.String("obs-counters", "", "write the run's metric counters as sorted 'name value' lines to this file, or - for stdout")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: mnpusim -workloads a,b [-scale s] [-sharing l] [-out dir]")
@@ -84,9 +87,34 @@ func run(args []string) error {
 		return fmt.Errorf("need -workloads or six positional config arguments")
 	}
 
+	var chrome *obs.ChromeTrace
+	if *obsFlag != "" {
+		f, err := os.Create(*obsFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		chrome = obs.NewChromeTrace(f)
+		cfg.Obs = chrome
+	}
+	if *obsCounters != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+
 	res, err := sim.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			return fmt.Errorf("writing obs trace: %w", err)
+		}
+		fmt.Printf("obs trace written to %s\n", *obsFlag)
+	}
+	if cfg.Metrics != nil {
+		if err := writeCounters(*obsCounters, cfg.Metrics.Snapshot()); err != nil {
+			return err
+		}
 	}
 
 	var ideal []sim.CoreResult
@@ -149,6 +177,22 @@ func writeResults(dir string, cfg sim.Config, res sim.Result) error {
 		}
 	}
 	return nil
+}
+
+// writeCounters writes a registry snapshot to path, or stdout for "-".
+func writeCounters(path string, snap obs.Snapshot) error {
+	if path == "-" {
+		return snap.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func human(b int64) string {

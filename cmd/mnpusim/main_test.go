@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"mnpusim/internal/obs"
 )
 
 func TestRunWithWorkloadFlags(t *testing.T) {
@@ -72,6 +75,54 @@ func TestHuman(t *testing.T) {
 	for in, want := range cases {
 		if got := human(in); got != want {
 			t.Errorf("human(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRunWithObsExport checks the -obs / -obs-counters flags produce a
+// valid Chrome trace and a sorted counters file.
+func TestRunWithObsExport(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	counters := filepath.Join(dir, "counters.txt")
+	err := run([]string{"-workloads", "ncf,gpt2", "-scale", "tiny", "-sharing", "+dwt",
+		"-obs", trace, "-obs-counters", counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	for _, p := range []string{"core0 ncf", "core1 gpt2", "dram", "sim"} {
+		found := false
+		for _, n := range sum.ProcessNames {
+			if n == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing process %q in %v", p, sum.ProcessNames)
+		}
+	}
+	ctr, err := os.ReadFile(counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(ctr)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("counters file has %d lines", len(lines))
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Error("counters file not sorted")
+	}
+	for _, want := range []string{"sim.global_cycles ", "mmu.tlb_hits.core0 ", "dram.row_hits.ch0 "} {
+		if !strings.Contains(string(ctr), "\n"+want) && !strings.HasPrefix(string(ctr), want) {
+			t.Errorf("counters missing %q", want)
 		}
 	}
 }

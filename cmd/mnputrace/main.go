@@ -6,6 +6,14 @@
 //	mnputrace -mode rate -workload ncf
 //	mnputrace -mode bandwidth -workload ds2 -co gpt2
 //	mnputrace -mode log -workload ncf -out requests.log -limit 10000
+//
+// It also exports the unified observability layer: -obs writes a
+// Perfetto-loadable Chrome trace of the traced simulation,
+// -obs-counters dumps the metric registry, and validate mode checks a
+// previously written trace file:
+//
+//	mnputrace -mode rate -workload ncf -obs trace.json
+//	mnputrace -mode validate -in trace.json
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"mnpusim/internal/config"
 	"mnpusim/internal/experiments"
 	"mnpusim/internal/mem"
+	"mnpusim/internal/obs"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/trace"
 )
@@ -31,21 +40,52 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mnputrace", flag.ContinueOnError)
 	var (
-		mode     = fs.String("mode", "rate", "trace mode: rate, bandwidth, or log")
+		mode     = fs.String("mode", "rate", "trace mode: rate, bandwidth, log, or validate")
 		workload = fs.String("workload", "ncf", "workload to trace")
 		co       = fs.String("co", "gpt2", "second workload (bandwidth mode)")
 		scaleF   = fs.String("scale", "tiny", "system scale")
 		out      = fs.String("out", "", "output file (log mode; default stdout)")
 		limit    = fs.Int64("limit", 100_000, "maximum log records (log mode)")
+		obsF     = fs.String("obs", "", "write a Chrome trace-event timeline of the traced simulation (rate and log modes)")
+		obsCtr   = fs.String("obs-counters", "", "write metric counters as sorted 'name value' lines to this file, or - for stdout")
+		inF      = fs.String("in", "", "trace JSON file to check (validate mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *mode == "validate" {
+		return validateTrace(*inF)
+	}
+
 	scale, err := config.ParseScale(*scaleF)
 	if err != nil {
 		return err
 	}
-	r := experiments.NewRunner(experiments.Options{Scale: scale})
+
+	opts := experiments.Options{Scale: scale}
+	var chrome *obs.ChromeTrace
+	if *obsF != "" {
+		switch *mode {
+		case "rate", "log":
+		default:
+			return fmt.Errorf("-obs writes one simulation's timeline; supported in rate and log modes only")
+		}
+		f, err := os.Create(*obsF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		chrome = obs.NewChromeTrace(f)
+		opts.Obs = chrome
+		opts.Workers = 1 // a timeline of interleaved simulations is meaningless
+	}
+	var reg *obs.Registry
+	if *obsCtr != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+	r := experiments.NewRunner(opts)
 
 	switch *mode {
 	case "rate":
@@ -91,6 +131,10 @@ func run(args []string) error {
 			return err
 		}
 		cfg := sim.IdealFor(base, 0)
+		if chrome != nil {
+			cfg.Obs = chrome
+		}
+		cfg.Metrics = reg
 		cfg.OnIssue = func(now int64, req *mem.Request) {
 			if log.Lines() < *limit {
 				_ = log.Log(now, req)
@@ -101,7 +145,57 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records\n", min(log.Lines(), *limit))
 	default:
-		return fmt.Errorf("unknown mode %q (want rate, bandwidth, or log)", *mode)
+		return fmt.Errorf("unknown mode %q (want rate, bandwidth, log, or validate)", *mode)
+	}
+
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			return fmt.Errorf("writing obs trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "obs trace written to %s\n", *obsF)
+	}
+	if reg != nil {
+		if err := writeCounters(*obsCtr, reg.Snapshot()); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// validateTrace checks a Chrome trace file's structural invariants and
+// prints a track summary.
+func validateTrace(path string) error {
+	if path == "" {
+		return fmt.Errorf("validate mode needs -in trace.json")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sum, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid Chrome trace: %d events, %d processes, %d tracks\n",
+		path, sum.Events, len(sum.ProcessNames), len(sum.ThreadNames))
+	for _, n := range sum.ProcessNames {
+		fmt.Printf("  process %s\n", n)
+	}
+	return nil
+}
+
+// writeCounters writes a registry snapshot to path, or stdout for "-".
+func writeCounters(path string, snap obs.Snapshot) error {
+	if path == "-" {
+		return snap.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

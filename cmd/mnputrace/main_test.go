@@ -38,3 +38,37 @@ func TestRunRejectsBadMode(t *testing.T) {
 		t.Error("bad workload accepted")
 	}
 }
+
+// TestObsRoundTrip writes a Chrome trace in rate mode, then validates
+// it through the command's own validate mode.
+func TestObsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	counters := filepath.Join(dir, "counters.txt")
+	if err := run([]string{"-mode", "rate", "-workload", "ncf",
+		"-obs", trace, "-obs-counters", counters}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mode", "validate", "-in", trace}); err != nil {
+		t.Fatalf("round-trip validation failed: %v", err)
+	}
+	ctr, err := os.ReadFile(counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ctr), "sim.runs 1\n") {
+		t.Errorf("counters missing sim.runs:\n%s", ctr)
+	}
+}
+
+func TestObsFlagRestrictions(t *testing.T) {
+	if err := run([]string{"-mode", "bandwidth", "-obs", filepath.Join(t.TempDir(), "t.json")}); err == nil {
+		t.Error("-obs accepted in bandwidth mode")
+	}
+	if err := run([]string{"-mode", "validate"}); err == nil {
+		t.Error("validate without -in accepted")
+	}
+	if err := run([]string{"-mode", "validate", "-in", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("validate of missing file accepted")
+	}
+}

@@ -3,6 +3,7 @@ package dram
 import (
 	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
+	"mnpusim/internal/obs"
 )
 
 // pending pairs a queued request with its decoded location.
@@ -56,6 +57,10 @@ type channel struct {
 
 	// lastTick tracks tick monotonicity under -tags=invariants.
 	lastTick int64
+
+	// obs, if non-nil, receives the command-stream probe events (CAS
+	// issue, row hit/miss/conflict, refresh). Set via Memory.SetObs.
+	obs obs.Sink
 
 	stats ChannelStats
 }
@@ -222,6 +227,10 @@ func (c *channel) handleRefresh(now int64) bool {
 			c.banks[b].nextActivate = now + int64(t.RFC)
 		}
 		c.stats.Refreshes++
+		if c.obs != nil {
+			c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRefresh, Unit: int32(c.id),
+				A: int64(t.RFC), B: int64(r)})
+		}
 		return true
 	}
 	return false
@@ -378,19 +387,35 @@ func (c *channel) issue(now int64, idx int) {
 		c.stats.RowHits++
 		c.stats.BytesMoved += int64(p.req.Size)
 		c.stats.BusBusyCycles += int64(t.BL2)
+		isWrite := p.req.Kind == mem.Write
 		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+		if c.obs != nil {
+			var wr int64
+			if isWrite {
+				wr = 1
+			}
+			c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindDRAMIssue, Unit: int32(c.id),
+				A: int64(len(c.queue)), B: wr})
+			c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowHit, Unit: int32(c.id)})
+		}
 
 	case b.openRow >= 0:
 		// Row conflict: precharge when legal.
 		if now >= b.nextPrecharge {
 			c.precharge(now, bi)
 			c.stats.RowMisses++
+			if c.obs != nil {
+				c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowConflict, Unit: int32(c.id)})
+			}
 		}
 
 	default:
 		// Bank closed: activate when legal.
 		if c.canActivate(now, p.loc) {
 			c.activate(now, p.loc)
+			if c.obs != nil {
+				c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowMiss, Unit: int32(c.id)})
+			}
 		}
 	}
 }

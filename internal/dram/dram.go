@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mnpusim/internal/mem"
+	"mnpusim/internal/obs"
 )
 
 // TransferFunc observes every completed data burst; used by the
@@ -23,6 +24,11 @@ type Memory struct {
 	// OnTransfer, if non-nil, is called when a request's data burst
 	// completes.
 	OnTransfer TransferFunc
+
+	// obs, if non-nil, receives structured probe events (enqueues,
+	// transfers, and the per-channel command stream). Observation never
+	// alters scheduling.
+	obs obs.Sink
 }
 
 // New creates a Memory. Every core that issues requests must be routed
@@ -51,6 +57,15 @@ func MustNew(cfg Config) *Memory {
 
 // Config returns the device configuration.
 func (m *Memory) Config() Config { return m.cfg }
+
+// SetObs attaches a probe-event sink to the device and every channel
+// controller; nil detaches it.
+func (m *Memory) SetObs(s obs.Sink) {
+	m.obs = s
+	for _, ch := range m.channels {
+		ch.obs = s
+	}
+}
 
 // SetCoreChannels routes core's physical blocks across the given channel
 // set. Passing nil or an empty set assigns all channels. It rejects a
@@ -116,8 +131,13 @@ func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
 	m.seq++
 	m.inflight++
 	inner := r.Done
+	chIdx := int32(loc.Channel)
 	r.Done = func(done int64, rr *mem.Request) {
 		m.inflight--
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Cycle: done, Kind: obs.KindTransfer, Core: int32(rr.Core),
+				Unit: chIdx, A: int64(rr.Size), B: int64(rr.Class)})
+		}
 		if m.OnTransfer != nil {
 			m.OnTransfer(done, rr.Core, int(rr.Size), rr.Class)
 		}
@@ -126,6 +146,10 @@ func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
 		}
 	}
 	ch.enqueue(r, loc, m.seq)
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindDRAMEnqueue, Core: int32(r.Core),
+			Unit: chIdx, A: int64(len(ch.queue))})
+	}
 	return true
 }
 

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"mnpusim/internal/dram"
-	"mnpusim/internal/mem"
 	"mnpusim/internal/metrics"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/trace"
@@ -32,13 +31,16 @@ func (b BurstinessResult) String() string {
 
 // Burstiness runs Fig 2(b) for the named workload (the paper uses ncf).
 func Burstiness(r *Runner, workload string) (BurstinessResult, error) {
-	rec := trace.NewRateRecorder(1000)
+	rec, err := trace.NewRateRecorder(1000)
+	if err != nil {
+		return BurstinessResult{}, err
+	}
 	base, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, workload)
 	if err != nil {
 		return BurstinessResult{}, err
 	}
 	cfg := sim.IdealFor(base, 0)
-	cfg.OnIssue = func(now int64, _ *mem.Request) { rec.Record(now) }
+	cfg.Obs = rec // the recorder consumes KindDMAIssue probe events
 	if _, err := r.run(cfg); err != nil {
 		return BurstinessResult{}, err
 	}
@@ -369,13 +371,16 @@ func BandwidthTimeline(r *Runner, a, b string) (BWTimelineResult, error) {
 	peak := 2 * p.PerCoreBandwidth() // dual-core aggregate, bytes/cycle
 
 	runOne := func(w string) ([]float64, error) {
-		rec := trace.NewBandwidthRecorder(1, window)
+		rec, err := trace.NewBandwidthRecorder(1, window)
+		if err != nil {
+			return nil, err
+		}
 		base, err := sim.NewWorkloadConfig(r.opts.Scale, sim.Static, w, w)
 		if err != nil {
 			return nil, err
 		}
 		cfg := sim.IdealFor(base, 0)
-		cfg.OnTransfer = rec.Record
+		cfg.Obs = rec // the recorder consumes KindTransfer probe events
 		if _, err := r.run(cfg); err != nil {
 			return nil, err
 		}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"mnpusim/internal/metrics"
+	"mnpusim/internal/obs"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
@@ -44,6 +45,14 @@ type Options struct {
 	// NoEventSkip forces every simulation to tick cycle-by-cycle
 	// (see sim.Config.NoEventSkip); results are identical either way.
 	NoEventSkip bool
+	// Obs, if non-nil, receives the probe stream of every simulation the
+	// runner executes (see sim.Config.Obs). With Workers != 1 events
+	// from concurrent simulations interleave, so the sink must be safe
+	// for concurrent use (wrap with obs.Locked); results are unaffected.
+	Obs obs.Sink
+	// Metrics, if non-nil, accumulates every simulation's counters into
+	// one registry (obs.Registry is safe for concurrent use).
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns tiny-scale options suitable for benchmarks.
@@ -151,6 +160,12 @@ func (r *Runner) logf(format string, args ...any) {
 func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
 	if r.opts.NoEventSkip {
 		cfg.NoEventSkip = true
+	}
+	if r.opts.Obs != nil {
+		cfg.Obs = obs.Tee(cfg.Obs, r.opts.Obs)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = r.opts.Metrics
 	}
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()

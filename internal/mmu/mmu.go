@@ -5,6 +5,7 @@ import (
 
 	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
+	"mnpusim/internal/obs"
 )
 
 // Backend is the memory system the MMU issues physical requests into;
@@ -66,6 +67,11 @@ type MMU struct {
 	// Per-cycle TLB port accounting.
 	portCycle int64
 	portUsed  []int
+
+	// obs, if non-nil, receives structured probe events (TLB hit/miss,
+	// MSHR alloc/free, walk start/end). Observation never alters
+	// translation behavior.
+	obs obs.Sink
 
 	stats []CoreStats
 }
@@ -131,6 +137,9 @@ func (m *MMU) tlbFor(core int) *TLB {
 // TLBFor exposes the TLB serving core, for instrumentation.
 func (m *MMU) TLBFor(core int) *TLB { return m.tlbFor(core) }
 
+// SetObs attaches a probe-event sink; nil detaches it.
+func (m *MMU) SetObs(s obs.Sink) { m.obs = s }
+
 // Stats returns a snapshot of core's counters.
 func (m *MMU) Stats(core int) CoreStats { return m.stats[core] }
 
@@ -164,6 +173,9 @@ func (m *MMU) Submit(now int64, r *mem.Request) bool {
 		m.stats[core].TLBMisses++
 		m.stats[core].CoalescedMisses++
 		e.waiters = append(e.waiters, r)
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindTLBMiss, Core: int32(core), A: 1})
+		}
 		return true
 	}
 	if ppn, ok := m.tlbFor(core).Lookup(core, vpn); ok {
@@ -172,6 +184,9 @@ func (m *MMU) Submit(now int64, r *mem.Request) bool {
 		m.stats[core].TLBHits++
 		r.Addr = ppn | (r.VAddr & (uint64(m.cfg.PageSize) - 1))
 		m.issueQ[core].Push(r)
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindTLBHit, Core: int32(core)})
+		}
 		return true
 	}
 	// Miss on a new page: need an MSHR slot and a queued walk.
@@ -187,6 +202,10 @@ func (m *MMU) Submit(now int64, r *mem.Request) bool {
 	m.stats[core].TLBMisses++
 	m.mshr[core][vpn] = &mshrEntry{waiters: []*mem.Request{r}}
 	m.walkFIFO = append(m.walkFIFO, walkRequest{core: core, vpn: vpn, at: now})
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindTLBMiss, Core: int32(core)})
+		m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindMSHRAlloc, Core: int32(core), A: int64(len(m.mshr[core]))})
+	}
 	if invariant.Enabled {
 		invariant.Check(len(m.mshr[core]) <= m.cfg.MaxPendingWalks,
 			"mmu: MSHR leak: core %d holds %d entries, limit %d", core, len(m.mshr[core]), m.cfg.MaxPendingWalks)
@@ -250,6 +269,9 @@ func (m *MMU) dispatchWalks(now int64) {
 			job.readyAt = now + int64(len(ptes))*m.cfg.EffectiveWalkLatency()
 		}
 		m.active = append(m.active, job)
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindWalkStart, Core: int32(wr.core), A: int64(wr.vpn), B: int64(owner)})
+		}
 	}
 	m.walkFIFO = remaining
 }
@@ -340,6 +362,10 @@ func (m *MMU) completeWalk(now int64, job *walkJob) {
 			m.issueQ[job.core].Push(r)
 		}
 		delete(m.mshr[job.core], job.vpn)
+	}
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindWalkEnd, Core: int32(job.core), A: int64(job.vpn), B: lat})
+		m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindMSHRFree, Core: int32(job.core), A: int64(len(m.mshr[job.core]))})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"mnpusim/internal/clock"
 	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
+	"mnpusim/internal/obs"
 	"mnpusim/internal/tile"
 )
 
@@ -83,6 +84,15 @@ type Core struct {
 	// (before translation), on the global clock.
 	OnIssue func(now int64, r *mem.Request)
 
+	// Obs, if non-nil, receives structured probe events (tile start and
+	// finish, SPM double-buffer swaps, DMA issue/complete, iteration
+	// ends). ObsCycleOffset shifts the core's view of the global clock
+	// onto the true timeline when execution initiation is delayed: the
+	// driver ticks a delayed core with now-start, so event timestamps add
+	// the start back. Observation never alters execution.
+	Obs            obs.Sink
+	ObsCycleOffset int64
+
 	stats Stats
 }
 
@@ -142,7 +152,12 @@ func (c *Core) Tick(now int64) {
 	c.issueDMA(now, elapsed)
 	c.localDone = targetLocal
 	c.stats.LocalCycles = c.localDone
-	c.checkIterationEnd()
+	c.checkIterationEnd(now)
+}
+
+// obsGlobal maps a core-local cycle onto the true global timeline.
+func (c *Core) obsGlobal(localCycle int64) int64 {
+	return c.dom.ToGlobal(localCycle) + c.ObsCycleOffset
 }
 
 // advanceCompute spends up to elapsed local cycles on the systolic
@@ -157,6 +172,10 @@ func (c *Core) advanceCompute(elapsed int64) {
 		if !c.computeInit {
 			c.computeRem = c.sched.Tasks[c.computeTile].ComputeCycles
 			c.computeInit = true
+			if c.Obs != nil {
+				c.Obs.Emit(obs.Event{Cycle: c.obsGlobal(c.localDone + (elapsed - rem)), Kind: obs.KindTileStart,
+					Core: int32(c.id), A: int64(c.computeTile), B: int64(c.sched.Tasks[c.computeTile].Layer)})
+			}
 		}
 		step := min(rem, c.computeRem)
 		c.computeRem -= step
@@ -179,6 +198,10 @@ func (c *Core) completeTile(at int64) {
 	if len(t.Stores) > 0 {
 		c.storeQueue = append(c.storeQueue, newEmitter(t.Stores, c.arch.BlockBytes))
 	}
+	if c.Obs != nil {
+		c.Obs.Emit(obs.Event{Cycle: c.obsGlobal(c.localDone + at), Kind: obs.KindTileFinish,
+			Core: int32(c.id), A: int64(c.computeTile), B: int64(t.Layer)})
+	}
 	c.computeTile++
 	c.computeInit = false
 }
@@ -186,7 +209,7 @@ func (c *Core) completeTile(at int64) {
 // issueDMA hands up to elapsed*DMAIssuePerCycle requests to the MMU,
 // loads first (they gate compute), stores opportunistically.
 func (c *Core) issueDMA(now int64, elapsed int64) {
-	c.advanceLoadWindow()
+	c.advanceLoadWindow(now)
 	allow := elapsed * int64(c.arch.DMAIssuePerCycle)
 	for allow > 0 && c.inflight < c.arch.DMAMaxInflight {
 		if c.pendingReq == nil {
@@ -210,11 +233,19 @@ func (c *Core) issueDMA(now int64, elapsed int64) {
 			c.stats.StoreRequests++
 			c.stats.BytesStored += int64(r.Size)
 		}
+		if c.Obs != nil {
+			var wr int64
+			if r.Kind == mem.Write {
+				wr = 1
+			}
+			c.Obs.Emit(obs.Event{Cycle: now + c.ObsCycleOffset, Kind: obs.KindDMAIssue,
+				Core: int32(c.id), A: int64(c.inflight), B: wr})
+		}
 		if c.OnIssue != nil {
 			c.OnIssue(now, r)
 		}
 		allow--
-		c.advanceLoadWindow()
+		c.advanceLoadWindow(now)
 	}
 }
 
@@ -258,12 +289,18 @@ func (c *Core) buildRequest(addr uint64, kind mem.Kind, tileIdx int) *mem.Reques
 	if tileIdx >= 0 {
 		r.Layer = c.sched.Tasks[tileIdx].Layer
 	}
-	r.Done = func(int64, *mem.Request) {
+	r.Done = func(done int64, _ *mem.Request) {
 		c.inflight--
 		if kind == mem.Read {
 			c.loadInflight--
 		} else {
 			c.storeInflight--
+		}
+		if c.Obs != nil {
+			// done is already on the true global timeline: memory
+			// completions are delivered on the undelayed global clock.
+			c.Obs.Emit(obs.Event{Cycle: done, Kind: obs.KindDMAComplete,
+				Core: int32(c.id), A: int64(c.inflight)})
 		}
 	}
 	return r
@@ -272,13 +309,17 @@ func (c *Core) buildRequest(addr uint64, kind mem.Kind, tileIdx int) *mem.Reques
 // advanceLoadWindow marks the current load tile complete when all its
 // requests returned, and opens the next tile if the double-buffer window
 // (computeTile+1) allows.
-func (c *Core) advanceLoadWindow() {
+func (c *Core) advanceLoadWindow(now int64) {
 	for c.loadTile < len(c.sched.Tasks) &&
 		c.loadTile <= c.loadWindow() &&
 		c.loadEmit.done() &&
 		c.loadInflight == 0 &&
 		(c.pendingReq == nil || c.pendingReq.Kind != mem.Read) {
 		c.loadedThrough = c.loadTile
+		if c.Obs != nil {
+			c.Obs.Emit(obs.Event{Cycle: now + c.ObsCycleOffset, Kind: obs.KindSPMSwap,
+				Core: int32(c.id), A: int64(c.loadedThrough)})
+		}
 		c.loadTile++
 		if c.loadTile < len(c.sched.Tasks) {
 			c.loadEmit = newEmitter(c.sched.Tasks[c.loadTile].Loads, c.arch.BlockBytes)
@@ -300,13 +341,17 @@ func (c *Core) advanceLoadWindow() {
 // checkIterationEnd detects the end of one full inference (all tiles
 // computed, all stores drained) and restarts the schedule so the core
 // keeps generating co-runner contention.
-func (c *Core) checkIterationEnd() {
+func (c *Core) checkIterationEnd(now int64) {
 	if c.computeTile < len(c.sched.Tasks) ||
 		len(c.storeQueue) > 0 || c.storeInflight > 0 ||
 		c.loadInflight > 0 || c.pendingReq != nil {
 		return
 	}
 	c.stats.Iterations++
+	if c.Obs != nil {
+		c.Obs.Emit(obs.Event{Cycle: now + c.ObsCycleOffset, Kind: obs.KindIterDone,
+			Core: int32(c.id), A: int64(c.stats.Iterations)})
+	}
 	if !c.finishedFirst {
 		c.finishedFirst = true
 		c.stats.FirstIterCycles = c.localDone

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Error("counter handle not stable")
+	}
+	g := r.Gauge("q")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 7 {
+		t.Errorf("gauge = %d max %d", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramCumulativeExport(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 556 {
+		t.Errorf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	// Prometheus-style: each bucket includes everything below it.
+	for _, want := range []struct {
+		name string
+		v    int64
+	}{
+		{"lat.count", 4}, {"lat.sum", 556},
+		{"lat.le10", 2}, {"lat.le100", 3}, {"lat.leinf", 4},
+	} {
+		if got := snap.Value(want.name); got != want.v {
+			t.Errorf("%s = %d, want %d", want.name, got, want.v)
+		}
+	}
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("g").Set(9)
+		r.Histogram("h", []int64{8}).Observe(3)
+		return r.Snapshot()
+	}
+	snap := build()
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name }) {
+		t.Errorf("snapshot not sorted: %v", snap)
+	}
+	var w1, w2 strings.Builder
+	if err := snap.WriteText(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteText(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+	if !strings.Contains(w1.String(), "g.max 9") {
+		t.Errorf("gauge max missing:\n%s", w1.String())
+	}
+	if snap.Value("nope") != 0 {
+		t.Error("missing metric should read 0")
+	}
+}
+
+func TestRegistrySinkCountsEvents(t *testing.T) {
+	r := NewRegistry()
+	s := NewRegistrySink(r)
+	s.Emit(Event{Kind: KindTLBHit, Core: 0})
+	s.Emit(Event{Kind: KindTLBHit, Core: 0})
+	s.Emit(Event{Kind: KindTLBMiss, Core: 1})
+	s.Emit(Event{Kind: KindWalkEnd, Core: 0, A: 0x40, B: 30})
+	s.Emit(Event{Kind: KindRowHit, Unit: 2})
+	snap := r.Snapshot()
+	for _, want := range []struct {
+		name string
+		v    int64
+	}{
+		{"mmu.tlb_hits.core0", 2},
+		{"mmu.tlb_misses.core1", 1},
+		{"mmu.walks.core0", 1},
+		{"mmu.walk_cycles.core0.count", 1},
+		{"mmu.walk_cycles.core0.sum", 30},
+		{"dram.row_hits.ch2", 1},
+	} {
+		if got := snap.Value(want.name); got != want.v {
+			t.Errorf("%s = %d, want %d", want.name, got, want.v)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TraceSummary describes a validated Chrome trace.
+type TraceSummary struct {
+	// Events is the number of non-metadata trace events.
+	Events int
+	// ProcessNames are the sorted process_name metadata values.
+	ProcessNames []string
+	// ThreadNames are the sorted "process/thread" name pairs.
+	ThreadNames []string
+}
+
+// chromeEvent mirrors the fields of a trace record that validation
+// inspects.
+type chromeEvent struct {
+	Ph   string          `json:"ph"`
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	ID   string          `json:"id"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   *int64          `json:"ts"`
+	Dur  *int64          `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+type trackKey struct {
+	pid, tid int
+	counter  string
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON (the
+// object form with a traceEvents array) and checks the structural
+// invariants the exporter guarantees:
+//
+//   - every record has a known phase type and, except metadata, a
+//     timestamp;
+//   - per track (pid/tid pair; counters are tracked per pid+name),
+//     timestamps are monotonically non-decreasing in file order;
+//   - duration (B/E) events balance per track and never close an
+//     unopened span;
+//   - async (b/e) events balance per (cat, id, pid) key.
+//
+// It returns a summary of the track structure for test assertions.
+func ValidateChromeTrace(data []byte) (*TraceSummary, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+
+	sum := &TraceSummary{}
+	lastTs := map[trackKey]int64{}
+	depth := map[trackKey]int{}
+	async := map[string]int{}
+	procNames := map[string]bool{}
+	threadNames := map[string]bool{}
+	pidName := map[int]string{}
+
+	for i, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(e.Args, &args); err != nil || args.Name == "" {
+				return nil, fmt.Errorf("event %d: metadata record without args.name", i)
+			}
+			switch e.Name {
+			case "process_name":
+				procNames[args.Name] = true
+				pidName[e.Pid] = args.Name
+			case "thread_name":
+				threadNames[pidName[e.Pid]+"/"+args.Name] = true
+			default:
+				return nil, fmt.Errorf("event %d: unknown metadata kind %q", i, e.Name)
+			}
+			continue
+		}
+
+		if e.Ts == nil {
+			return nil, fmt.Errorf("event %d (ph=%q name=%q): missing ts", i, e.Ph, e.Name)
+		}
+		sum.Events++
+		k := trackKey{pid: e.Pid, tid: e.Tid}
+
+		switch e.Ph {
+		case "B":
+			depth[k]++
+		case "E":
+			if depth[k] == 0 {
+				return nil, fmt.Errorf("event %d: E without matching B on pid=%d tid=%d", i, e.Pid, e.Tid)
+			}
+			depth[k]--
+		case "X", "i":
+			if e.Ph == "X" && (e.Dur == nil || *e.Dur < 0) {
+				return nil, fmt.Errorf("event %d: X without non-negative dur", i)
+			}
+		case "C":
+			if e.Name == "" {
+				return nil, fmt.Errorf("event %d: counter without name", i)
+			}
+			k.counter = e.Name
+			k.tid = 0
+		case "b":
+			async[e.Cat+"\x00"+e.ID+"\x00"+fmt.Sprint(e.Pid)]++
+		case "e":
+			ak := e.Cat + "\x00" + e.ID + "\x00" + fmt.Sprint(e.Pid)
+			if async[ak] == 0 {
+				return nil, fmt.Errorf("event %d: async end without begin (cat=%q id=%q)", i, e.Cat, e.ID)
+			}
+			async[ak]--
+		default:
+			return nil, fmt.Errorf("event %d: unknown phase type %q", i, e.Ph)
+		}
+
+		if prev, ok := lastTs[k]; ok && *e.Ts < prev {
+			return nil, fmt.Errorf("event %d (ph=%q name=%q): ts %d < previous %d on pid=%d tid=%d",
+				i, e.Ph, e.Name, *e.Ts, prev, e.Pid, e.Tid)
+		}
+		lastTs[k] = *e.Ts
+	}
+
+	for k, d := range depth {
+		if d != 0 {
+			return nil, fmt.Errorf("unbalanced B/E (depth %d) on pid=%d tid=%d", d, k.pid, k.tid)
+		}
+	}
+	for ak, d := range async {
+		if d != 0 {
+			return nil, fmt.Errorf("unbalanced async span (key %q, depth %d)", ak, d)
+		}
+	}
+
+	for n := range procNames {
+		sum.ProcessNames = append(sum.ProcessNames, n)
+	}
+	for n := range threadNames {
+		sum.ThreadNames = append(sum.ThreadNames, n)
+	}
+	sort.Strings(sum.ProcessNames)
+	sort.Strings(sum.ThreadNames)
+	return sum, nil
+}

@@ -8,6 +8,7 @@ import (
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/model"
 	"mnpusim/internal/npu"
+	"mnpusim/internal/obs"
 )
 
 // Config fully describes one simulation: N cores, their workloads, the
@@ -73,6 +74,20 @@ type Config struct {
 	// MaxGlobalCycles aborts runaway simulations.
 	MaxGlobalCycles int64
 
+	// Obs, if non-nil, receives every structured probe event the run
+	// emits (see internal/obs): tile and DMA activity, TLB/walker
+	// behavior, the DRAM command stream, and main-loop skip windows.
+	// Observation never alters execution: Result is byte-identical with
+	// Obs set or nil. Sinks shared across concurrent runs must be safe
+	// for concurrent use (obs.Locked).
+	Obs obs.Sink
+
+	// Metrics, if non-nil, additionally folds the probe stream into the
+	// registry's counters and histograms (see obs.RegistrySink for the
+	// metric names). The registry accumulates: runs sharing one registry
+	// sum their counts.
+	Metrics *obs.Registry
+
 	// OnTransfer, if non-nil, observes completed DRAM bursts (the
 	// bandwidth timeline of Fig. 12).
 	OnTransfer dram.TransferFunc
@@ -86,6 +101,12 @@ type Config struct {
 	// skipped fraction measures how much of the timeline the event
 	// layer never had to simulate. Reported via a hook rather than in
 	// Result so skip-on and skip-off runs stay bit-identical.
+	//
+	// Deprecated: the same numbers live in the Metrics registry as
+	// sim.loop_iters, sim.skip_windows, and sim.skipped_cycles; the
+	// callback is a shim over a registry snapshot taken at run end. Note
+	// that with a caller-provided accumulating Metrics registry the
+	// callback reports cumulative totals across its runs.
 	OnLoopStats func(iters, skips, skippedCycles int64)
 }
 
@@ -223,6 +244,8 @@ func IdealFor(cfg Config, i int) Config {
 	out.TLBEntriesPerCore = cfg.TLBEntriesPerCore * n
 	out.PTWPerCore = cfg.PTWPerCore * n
 	out.StartCycles = nil
+	out.Obs = nil
+	out.Metrics = nil
 	out.OnTransfer = nil
 	out.OnIssue = nil
 	out.OnLoopStats = nil

@@ -9,6 +9,7 @@ import (
 	"mnpusim/internal/mem"
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/npu"
+	"mnpusim/internal/obs"
 	"mnpusim/internal/tile"
 )
 
@@ -88,6 +89,25 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// One probe stream, fanned out to the caller's sink and the metrics
+	// registry. The deprecated OnLoopStats shim needs a registry even
+	// when the caller provided none.
+	reg := cfg.Metrics
+	if reg == nil && cfg.OnLoopStats != nil {
+		reg = obs.NewRegistry()
+	}
+	sink := cfg.Obs
+	if reg != nil {
+		sink = obs.Tee(sink, obs.NewRegistrySink(reg))
+	}
+	memory.SetObs(sink)
+	unit.SetObs(sink)
+
+	starts := cfg.StartCycles
+	if starts == nil {
+		starts = make([]int64, n)
+	}
+
 	// Compile the software and build the cores.
 	cores := make([]*npu.Core, n)
 	scheds := make([]*tile.Schedule, n)
@@ -112,6 +132,8 @@ func Run(cfg Config) (Result, error) {
 		if cfg.OnIssue != nil {
 			core.OnIssue = cfg.OnIssue
 		}
+		core.Obs = sink
+		core.ObsCycleOffset = starts[i]
 		cores[i] = core
 	}
 
@@ -131,11 +153,6 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	starts := cfg.StartCycles
-	if starts == nil {
-		starts = make([]int64, n)
-	}
-
 	allDone := func() bool {
 		for _, c := range cores {
 			if !c.FinishedFirstIteration() {
@@ -143,6 +160,15 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 		return true
+	}
+
+	var finished []bool
+	if sink != nil {
+		sink.Emit(obs.Event{Cycle: 0, Kind: obs.KindRunStart, Core: -1, A: int64(n), Str: cfg.Sharing.String()})
+		for i := 0; i < n; i++ {
+			sink.Emit(obs.Event{Cycle: 0, Kind: obs.KindCoreInfo, Core: int32(i), Str: cfg.Nets[i].Name})
+		}
+		finished = make([]bool, n)
 	}
 
 	var loopIters, loopSkips, loopSkipped int64
@@ -165,6 +191,14 @@ func Run(cfg Config) (Result, error) {
 				continue
 			}
 			c.Tick(now - starts[i])
+		}
+		if sink != nil {
+			for i, c := range cores {
+				if !finished[i] && c.FinishedFirstIteration() {
+					finished[i] = true
+					sink.Emit(obs.Event{Cycle: now, Kind: obs.KindPhase, Core: int32(i), Str: "first-inference done"})
+				}
+			}
 		}
 		if cfg.NoEventSkip {
 			now++
@@ -208,6 +242,9 @@ func Run(cfg Config) (Result, error) {
 		}
 		loopSkips++
 		loopSkipped += next - now - 1
+		if sink != nil {
+			sink.Emit(obs.Event{Cycle: now, Kind: obs.KindSkipWindow, Core: -1, A: next - now - 1})
+		}
 		memory.SkipTo(next)
 		unit.SkipTo(next)
 		for i, c := range cores {
@@ -217,8 +254,14 @@ func Run(cfg Config) (Result, error) {
 		}
 		now = next
 	}
+	if sink != nil {
+		sink.Emit(obs.Event{Cycle: now, Kind: obs.KindRunEnd, Core: -1, A: now, B: loopIters})
+	}
 	if cfg.OnLoopStats != nil {
-		cfg.OnLoopStats(loopIters, loopSkips, loopSkipped)
+		// Deprecated shim: the loop bookkeeping now flows through the
+		// probe stream into the registry; replay it from a snapshot.
+		snap := reg.Snapshot()
+		cfg.OnLoopStats(snap.Value("sim.loop_iters"), snap.Value("sim.skip_windows"), snap.Value("sim.skipped_cycles"))
 	}
 
 	res := Result{

@@ -2,6 +2,11 @@
 // emits as log files: per-window memory-request rates (the burstiness
 // plot of Fig. 2b), per-window DRAM bandwidth utilization (the timeline
 // of Fig. 12), and request logs for TLB/PTW/DRAM events.
+//
+// The recorders are thin consumers of the internal/obs probe stream:
+// both implement obs.Sink, so sim.Config.Obs is the one instrumentation
+// path and the recorders are just backends over it. The legacy Record
+// entry points remain for direct use.
 package trace
 
 import (
@@ -9,6 +14,7 @@ import (
 	"io"
 
 	"mnpusim/internal/mem"
+	"mnpusim/internal/obs"
 )
 
 // RateRecorder counts events per fixed-size cycle window; the paper's
@@ -22,16 +28,24 @@ type RateRecorder struct {
 
 // NewRateRecorder creates a recorder with the given window size in
 // cycles.
-func NewRateRecorder(window int64) *RateRecorder {
+func NewRateRecorder(window int64) (*RateRecorder, error) {
 	if window <= 0 {
-		//lint:allow nolibpanic instrumentation constructor with compile-time-constant window sizes at every call site
-		panic("trace: window must be positive")
+		return nil, fmt.Errorf("trace: rate window must be positive, got %d", window)
 	}
-	return &RateRecorder{window: window}
+	return &RateRecorder{window: window}, nil
 }
 
 // Record counts one event (weight 1) at the given cycle.
 func (r *RateRecorder) Record(cycle int64) { r.Add(cycle, 1) }
+
+// Emit implements obs.Sink: the recorder counts DMA request issues from
+// the probe stream, the Fig. 2b burstiness signal. All other event
+// kinds are ignored.
+func (r *RateRecorder) Emit(e obs.Event) {
+	if e.Kind == obs.KindDMAIssue {
+		r.Add(e.Cycle, 1)
+	}
+}
 
 // Add counts weight events at the given cycle.
 func (r *RateRecorder) Add(cycle, weight int64) {
@@ -92,12 +106,23 @@ type BandwidthRecorder struct {
 }
 
 // NewBandwidthRecorder creates a recorder for the given core count.
-func NewBandwidthRecorder(cores int, window int64) *BandwidthRecorder {
-	if window <= 0 || cores <= 0 {
-		//lint:allow nolibpanic instrumentation constructor with compile-time-constant geometry at every call site
-		panic("trace: invalid bandwidth recorder geometry")
+func NewBandwidthRecorder(cores int, window int64) (*BandwidthRecorder, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: bandwidth window must be positive, got %d", window)
 	}
-	return &BandwidthRecorder{window: window, cores: cores, bytes: make([][]int64, cores)}
+	if cores <= 0 {
+		return nil, fmt.Errorf("trace: bandwidth recorder needs at least one core, got %d", cores)
+	}
+	return &BandwidthRecorder{window: window, cores: cores, bytes: make([][]int64, cores)}, nil
+}
+
+// Emit implements obs.Sink: the recorder accumulates completed-transfer
+// events from the probe stream, the Fig. 12 bandwidth signal. All other
+// event kinds are ignored.
+func (b *BandwidthRecorder) Emit(e obs.Event) {
+	if e.Kind == obs.KindTransfer {
+		b.Record(e.Cycle, int(e.Core), int(e.A), mem.Class(e.B))
+	}
 }
 
 // Record attributes a completed transfer; it is shaped to plug directly

@@ -5,10 +5,20 @@ import (
 	"testing"
 
 	"mnpusim/internal/mem"
+	"mnpusim/internal/obs"
 )
 
+func mustRate(t *testing.T, window int64) *RateRecorder {
+	t.Helper()
+	r, err := NewRateRecorder(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestRateRecorderWindows(t *testing.T) {
-	r := NewRateRecorder(100)
+	r := mustRate(t, 100)
 	r.Record(0)
 	r.Record(99)
 	r.Record(100)
@@ -30,24 +40,30 @@ func TestRateRecorderWindows(t *testing.T) {
 }
 
 func TestRateRecorderIgnoresNegativeCycles(t *testing.T) {
-	r := NewRateRecorder(10)
+	r := mustRate(t, 10)
 	r.Record(-1)
 	if len(r.Counts()) != 0 {
 		t.Error("negative cycle recorded")
 	}
 }
 
-func TestRateRecorderPanicsOnBadWindow(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	NewRateRecorder(0)
+func TestRecorderConstructorErrors(t *testing.T) {
+	if _, err := NewRateRecorder(0); err == nil {
+		t.Error("NewRateRecorder(0) should error")
+	}
+	if _, err := NewRateRecorder(-5); err == nil {
+		t.Error("NewRateRecorder(-5) should error")
+	}
+	if _, err := NewBandwidthRecorder(2, 0); err == nil {
+		t.Error("NewBandwidthRecorder window 0 should error")
+	}
+	if _, err := NewBandwidthRecorder(0, 100); err == nil {
+		t.Error("NewBandwidthRecorder cores 0 should error")
+	}
 }
 
 func TestMovingAverageSmooths(t *testing.T) {
-	r := NewRateRecorder(10)
+	r := mustRate(t, 10)
 	r.Add(0, 100) // spike in window 0
 	r.Add(35, 0)  // extend to 4 windows
 	ma := r.MovingAverage(2)
@@ -71,7 +87,10 @@ func TestMovingAverageSmooths(t *testing.T) {
 }
 
 func TestBandwidthRecorder(t *testing.T) {
-	b := NewBandwidthRecorder(2, 100)
+	b, err := NewBandwidthRecorder(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b.Record(0, 0, 64, mem.Data)
 	b.Record(50, 0, 64, mem.Data)
 	b.Record(150, 1, 128, mem.Data)
@@ -94,6 +113,30 @@ func TestBandwidthRecorder(t *testing.T) {
 	}
 	if b.Utilization(7, 1) != nil {
 		t.Error("bad core should return nil")
+	}
+}
+
+// TestRecordersConsumeProbeStream drives both recorders through their
+// obs.Sink faces and checks they filter to their own signal.
+func TestRecordersConsumeProbeStream(t *testing.T) {
+	r := mustRate(t, 100)
+	b, err := NewBandwidthRecorder(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink obs.Sink = obs.Tee(r, b)
+	sink.Emit(obs.Event{Cycle: 10, Kind: obs.KindDMAIssue, Core: 0, A: 1})
+	sink.Emit(obs.Event{Cycle: 20, Kind: obs.KindDMAIssue, Core: 0, A: 2})
+	sink.Emit(obs.Event{Cycle: 30, Kind: obs.KindTransfer, Core: 1, Unit: 0, A: 128, B: int64(mem.Data)})
+	sink.Emit(obs.Event{Cycle: 40, Kind: obs.KindTLBHit, Core: 0}) // ignored by both
+	if got := r.Counts(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("rate counts = %v, want [2]", got)
+	}
+	if got := b.Utilization(1, 1.28); len(got) != 1 || got[0] != 1.0 {
+		t.Errorf("bandwidth util = %v, want [1]", got)
+	}
+	if got := b.Utilization(0, 1.28); len(got) != 0 {
+		t.Errorf("core0 should have no windows, got %v", got)
 	}
 }
 
