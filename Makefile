@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint invariants check bench obs-smoke
+.PHONY: build test race vet lint invariants check bench obs-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,10 @@ obs-smoke:
 		-obs /tmp/mnpusim_obs_smoke.json -obs-counters /tmp/mnpusim_obs_smoke.txt
 	$(GO) run ./cmd/mnputrace -mode validate -in /tmp/mnpusim_obs_smoke.json
 	@head -3 /tmp/mnpusim_obs_smoke.txt
+
+# End-to-end serving smoke: boot mnpuserved, run a job over HTTP,
+# byte-compare the served result against `mnpusim -json`, verify the
+# result cache short-circuits a resubmission, cancel an in-flight job,
+# and drain via SIGTERM (see scripts/serve_smoke.sh).
+serve-smoke:
+	sh scripts/serve_smoke.sh

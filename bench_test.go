@@ -64,7 +64,7 @@ func sharedRunner() *experiments.Runner {
 			}
 			opts.Workers = n
 		}
-		runner = experiments.NewRunner(opts)
+		runner = experiments.NewRunner(experiments.WithOptions(opts))
 	})
 	return runner
 }

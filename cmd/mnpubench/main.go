@@ -8,14 +8,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"mnpusim/internal/asciiplot"
 	"mnpusim/internal/config"
@@ -75,13 +78,15 @@ func table() []experiment {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mnpubench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("mnpubench", flag.ContinueOnError)
 	var (
 		expFlag    = fs.String("exp", "", "experiment to run (see -list), or 'all'")
@@ -135,22 +140,25 @@ func run(args []string) error {
 	if *expFlag == "" {
 		return fmt.Errorf("need -exp <name> or -list")
 	}
-	opts := experiments.Options{
-		Scale:       scale,
-		QuadSample:  *quadSample,
-		MapSample:   *mapSample,
-		Seed:        *seedFlag,
-		Workers:     *workers,
-		NoEventSkip: *noSkip,
+	eopts := []experiments.Option{
+		experiments.WithContext(ctx),
+		experiments.WithScale(scale),
+		experiments.WithQuadSample(*quadSample),
+		experiments.WithMapSample(*mapSample),
+		experiments.WithSeed(*seedFlag),
+		experiments.WithWorkers(*workers),
+		experiments.WithNoEventSkip(*noSkip),
 	}
 	if *verbose {
-		opts.Progress = os.Stderr
+		eopts = append(eopts, experiments.WithProgress(os.Stderr))
 	}
+	var reg *obs.Registry
 	if *obsCtr != "" {
-		opts.Metrics = obs.NewRegistry()
+		reg = obs.NewRegistry()
+		eopts = append(eopts, experiments.WithMetrics(reg))
 	}
 	csvDir = *csvFlag
-	r := experiments.NewRunner(opts)
+	r := experiments.NewRunner(eopts...)
 	for _, e := range table() {
 		if *expFlag != "all" && e.name != *expFlag {
 			continue
@@ -162,8 +170,8 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	fmt.Printf("(%d simulations)\n", r.Simulations())
-	if opts.Metrics != nil {
-		if err := writeCounters(*obsCtr, opts.Metrics.Snapshot()); err != nil {
+	if reg != nil {
+		if err := writeCounters(*obsCtr, reg.Snapshot()); err != nil {
 			return err
 		}
 	}

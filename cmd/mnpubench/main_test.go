@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestExperimentTableCoversEveryFigure(t *testing.T) {
 	want := []string{
@@ -26,16 +29,16 @@ func TestExperimentTableCoversEveryFigure(t *testing.T) {
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run(context.Background(), []string{}); err == nil {
 		t.Error("no -exp accepted")
 	}
-	if err := run([]string{"-exp", "fig4", "-scale", "mega"}); err == nil {
+	if err := run(context.Background(), []string{"-exp", "fig4", "-scale", "mega"}); err == nil {
 		t.Error("bad scale accepted")
 	}
 }
 
 func TestListMode(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Errorf("-list failed: %v", err)
 	}
 }

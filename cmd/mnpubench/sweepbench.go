@@ -90,9 +90,8 @@ func profileSkip(name string, cfg sim.Config) (SkipProfile, error) {
 // timedDualSweep runs the full dual-core sharing study on a fresh
 // runner and returns the elapsed time, simulation count, and the +DWT
 // overall geomean (the determinism witness).
-func timedDualSweep(scale workloads.Scale, opts experiments.Options) (time.Duration, int, float64, error) {
-	opts.Scale = scale
-	r := experiments.NewRunner(opts)
+func timedDualSweep(scale workloads.Scale, workers int) (time.Duration, int, float64, error) {
+	r := experiments.NewRunner(experiments.WithScale(scale), experiments.WithWorkers(workers))
 	start := time.Now()
 	res, err := experiments.DualCoreSharing(r)
 	if err != nil {
@@ -101,12 +100,12 @@ func timedDualSweep(scale workloads.Scale, opts experiments.Options) (time.Durat
 	return time.Since(start), r.Simulations(), res.OverallGeomean(sim.ShareDWT), nil
 }
 
-// timedSubset runs a fixed 4-mix +DWT subset and returns elapsed time,
-// sims, and the geomean-of-geomeans witness.
-func timedSubset(scale workloads.Scale, opts experiments.Options) (time.Duration, int, float64, error) {
+// timedSubset serially runs a fixed 4-mix +DWT subset and returns
+// elapsed time, sims, and the geomean-of-geomeans witness.
+func timedSubset(scale workloads.Scale, noEventSkip bool) (time.Duration, int, float64, error) {
 	mixes := [][2]string{{"ncf", "gpt2"}, {"sfrnn", "res"}, {"dlrm", "yt"}, {"alex", "ds2"}}
-	opts.Scale = scale
-	r := experiments.NewRunner(opts)
+	r := experiments.NewRunner(experiments.WithScale(scale), experiments.WithWorkers(1),
+		experiments.WithNoEventSkip(noEventSkip))
 	start := time.Now()
 	prod := 1.0
 	for _, m := range mixes {
@@ -147,17 +146,17 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 
 	// Warm the process-wide schedule cache so both sweep legs measure
 	// simulation time, not one-off schedule compilation.
-	if _, _, _, err := timedSubset(scale, experiments.Options{Workers: 1}); err != nil {
+	if _, _, _, err := timedSubset(scale, false); err != nil {
 		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "sweep-bench: dual sweep, serial...\n")
-	serialT, sims, serialGeo, err := timedDualSweep(scale, experiments.Options{Workers: 1})
+	serialT, sims, serialGeo, err := timedDualSweep(scale, 1)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sweep-bench: dual sweep, %d workers...\n", workers)
-	parT, _, parGeo, err := timedDualSweep(scale, experiments.Options{Workers: workers})
+	parT, _, parGeo, err := timedDualSweep(scale, workers)
 	if err != nil {
 		return err
 	}
@@ -170,12 +169,12 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 	b.ParallelGeomeanDrift = abs(serialGeo - parGeo)
 
 	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping on...\n")
-	onT, subSims, onW, err := timedSubset(scale, experiments.Options{Workers: 1})
+	onT, subSims, onW, err := timedSubset(scale, false)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping off...\n")
-	offT, _, offW, err := timedSubset(scale, experiments.Options{Workers: 1, NoEventSkip: true})
+	offT, _, offW, err := timedSubset(scale, true)
 	if err != nil {
 		return err
 	}

@@ -1,7 +1,8 @@
 // Command mnpulint runs the project's static analyzer suite
 // (internal/analysis) over the module: determinism, clock-domain
 // hygiene, and the library panic policy. It exits 1 if any finding
-// survives the allowlist.
+// survives the allowlist, 2 on operational errors (bad flags,
+// unparsable source).
 //
 // Usage:
 //
@@ -11,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,9 +22,10 @@ import (
 
 // scopes maps each analyzer to the import-path prefixes it applies to.
 // nodeterminism targets the packages whose outputs must replay
-// bit-identically; clockdomain and nolibpanic cover every library
-// package. cmd/ and examples/ are deliberately outside all scopes:
-// main packages may read the wall clock (benchmark timing) and panic.
+// bit-identically; clockdomain covers every library package.
+// nolibpanic additionally covers cmd/: since the CLIs and the serving
+// daemon report failures as error returns with exit codes, panic is
+// banned there too. examples/ stays outside all scopes.
 var scopes = map[string][]string{
 	"nodeterminism": {
 		"mnpusim/internal/sim", "mnpusim/internal/experiments",
@@ -30,36 +33,46 @@ var scopes = map[string][]string{
 		"mnpusim/internal/report", "mnpusim/internal/config",
 	},
 	"clockdomain": {"mnpusim/internal/"},
-	"nolibpanic":  {"mnpusim/internal/"},
+	"nolibpanic":  {"mnpusim/internal/", "mnpusim/cmd/"},
 }
 
 func main() {
-	tags := flag.String("tags", "", "comma-separated build tags to consider satisfied")
-	flag.Parse()
-	if err := run(flag.Args(), strings.Split(*tags, ","), os.Stdout); err != nil {
+	findings, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnpulint:", err)
 		os.Exit(2)
 	}
+	if findings > 0 {
+		os.Exit(1)
+	}
 }
 
-func run(patterns, tags []string, out *os.File) error {
+// run executes the suite and returns how many findings survived the
+// allowlist; the caller owns the exit code.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("mnpulint", flag.ContinueOnError)
+	tags := fs.String("tags", "", "comma-separated build tags to consider satisfied")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	patterns := fs.Args()
 	cwd, err := os.Getwd()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	loader, err := analysis.NewLoader(cwd, tags)
+	loader, err := analysis.NewLoader(cwd, strings.Split(*tags, ","))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	dirs, err := resolvePatterns(loader, cwd, patterns)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	total := 0
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			return err
+			return total, err
 		}
 		var active []*analysis.Analyzer
 		for _, a := range analysis.All() {
@@ -81,9 +94,8 @@ func run(patterns, tags []string, out *os.File) error {
 	}
 	if total > 0 {
 		fmt.Fprintf(out, "mnpulint: %d finding(s)\n", total)
-		os.Exit(1)
 	}
-	return nil
+	return total, nil
 }
 
 // resolvePatterns expands "./..." (and "dir/...") into package

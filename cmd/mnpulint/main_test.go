@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunCleanPackage(t *testing.T) {
+	t.Chdir("../..")
+	var out bytes.Buffer
+	findings, err := run([]string{"./internal/obs"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 0 {
+		t.Errorf("%d findings in internal/obs:\n%s", findings, out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestScopesCoverCmd(t *testing.T) {
+	for path, want := range map[string]bool{
+		"mnpusim/cmd/mnpusim":    true,
+		"mnpusim/cmd/mnpuserved": true,
+		"mnpusim/internal/sim":   true,
+		"mnpusim/examples/foo":   false,
+		"mnpusim/cmdother":       false, // prefix must respect path boundaries
+	} {
+		if got := inScope("nolibpanic", path); got != want {
+			t.Errorf("inScope(nolibpanic, %s) = %v, want %v", path, got, want)
+		}
+	}
+}

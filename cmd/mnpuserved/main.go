@@ -1,0 +1,103 @@
+// Command mnpuserved is the simulation-as-a-service daemon: it serves
+// the internal/serve HTTP API, running simulation jobs on a bounded
+// worker pool with content-addressed result caching.
+//
+//	mnpuserved -addr localhost:8080 -workers 4 -queue 64
+//
+// Submit jobs with POST /v1/jobs, poll GET /v1/jobs/{id}, fetch raw
+// result bytes from GET /v1/jobs/{id}/result, cancel with DELETE
+// /v1/jobs/{id}; GET /v1/workloads lists the built-in presets and GET
+// /metrics exposes the process's counter registry. On SIGINT/SIGTERM
+// the daemon stops accepting jobs, drains in-flight work (bounded by
+// -drain-timeout, after which remaining jobs are cancelled), keeps
+// status GETs answering throughout the drain, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mnpusim/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mnpuserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (the signal path in main), then
+// drains and returns. It returns a non-nil error if startup fails or
+// the drain deadline expired with jobs still running.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mnpuserved", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "localhost:8080", "TCP listen address")
+		workers      = fs.Int("workers", runtime.NumCPU(), "simulation worker-pool size (concurrent jobs)")
+		queue        = fs.Int("queue", 64, "queued-job bound; submits beyond it get 503")
+		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job simulation timeout (0 = none; specs may override)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
+		cacheEntries = fs.Int("cache", 1024, "result-cache capacity (distinct configurations)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultJobTimeout: *jobTimeout,
+		CacheEntries:      *cacheEntries,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "mnpuserved listening on %s (%d workers)\n", ln.Addr(), *workers)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener died before any shutdown signal
+	case <-ctx.Done():
+	}
+
+	// Drain while the HTTP listener stays up, so clients keep polling
+	// job status during shutdown; only then close the listener.
+	fmt.Fprintf(stdout, "mnpuserved draining (up to %s)\n", *drainTimeout)
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	drainErr := srv.Shutdown(dctx)
+
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(hctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete, in-flight jobs cancelled: %w", drainErr)
+	}
+	fmt.Fprintln(stdout, "mnpuserved drained cleanly")
+	return nil
+}

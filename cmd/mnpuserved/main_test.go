@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer for the daemon's stdout.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, runs one
+// real tiny job through the HTTP API, then shuts it down via context
+// cancellation (the signal path) and checks it drains cleanly.
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1"}, out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workloads":["ncf"],"scale":"tiny","sharing":"static"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+
+	for view.Status != "done" {
+		if view.Status == "failed" || view.Status == "cancelled" {
+			t.Fatalf("job ended %s", view.Status)
+		}
+		if time.Now().After(deadline.Add(20 * time.Second)) {
+			t.Fatalf("job stuck in %s", view.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after shutdown")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("missing drain confirmation; output:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadFlags covers flag errors surfacing as error returns,
+// not panics or exits.
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := &syncBuffer{}
+	for _, args := range [][]string{
+		{"-nope"},
+		{"stray"},
+		{"-addr", "999.999.999.999:0"},
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := run(ctx, args, out)
+		cancel()
+		if err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -17,11 +17,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"mnpusim/internal/config"
 	"mnpusim/internal/obs"
@@ -29,13 +33,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mnpusim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("mnpusim", flag.ContinueOnError)
 	var (
 		workloadsFlag = fs.String("workloads", "", "comma-separated benchmark names, one per core (e.g. res,gpt2)")
@@ -46,6 +52,8 @@ func run(args []string) error {
 		idealFlag     = fs.Bool("ideal", false, "also run each workload on the Ideal baseline and report speedups")
 		obsFlag       = fs.String("obs", "", "write a Chrome trace-event timeline (Perfetto-loadable JSON) to this file")
 		obsCounters   = fs.String("obs-counters", "", "write the run's metric counters as sorted 'name value' lines to this file, or - for stdout")
+		jsonFlag      = fs.Bool("json", false, "write the result as canonical JSON to stdout instead of the text summary (byte-identical to the serving daemon's result endpoint)")
+		timeoutFlag   = fs.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: mnpusim -workloads a,b [-scale s] [-sharing l] [-out dir]")
@@ -101,7 +109,12 @@ func run(args []string) error {
 		cfg.Metrics = obs.NewRegistry()
 	}
 
-	res, err := sim.Run(cfg)
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -119,11 +132,24 @@ func run(args []string) error {
 
 	var ideal []sim.CoreResult
 	if *idealFlag {
-		if ideal, err = sim.RunIdeal(cfg); err != nil {
+		if ideal, err = sim.RunIdealContext(ctx, cfg); err != nil {
 			return err
 		}
 	}
-	printSummary(cfg, res, ideal)
+	if *jsonFlag {
+		// Exactly json.Marshal(res), no trailing newline: the same bytes
+		// internal/serve caches and serves, so the two can be compared
+		// with cmp(1).
+		b, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
+	} else {
+		printSummary(cfg, res, ideal)
+	}
 	if out != "" {
 		if err := writeResults(out, cfg, res); err != nil {
 			return err

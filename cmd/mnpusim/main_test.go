@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,7 +13,7 @@ import (
 
 func TestRunWithWorkloadFlags(t *testing.T) {
 	out := t.TempDir()
-	err := run([]string{"-workloads", "ncf", "-scale", "tiny", "-sharing", "+dwt", "-out", out})
+	err := run(context.Background(), []string{"-workloads", "ncf", "-scale", "tiny", "-sharing", "+dwt", "-out", out})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"one", "two", "three"}, // wrong positional arity
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
 	}
@@ -85,7 +86,7 @@ func TestRunWithObsExport(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "trace.json")
 	counters := filepath.Join(dir, "counters.txt")
-	err := run([]string{"-workloads", "ncf,gpt2", "-scale", "tiny", "-sharing", "+dwt",
+	err := run(context.Background(), []string{"-workloads", "ncf,gpt2", "-scale", "tiny", "-sharing", "+dwt",
 		"-obs", trace, "-obs-counters", counters})
 	if err != nil {
 		t.Fatal(err)

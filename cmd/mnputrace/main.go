@@ -63,7 +63,7 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := experiments.Options{Scale: scale}
+	eopts := []experiments.Option{experiments.WithScale(scale)}
 	var chrome *obs.ChromeTrace
 	if *obsF != "" {
 		switch *mode {
@@ -77,15 +77,15 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		chrome = obs.NewChromeTrace(f)
-		opts.Obs = chrome
-		opts.Workers = 1 // a timeline of interleaved simulations is meaningless
+		// A timeline of interleaved simulations is meaningless.
+		eopts = append(eopts, experiments.WithObs(chrome), experiments.WithWorkers(1))
 	}
 	var reg *obs.Registry
 	if *obsCtr != "" {
 		reg = obs.NewRegistry()
-		opts.Metrics = reg
+		eopts = append(eopts, experiments.WithMetrics(reg))
 	}
-	r := experiments.NewRunner(opts)
+	r := experiments.NewRunner(eopts...)
 
 	switch *mode {
 	case "rate":

@@ -17,8 +17,11 @@ import (
 )
 
 func main() {
-	opts := experiments.Options{Scale: workloads.ScaleTiny, Seed: 7}
-	r := experiments.NewRunner(opts)
+	const seed = 7
+	r := experiments.NewRunner(
+		experiments.WithScale(workloads.ScaleTiny),
+		experiments.WithSeed(seed),
+	)
 
 	fmt.Println("measuring the 36 dual-core pair results (+DWT)...")
 	table, err := experiments.BuildPairTable(r)
@@ -34,7 +37,7 @@ func main() {
 	model, samples, err := predictor.Train(predictor.TrainConfig{
 		Scale:   workloads.ScaleTiny,
 		Pairs:   16,
-		Seed:    opts.Seed,
+		Seed:    seed,
 		Sharing: sim.ShareDWT,
 	})
 	if err != nil {

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+// TestForEachCancelStopsScheduling cancels mid-fan-out and checks the
+// pool stops handing out new indices: unscheduled slots fail with the
+// context's error and nowhere near all n items execute.
+func TestForEachCancelStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRunner(WithWorkers(4), WithContext(ctx))
+
+	const n = 1000
+	var executed atomic.Int64
+	err := r.ForEach(n, func(i int) error {
+		if executed.Add(1) == 1 {
+			cancel()
+			// Give the feeder time to observe the cancellation so the
+			// in-flight window stays small.
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach error %v does not wrap context.Canceled", err)
+	}
+	if got := executed.Load(); got >= n/2 {
+		t.Errorf("%d of %d items executed after cancellation", got, n)
+	}
+}
+
+// TestForEachSerialCancel covers the Workers==1 degenerate path, which
+// must also stop at the cancellation point.
+func TestForEachSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRunner(WithWorkers(1), WithContext(ctx))
+
+	var executed int
+	err := r.ForEach(100, func(i int) error {
+		executed++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach error %v does not wrap context.Canceled", err)
+	}
+	if executed != 3 {
+		t.Errorf("executed %d items, want exactly 3 (serial stop after cancel)", executed)
+	}
+}
+
+// TestRunNotStartedWhenCancelled checks a cancelled runner refuses to
+// start simulations at the semaphore, so no doomed runs launch.
+func TestRunNotStartedWhenCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(WithScale(workloads.ScaleTiny), WithContext(ctx))
+	if _, err := r.Dual("ncf", "gpt2", sim.Static); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Dual on cancelled runner: %v", err)
+	}
+	if n := r.Simulations(); n != 0 {
+		t.Errorf("cancelled runner executed %d simulations", n)
+	}
+}
+
+// TestForEachCancelNoGoroutineLeak checks worker goroutines exit after
+// a cancelled fan-out.
+func TestForEachCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		r := NewRunner(WithWorkers(8), WithContext(ctx))
+		_ = r.ForEach(100, func(int) error {
+			cancel()
+			return nil
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew from %d to %d across cancelled fan-outs", before, after)
+	}
+}

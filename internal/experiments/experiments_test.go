@@ -8,7 +8,7 @@ import (
 )
 
 func tinyRunner() *Runner {
-	return NewRunner(Options{Scale: workloads.ScaleTiny, QuadSample: 4, Seed: 1})
+	return NewRunner(WithScale(workloads.ScaleTiny), WithQuadSample(4), WithSeed(1))
 }
 
 func TestRunnerCachesIdealAndDualRuns(t *testing.T) {

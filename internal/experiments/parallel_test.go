@@ -22,10 +22,12 @@ func parallelTestMixes() [][2]string {
 }
 
 // runMixes executes the mixes on a runner with the given options and
-// returns the full Results in enumeration order.
+// returns the full Results in enumeration order. It constructs the
+// runner through the deprecated Options shim on purpose, so the legacy
+// construction path stays covered.
 func runMixes(t *testing.T, opts Options) []sim.Result {
 	t.Helper()
-	r := NewRunner(opts)
+	r := NewRunner(WithOptions(opts))
 	mixes := parallelTestMixes()
 	out := make([]sim.Result, len(mixes))
 	err := r.ForEach(len(mixes), func(i int) error {
@@ -79,7 +81,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 // simulations: every index executes, results land by index, and the
 // lowest-index error wins regardless of completion order.
 func TestForEachOrderAndErrors(t *testing.T) {
-	r := NewRunner(Options{Scale: workloads.ScaleTiny, Workers: 8})
+	r := NewRunner(WithScale(workloads.ScaleTiny), WithWorkers(8))
 
 	var ran atomic.Int64
 	got := make([]int, 100)
@@ -114,7 +116,7 @@ func TestForEachOrderAndErrors(t *testing.T) {
 	}
 
 	// A single-worker pool still sees every index.
-	serial := NewRunner(Options{Scale: workloads.ScaleTiny, Workers: 1})
+	serial := NewRunner(WithScale(workloads.ScaleTiny), WithWorkers(1))
 	count := 0
 	if err := serial.ForEach(5, func(i int) error {
 		if i != count {
@@ -136,7 +138,7 @@ func TestMemoSingleflight(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
-	r := NewRunner(Options{Scale: workloads.ScaleTiny, Workers: 8})
+	r := NewRunner(WithScale(workloads.ScaleTiny), WithWorkers(8))
 	results := make([]sim.CoreResult, 8)
 	err := r.ForEach(8, func(i int) error {
 		ib, err := r.Ideal("ncf")

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -19,6 +20,9 @@ import (
 )
 
 // Options configures an experiment run.
+//
+// Deprecated: construct runners with NewRunner and the functional
+// With* options; apply a legacy Options struct with WithOptions.
 type Options struct {
 	Scale workloads.Scale
 	// QuadSample caps the number of quad-core mixes evaluated (0 means
@@ -102,6 +106,13 @@ type Runner struct {
 	opts  Options
 	names []string
 
+	// ctx cancels the runner: ForEach stops scheduling and in-flight
+	// simulations abort at their next skip-window boundary.
+	ctx context.Context
+	// log, if non-nil, receives one progress line per completed
+	// simulation (serialized by logMu).
+	log func(format string, args ...any)
+
 	// sem bounds concurrent sim.Run calls. It is acquired only inside
 	// run, never while holding it, so experiment fan-outs may nest
 	// (a Dual that triggers an Ideal) without deadlock.
@@ -115,13 +126,18 @@ type Runner struct {
 	logMu sync.Mutex
 }
 
-// NewRunner creates a Runner over the eight benchmarks.
-func NewRunner(opts Options) *Runner {
+// NewRunner creates a Runner over the eight benchmarks, configured by
+// the given options (see WithScale, WithWorkers, WithContext, ...).
+// With no options it runs at ScaleTiny on GOMAXPROCS workers.
+func NewRunner(opts ...Option) *Runner {
 	r := &Runner{
-		opts:  opts,
+		ctx:   context.Background(),
 		names: workloads.Names(),
 		ideal: newMemoMap[sim.CoreResult](),
 		dual:  newMemoMap[sim.Result](),
+	}
+	for _, opt := range opts {
+		opt(r)
 	}
 	r.sem = make(chan struct{}, r.Workers())
 	return r
@@ -147,16 +163,17 @@ func (r *Runner) Names() []string { return r.names }
 func (r *Runner) Simulations() int { return int(r.runs.Load()) }
 
 func (r *Runner) logf(format string, args ...any) {
-	if r.opts.Progress == nil {
+	if r.log == nil {
 		return
 	}
 	r.logMu.Lock()
 	defer r.logMu.Unlock()
-	fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+	r.log(format, args...)
 }
 
 // run executes one simulation, counting it. The worker-pool semaphore
-// is held only around sim.Run itself.
+// is held only around sim.RunContext itself; a cancelled runner stops
+// waiting for a free worker slot instead of starting a doomed run.
 func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
 	if r.opts.NoEventSkip {
 		cfg.NoEventSkip = true
@@ -167,10 +184,19 @@ func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = r.opts.Metrics
 	}
-	r.sem <- struct{}{}
+	// Checked before the select too: with a free worker slot and a
+	// cancelled context both ready, select would pick at random.
+	if err := r.ctx.Err(); err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: run not started: %w", err)
+	}
+	select {
+	case r.sem <- struct{}{}:
+	case <-r.ctx.Done():
+		return sim.Result{}, fmt.Errorf("experiments: run not started: %w", r.ctx.Err())
+	}
 	defer func() { <-r.sem }()
 	r.runs.Add(1)
-	return sim.Run(cfg)
+	return sim.RunContext(r.ctx, cfg)
 }
 
 // ForEach runs fn(0) .. fn(n-1) on the worker pool and returns the
@@ -179,9 +205,16 @@ func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
 // callers assemble outputs in deterministic enumeration order no matter
 // how the pool interleaves execution. With a single worker it degrades
 // to a plain serial loop that stops at the first error.
+//
+// If the runner's context (see WithContext) is cancelled, ForEach stops
+// scheduling new items: unscheduled slots fail with the context's
+// error, and the lowest-index rule still picks the first failure.
 func (r *Runner) ForEach(n int, fn func(i int) error) error {
 	if r.Workers() <= 1 {
 		for i := 0; i < n; i++ {
+			if err := r.ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -189,14 +222,30 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
+	for w := 0; w < min(r.Workers(), n); w++ {
+		wg.Add(1)
+		go func() {
 			defer wg.Done()
-			errs[i] = fn(i)
-		}(i)
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
 	}
+	done := r.ctx.Done()
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-done:
+			for j := i; j < n; j++ {
+				errs[j] = r.ctx.Err()
+			}
+			break feed
+		}
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

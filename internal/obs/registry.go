@@ -36,6 +36,19 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add atomically shifts the gauge by delta and returns the new value,
+// updating the running maximum. It is the read-modify-write companion
+// to Set for occupancy-style gauges (queue depth, jobs in flight).
+func (g *Gauge) Add(delta int64) int64 {
+	v := g.v.Add(delta)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return v
+		}
+	}
+}
+
 // Value returns the last recorded value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -1,0 +1,47 @@
+package serve
+
+import "sync"
+
+// resultCache is the content-addressed result store: canonical result
+// bytes keyed by the config fingerprint. Only successful results are
+// cached — failures and cancellations always rerun. Eviction is
+// insertion-order FIFO once maxEntries is reached, which is enough for
+// a sweep-shaped working set (the same mixes resubmitted across sharing
+// levels) without an LRU's bookkeeping.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	m          map[string][]byte
+	order      []string
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	return &resultCache{maxEntries: maxEntries, m: make(map[string][]byte)}
+}
+
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[key]
+	return b, ok
+}
+
+func (c *resultCache) put(key string, result []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	for len(c.m) >= c.maxEntries && len(c.order) > 0 {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.m[key] = result
+	c.order = append(c.order, key)
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"mnpusim/internal/config"
+	"mnpusim/internal/sim"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued: accepted, waiting for a worker slot.
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is simulating it.
+	StatusRunning Status = "running"
+	// StatusDone: finished; the result is available.
+	StatusDone Status = "done"
+	// StatusFailed: the simulation returned an error (including a
+	// per-job deadline expiry).
+	StatusFailed Status = "failed"
+	// StatusCancelled: cancelled by the client or by shutdown before a
+	// result was produced.
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// JobSpec is the POST /v1/jobs request body. A job is either a named
+// preset mix (Workloads + Scale + Sharing, the paper's §4.1.1 shape) or
+// a full raw configuration (Config), never both.
+type JobSpec struct {
+	// Workloads names one built-in benchmark per core, e.g.
+	// ["ncf","gpt2"] for a dual-core mix.
+	Workloads []string `json:"workloads,omitempty"`
+	// Scale is "tiny", "small", or "paper" (default "tiny").
+	Scale string `json:"scale,omitempty"`
+	// Sharing is "static", "+d", "+dw", or "+dwt" (default "+dwt").
+	Sharing string `json:"sharing,omitempty"`
+	// NoTranslation removes address translation (bandwidth isolation).
+	NoTranslation bool `json:"no_translation,omitempty"`
+
+	// Config, when set, is the raw simulation configuration. Only the
+	// data fields of sim.Config are meaningful over the wire; hook
+	// fields cannot be expressed in JSON.
+	Config *sim.Config `json:"config,omitempty"`
+
+	// TimeoutMS bounds the simulation's run time in wall-clock
+	// milliseconds; 0 uses the server default. The timeout starts when
+	// a worker picks the job up, not while it queues.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BuildConfig resolves the spec into a runnable configuration.
+func (s JobSpec) BuildConfig() (sim.Config, error) {
+	if s.Config != nil {
+		if len(s.Workloads) > 0 || s.Scale != "" || s.Sharing != "" {
+			return sim.Config{}, fmt.Errorf("serve: spec has both a raw config and preset fields; use one")
+		}
+		cfg := *s.Config
+		if err := cfg.Validate(); err != nil {
+			return sim.Config{}, err
+		}
+		return cfg, nil
+	}
+	if len(s.Workloads) == 0 {
+		return sim.Config{}, fmt.Errorf("serve: spec needs workloads (one per core) or a raw config")
+	}
+	scaleName := s.Scale
+	if scaleName == "" {
+		scaleName = "tiny"
+	}
+	scale, err := config.ParseScale(scaleName)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	sharingName := s.Sharing
+	if sharingName == "" {
+		sharingName = "+dwt"
+	}
+	sharing, err := config.ParseSharing(sharingName)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg, err := sim.NewWorkloadConfig(scale, sharing, s.Workloads...)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.NoTranslation = s.NoTranslation
+	return cfg, nil
+}
+
+// Job is one queued, running, or finished simulation.
+type Job struct {
+	// ID is the server-assigned handle ("j1", "j2", ...).
+	ID string
+	// Key is the config's content address (sim.Config.Fingerprint):
+	// jobs with equal keys produce byte-identical results.
+	Key string
+
+	cfg     sim.Config
+	timeout time.Duration
+
+	// ctx governs the job end to end; cancel is invoked by
+	// DELETE /v1/jobs/{id} and by shutdown's drain deadline.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   Status
+	cached   bool
+	errMsg   string
+	result   []byte // canonical JSON of the sim.Result
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// JobView is the JSON representation of a job's current state.
+type JobView struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Status Status `json:"status"`
+	// Cached reports the result was served from the content-addressed
+	// cache without running a simulation.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Result is the simulation outcome, present once Status is "done".
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// View snapshots the job for JSON encoding. withResult controls whether
+// the (potentially large) result payload is inlined.
+func (j *Job) View(withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{ID: j.ID, Key: j.Key, Status: j.status, Cached: j.cached, Error: j.errMsg}
+	if withResult && j.status == StatusDone {
+		v.Result = json.RawMessage(j.result)
+	}
+	return v
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// ResultJSON returns the canonical result bytes, or false while the job
+// has not completed.
+func (j *Job) ResultJSON() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// markRunning moves a queued job to running; it reports false if the
+// job already reached a terminal state (e.g. cancelled while queued).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(st Status, result []byte, errMsg string) {
+	j.mu.Lock()
+	if !j.status.Terminal() {
+		j.status, j.result, j.errMsg = st, result, errMsg
+	}
+	j.mu.Unlock()
+	j.doneOnce.Do(func() { close(j.done) })
+	j.cancel() // release the context's timer/goroutine resources
+}

@@ -1,0 +1,489 @@
+// Package serve is the simulation-as-a-service layer: an HTTP JSON API
+// that queues simulation jobs onto a bounded worker pool, caches
+// results by config content address, and exposes the process's metric
+// registry. It is the serving front half of the system; the simulation
+// core stays in internal/sim and is reached exclusively through
+// sim.RunContext, so every job is cancellable and deadline-bounded.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a JobSpec; 202 with the job view
+//	GET    /v1/jobs/{id}        job status, result inlined when done
+//	GET    /v1/jobs/{id}/result raw canonical result JSON (bytes equal
+//	                            to `mnpusim -json` for the same config)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/workloads        built-in workloads, scales, sharing levels
+//	GET    /v1/healthz          liveness and queue occupancy
+//	GET    /metrics             registry snapshot as sorted text lines
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mnpusim/internal/obs"
+	"mnpusim/internal/sim"
+	"mnpusim/internal/workloads"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the simulation worker-pool size; it bounds concurrent
+	// sim.RunContext calls. Zero means 1.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; submits
+	// beyond it are rejected with 503. Zero means 64.
+	QueueDepth int
+	// DefaultJobTimeout bounds each job's simulation wall-clock time
+	// when the spec does not set one. Zero means no default timeout.
+	DefaultJobTimeout time.Duration
+	// CacheEntries bounds the content-addressed result cache. Zero
+	// means 1024.
+	CacheEntries int
+	// MaxJobs bounds how many job records are retained; once exceeded,
+	// the oldest terminal jobs are forgotten. Zero means 4096.
+	MaxJobs int
+	// Registry receives the server's counters and every job's
+	// simulation metrics. Nil creates a private registry.
+	Registry *obs.Registry
+}
+
+// Server is the simulation service. Create with New, serve its
+// Handler, and stop with Shutdown.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	// simulate is the execution seam; tests substitute slow or failing
+	// simulations without burning CPU.
+	simulate func(ctx context.Context, cfg sim.Config) (sim.Result, error)
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for bounded retention
+	nextID   int
+	draining bool
+
+	cache *resultCache
+
+	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *obs.Counter
+	cacheHits, simulations                             *obs.Counter
+	queueDepth, running                                *obs.Gauge
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4096
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		simulate:   sim.RunContext,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+		cache:      newResultCache(cfg.CacheEntries),
+
+		jobsSubmitted: reg.Counter("serve.jobs_submitted"),
+		jobsDone:      reg.Counter("serve.jobs_done"),
+		jobsFailed:    reg.Counter("serve.jobs_failed"),
+		jobsCancelled: reg.Counter("serve.jobs_cancelled"),
+		cacheHits:     reg.Counter("serve.cache_hits"),
+		simulations:   reg.Counter("serve.simulations"),
+		queueDepth:    reg.Gauge("serve.queue_depth"),
+		running:       reg.Gauge("serve.running"),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// apiError carries an HTTP status with a client-facing message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// Submit validates the spec, consults the result cache, and either
+// finishes the job instantly from cache or enqueues it. The returned
+// job is registered and visible to GET immediately.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	cfg, err := spec.BuildConfig()
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	key, err := cfg.Fingerprint()
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		Key:     key,
+		cfg:     cfg,
+		timeout: time.Duration(spec.TimeoutMS) * time.Millisecond,
+		ctx:     jctx,
+		cancel:  cancel,
+		status:  StatusQueued,
+		done:    make(chan struct{}),
+	}
+	if job.timeout <= 0 {
+		job.timeout = s.cfg.DefaultJobTimeout
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, errf(http.StatusServiceUnavailable, "serve: draining, not accepting jobs")
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("j%d", s.nextID)
+
+	if cached, ok := s.cache.get(key); ok {
+		s.register(job)
+		s.mu.Unlock()
+		job.cached = true
+		job.finish(StatusDone, cached, "")
+		s.jobsSubmitted.Inc()
+		s.cacheHits.Inc()
+		s.jobsDone.Inc()
+		return job, nil
+	}
+
+	// Reserve the queue slot while holding the lock so draining and
+	// queue-full rejections cannot race with Shutdown closing the
+	// channel.
+	select {
+	case s.queue <- job:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		cancel()
+		return nil, errf(http.StatusServiceUnavailable, "serve: job queue full (%d deep)", s.cfg.QueueDepth)
+	}
+	s.register(job)
+	s.mu.Unlock()
+
+	s.jobsSubmitted.Inc()
+	s.queueDepth.Set(int64(len(s.queue)))
+	return job, nil
+}
+
+// register records the job, evicting the oldest terminal jobs beyond
+// the retention bound. Caller holds s.mu.
+func (s *Server) register(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if old, ok := s.jobs[id]; ok && old.Status().Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the map grow rather than drop state
+		}
+	}
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job. Queued jobs transition to
+// cancelled immediately; running jobs abort at the simulation's next
+// cancellation poll (at most one skip window later). Cancelling a
+// terminal job is a no-op.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	job, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	job.mu.Lock()
+	wasQueued := job.status == StatusQueued
+	job.mu.Unlock()
+	if wasQueued {
+		job.finish(StatusCancelled, nil, "cancelled while queued")
+		s.jobsCancelled.Inc()
+	} else {
+		job.cancel()
+	}
+	return job, true
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.queueDepth.Set(int64(len(s.queue)))
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job under its context and timeout, classifying
+// the outcome and feeding the result cache.
+func (s *Server) runJob(job *Job) {
+	if !job.markRunning() {
+		return // cancelled while queued
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	ctx := job.ctx
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		defer cancel()
+	}
+	cfg := job.cfg
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.reg
+	}
+	s.simulations.Inc()
+	res, err := s.simulate(ctx, cfg)
+	switch {
+	case err == nil:
+		b, merr := json.Marshal(res)
+		if merr != nil {
+			job.finish(StatusFailed, nil, fmt.Sprintf("encoding result: %v", merr))
+			s.jobsFailed.Inc()
+			return
+		}
+		s.cache.put(job.Key, b)
+		job.finish(StatusDone, b, "")
+		s.jobsDone.Inc()
+	case errors.Is(err, context.Canceled):
+		job.finish(StatusCancelled, nil, err.Error())
+		s.jobsCancelled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		job.finish(StatusFailed, nil, fmt.Sprintf("job timeout (%s): %v", job.timeout, err))
+		s.jobsFailed.Inc()
+	default:
+		job.finish(StatusFailed, nil, err.Error())
+		s.jobsFailed.Inc()
+	}
+}
+
+// Shutdown stops accepting jobs and drains the queue: already-accepted
+// jobs keep running until done or until ctx expires, at which point
+// every remaining job is cancelled and Shutdown returns ctx's error
+// once the workers have exited. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight simulations
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats is the healthz payload.
+type Stats struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	Queued  int    `json:"queued"`
+	Running int64  `json:"running"`
+	Jobs    int    `json:"jobs"`
+	Cached  int    `json:"cached_results"`
+}
+
+// Stats snapshots queue occupancy.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	draining := s.draining
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	st := Stats{
+		Status:  "ok",
+		Workers: s.cfg.Workers,
+		Queued:  len(s.queue),
+		Running: s.running.Value(),
+		Jobs:    jobs,
+		Cached:  s.cache.len(),
+	}
+	if draining {
+		st.Status = "draining"
+	}
+	return st
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = errf(http.StatusInternalServerError, "%v", err)
+	}
+	writeJSON(w, ae.code, map[string]string{"error": ae.msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, errf(http.StatusBadRequest, "decoding job spec: %v", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.Status().Terminal() {
+		code = http.StatusOK // served from cache
+	}
+	writeJSON(w, code, job.View(false))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View(true))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "no such job %q", r.PathValue("id")))
+		return
+	}
+	b, ok := job.ResultJSON()
+	if !ok {
+		writeError(w, errf(http.StatusConflict, "job %s is %s, result not available", job.ID, job.Status()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View(false))
+}
+
+// workloadsView is the GET /v1/workloads payload: everything a client
+// needs to compose a preset JobSpec.
+type workloadsView struct {
+	Workloads []string `json:"workloads"`
+	Scales    []string `json:"scales"`
+	Sharing   []string `json:"sharing"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	levels := sim.Levels()
+	names := make([]string, len(levels))
+	for i, lv := range levels {
+		names[i] = lv.String()
+	}
+	writeJSON(w, http.StatusOK, workloadsView{
+		Workloads: workloads.Names(),
+		Scales:    []string{"tiny", "small", "paper"},
+		Sharing:   names,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.reg.Snapshot().WriteText(w)
+}

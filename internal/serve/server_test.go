@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mnpusim/internal/obs"
+	"mnpusim/internal/sim"
+)
+
+// fakeResult builds a distinguishable result for stubbed simulations.
+func fakeResult(cycles int64) sim.Result {
+	return sim.Result{GlobalCycles: cycles, Cores: []sim.CoreResult{{Net: "stub", Cycles: cycles}}}
+}
+
+// newStubServer returns a server whose simulations are the given stub
+// instead of real runs.
+func newStubServer(t *testing.T, cfg Config, stub func(ctx context.Context, c sim.Config) (sim.Result, error)) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.simulate = stub
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (JobView, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitTerminal(t *testing.T, s *Server, id string) *Job {
+	t.Helper()
+	job, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s still %s after 30s", id, job.Status())
+	}
+	return job
+}
+
+func ncfSpec() JobSpec {
+	return JobSpec{Workloads: []string{"ncf"}, Scale: "tiny", Sharing: "static"}
+}
+
+// TestSubmitRunCacheRoundTrip is the service's core contract: a job
+// runs once, its result is the canonical sim JSON, and an identical
+// resubmission is served from the content-addressed cache without a
+// second simulation.
+func TestSubmitRunCacheRoundTrip(t *testing.T) {
+	var sims atomic.Int64
+	s := newStubServer(t, Config{Workers: 2}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		sims.Add(1)
+		return fakeResult(42), nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, code := postJob(t, ts, ncfSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if v.Key == "" || v.ID == "" {
+		t.Fatalf("job view missing id/key: %+v", v)
+	}
+	job := waitTerminal(t, s, v.ID)
+	if st := job.Status(); st != StatusDone {
+		t.Fatalf("job status %s", st)
+	}
+
+	want, err := json.Marshal(fakeResult(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !bytes.Equal(raw.Bytes(), want) {
+		t.Errorf("result bytes differ:\n got %s\nwant %s", raw.Bytes(), want)
+	}
+
+	// Resubmit: served from cache, same key, no second simulation.
+	v2, code2 := postJob(t, ts, ncfSpec())
+	if code2 != http.StatusOK {
+		t.Fatalf("cached submit status %d", code2)
+	}
+	if !v2.Cached || v2.Status != StatusDone {
+		t.Fatalf("resubmission not cached: %+v", v2)
+	}
+	if v2.Key != v.Key {
+		t.Errorf("key changed across identical submissions: %s vs %s", v2.Key, v.Key)
+	}
+	if v2.ID == v.ID {
+		t.Error("cached job reused the original job ID")
+	}
+	if n := sims.Load(); n != 1 {
+		t.Errorf("ran %d simulations, want 1", n)
+	}
+	if got := s.reg.Snapshot().Value("serve.cache_hits"); got != 1 {
+		t.Errorf("serve.cache_hits = %d, want 1", got)
+	}
+
+	// The inlined result on GET matches the raw endpoint.
+	gv := getJob(t, ts, v2.ID)
+	if !bytes.Equal([]byte(gv.Result), want) {
+		t.Errorf("inlined result differs from raw result endpoint")
+	}
+}
+
+// TestCancelRunningJob verifies DELETE aborts an in-flight simulation
+// through its context.
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		close(started)
+		<-ctx.Done()
+		return sim.Result{}, fmt.Errorf("stub: %w", ctx.Err())
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, ncfSpec())
+	<-started
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	job := waitTerminal(t, s, v.ID)
+	if st := job.Status(); st != StatusCancelled {
+		t.Fatalf("cancelled job status %s", st)
+	}
+	if _, ok := job.ResultJSON(); ok {
+		t.Error("cancelled job has a result")
+	}
+}
+
+// TestCancelQueuedJob verifies a job cancelled before a worker picks it
+// up never simulates.
+func TestCancelQueuedJob(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var sims atomic.Int64
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		if sims.Add(1) == 1 {
+			close(started)
+		}
+		<-block
+		return fakeResult(1), nil
+	})
+	defer close(block)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First job occupies the only worker; second stays queued.
+	first, _ := postJob(t, ts, ncfSpec())
+	<-started
+	spec2 := ncfSpec()
+	spec2.Workloads = []string{"gpt2"}
+	second, _ := postJob(t, ts, spec2)
+
+	if _, ok := s.Cancel(second.ID); !ok {
+		t.Fatal("cancel: job not found")
+	}
+	job := waitTerminal(t, s, second.ID)
+	if st := job.Status(); st != StatusCancelled {
+		t.Fatalf("queued-then-cancelled job status %s", st)
+	}
+	_ = first
+	if n := sims.Load(); n != 1 {
+		t.Errorf("cancelled queued job simulated anyway (%d sims)", n)
+	}
+}
+
+// TestJobTimeoutFails verifies the per-job deadline classifies as a
+// failure, not a cancellation.
+func TestJobTimeoutFails(t *testing.T) {
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		<-ctx.Done()
+		return sim.Result{}, fmt.Errorf("stub: %w", ctx.Err())
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := ncfSpec()
+	spec.TimeoutMS = 20
+	v, _ := postJob(t, ts, spec)
+	job := waitTerminal(t, s, v.ID)
+	if st := job.Status(); st != StatusFailed {
+		t.Fatalf("timed-out job status %s", st)
+	}
+	if view := job.View(false); !strings.Contains(view.Error, "timeout") {
+		t.Errorf("timeout error not surfaced: %q", view.Error)
+	}
+}
+
+// TestQueueFullRejects verifies submits beyond the queue depth fail
+// with 503 instead of blocking the HTTP handler.
+func TestQueueFullRejects(t *testing.T) {
+	block := make(chan struct{})
+	s := newStubServer(t, Config{Workers: 1, QueueDepth: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		<-block
+		return fakeResult(1), nil
+	})
+	defer close(block)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specs := []string{"ncf", "gpt2", "res", "alex"}
+	var codes []int
+	for _, w := range specs {
+		_, code := postJob(t, ts, JobSpec{Workloads: []string{w}})
+		codes = append(codes, code)
+	}
+	// First occupies the worker, second fills the queue; at least one
+	// later submit must be rejected.
+	rejected := 0
+	for _, c := range codes {
+		if c == http.StatusServiceUnavailable {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("no submit rejected; codes %v", codes)
+	}
+}
+
+// TestShutdownDrains verifies accepted jobs finish during shutdown and
+// new submits are rejected.
+func TestShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1})
+	s.simulate = func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		<-release
+		return fakeResult(7), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, ncfSpec())
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Draining state must reject new work but keep status visible.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, code := postJob(t, ts, JobSpec{Workloads: []string{"gpt2"}}); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining returned %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining returned %d", resp.StatusCode)
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+	job := waitTerminal(t, s, v.ID)
+	if st := job.Status(); st != StatusDone {
+		t.Fatalf("drained job status %s", st)
+	}
+}
+
+// TestShutdownDeadlineCancelsInFlight verifies an expired drain
+// deadline aborts the running job rather than hanging.
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.simulate = func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		<-ctx.Done()
+		return sim.Result{}, fmt.Errorf("stub: %w", ctx.Err())
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, ncfSpec())
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown error %v, want deadline exceeded", err)
+	}
+	job := waitTerminal(t, s, v.ID)
+	if st := job.Status(); st != StatusCancelled {
+		t.Fatalf("aborted job status %s", st)
+	}
+}
+
+// TestBadSpecs verifies validation failures map to 400.
+func TestBadSpecs(t *testing.T) {
+	s := newStubServer(t, Config{}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, spec := range []JobSpec{
+		{},                            // neither preset nor config
+		{Workloads: []string{"nope"}}, // unknown workload
+		{Workloads: []string{"ncf"}, Scale: "mega"},
+		{Workloads: []string{"ncf"}, Sharing: "++"},
+		{Workloads: []string{"ncf"}, Config: &sim.Config{}}, // both styles
+	} {
+		if _, code := postJob(t, ts, spec); code != http.StatusBadRequest {
+			t.Errorf("spec %+v accepted with code %d", spec, code)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{nonsense"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON accepted with code %d", resp.StatusCode)
+	}
+}
+
+// TestWorkloadsAndMetricsEndpoints sanity-checks the discovery and
+// metrics surfaces.
+func TestWorkloadsAndMetricsEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newStubServer(t, Config{Registry: reg}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return fakeResult(3), nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wv workloadsView
+	if err := json.NewDecoder(resp.Body).Decode(&wv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(wv.Workloads) != 8 || len(wv.Sharing) != 4 || len(wv.Scales) != 3 {
+		t.Fatalf("workloads view: %+v", wv)
+	}
+
+	v, _ := postJob(t, ts, ncfSpec())
+	waitTerminal(t, s, v.ID)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"serve.jobs_submitted 1", "serve.jobs_done 1", "serve.simulations 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestEndToEndRealSimulation runs one real tiny simulation through the
+// HTTP surface and byte-compares the served result against a direct
+// sim.Run of the same config — the same identity the serve-smoke CI
+// target checks against the mnpusim CLI.
+func TestEndToEndRealSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	s := New(Config{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, code := postJob(t, ts, ncfSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	job := waitTerminal(t, s, v.ID)
+	if st := job.Status(); st != StatusDone {
+		t.Fatalf("job status %s: %s", st, job.View(false).Error)
+	}
+	got, _ := job.ResultJSON()
+
+	cfg, err := ncfSpec().BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("served result differs from direct sim.Run of the same config")
+	}
+}

@@ -80,20 +80,25 @@ type Config struct {
 	// Observation never alters execution: Result is byte-identical with
 	// Obs set or nil. Sinks shared across concurrent runs must be safe
 	// for concurrent use (obs.Locked).
-	Obs obs.Sink
+	//
+	// Hooks (Obs through OnLoopStats) are process-local and excluded
+	// from JSON: a Config crosses the wire (internal/serve) as data
+	// only, and the content fingerprint ignores them for the same
+	// reason.
+	Obs obs.Sink `json:"-"`
 
 	// Metrics, if non-nil, additionally folds the probe stream into the
 	// registry's counters and histograms (see obs.RegistrySink for the
 	// metric names). The registry accumulates: runs sharing one registry
 	// sum their counts.
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
 
 	// OnTransfer, if non-nil, observes completed DRAM bursts (the
 	// bandwidth timeline of Fig. 12).
-	OnTransfer dram.TransferFunc
+	OnTransfer dram.TransferFunc `json:"-"`
 	// OnIssue, if non-nil, observes every DMA request issue (the
 	// request burstiness of Fig. 2b).
-	OnIssue func(now int64, r *mem.Request)
+	OnIssue func(now int64, r *mem.Request) `json:"-"`
 	// OnLoopStats, if non-nil, receives the main loop's bookkeeping when
 	// the run completes: ticked loop iterations, fast-forward jumps, and
 	// total cycles crossed by those jumps. iters + skippedCycles equals
@@ -107,7 +112,7 @@ type Config struct {
 	// callback is a shim over a registry snapshot taken at run end. Note
 	// that with a caller-provided accumulating Metrics registry the
 	// callback reports cumulative totals across its runs.
-	OnLoopStats func(iters, skips, skippedCycles int64)
+	OnLoopStats func(iters, skips, skippedCycles int64) `json:"-"`
 }
 
 // Cores returns the number of cores.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"mnpusim/internal/clock"
@@ -58,10 +59,31 @@ func (r Result) DRAMEnergy(p dram.EnergyParams) dram.EnergyBreakdown {
 
 const farFuture = int64(1) << 62
 
+// cancelCheckMask throttles how often the main loop polls the context's
+// done channel during dense tick sequences: every 64 plain iterations,
+// plus unconditionally at every fast-forward (skip-window) boundary, so
+// cancellation is observed within one skip window of the cancel.
+const cancelCheckMask = 63
+
 // Run executes the configured system until every core completes its
 // first inference (co-runners loop to keep generating contention, per
 // the mix methodology of §4.1.1), and returns the per-core results.
+//
+// Run is RunContext with a background (never-cancelled) context.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: if ctx is cancelled or its
+// deadline passes mid-run, the simulation stops at the next skip-window
+// boundary (or within a handful of ticks) and returns an error wrapping
+// ctx.Err(). A cancelled run returns a zero Result; partial simulation
+// state is discarded. The simulation itself is single-goroutine, so
+// cancellation leaks nothing.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: run not started: %w", err)
+	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -171,10 +193,24 @@ func Run(cfg Config) (Result, error) {
 		finished = make([]bool, n)
 	}
 
+	// done is nil for context.Background(), turning every cancellation
+	// poll into a single branch.
+	done := ctx.Done()
+	cancelled := func(at int64) (Result, error) {
+		return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", at, ctx.Err())
+	}
+
 	var loopIters, loopSkips, loopSkipped int64
 	now := int64(0)
 	prevNow := int64(-1)
 	for !allDone() {
+		if done != nil && loopIters&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return cancelled(now)
+			default:
+			}
+		}
 		loopIters++
 		if invariant.Enabled {
 			invariant.Check(now > prevNow,
@@ -240,6 +276,13 @@ func Run(cfg Config) (Result, error) {
 			invariant.Check(next > now+1,
 				"sim: fast-forward target %d does not advance past %d", next, now)
 		}
+		if done != nil {
+			select {
+			case <-done:
+				return cancelled(now)
+			default:
+			}
+		}
 		loopSkips++
 		loopSkipped += next - now - 1
 		if sink != nil {
@@ -296,9 +339,15 @@ func Run(cfg Config) (Result, error) {
 // derived from cfg, returning one single-core result per workload. These
 // are the normalization baselines for speedup and slowdown.
 func RunIdeal(cfg Config) ([]CoreResult, error) {
+	return RunIdealContext(context.Background(), cfg)
+}
+
+// RunIdealContext is RunIdeal with cancellation; the per-core Ideal runs
+// execute sequentially, each under ctx.
+func RunIdealContext(ctx context.Context, cfg Config) ([]CoreResult, error) {
 	out := make([]CoreResult, cfg.Cores())
 	for i := range out {
-		r, err := Run(IdealFor(cfg, i))
+		r, err := RunContext(ctx, IdealFor(cfg, i))
 		if err != nil {
 			return nil, fmt.Errorf("sim: ideal run for core %d: %w", i, err)
 		}

@@ -1,0 +1,118 @@
+#!/bin/sh
+# serve_smoke.sh: end-to-end exercise of the simulation service.
+#
+# Boots mnpuserved, runs a tiny dual-core job to completion over HTTP,
+# checks the served result bytes equal `mnpusim -json` for the same
+# config, checks an identical resubmission is answered from the
+# content-addressed cache (no second simulation), cancels an in-flight
+# heavier job, and finally SIGTERMs the daemon and requires a clean
+# drain (exit 0).
+#
+# Needs: curl. Uses only POSIX sh + grep/sed so it runs in CI images.
+set -eu
+
+ADDR="127.0.0.1:18931"
+BASE="http://$ADDR"
+TMP="${TMPDIR:-/tmp}/mnpusim_serve_smoke.$$"
+mkdir -p "$TMP"
+
+fail() {
+	echo "serve-smoke: FAIL: $*" >&2
+	[ -f "$TMP/served.log" ] && sed 's/^/  daemon: /' "$TMP/served.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "${SERVED_PID:-}" ] && kill "$SERVED_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# jfield FILE KEY -> value of a top-level string field ("key":"value").
+jfield() {
+	sed -n 's/.*"'"$2"'":"\([^"]*\)".*/\1/p' "$1" | head -n 1
+}
+
+echo "serve-smoke: building binaries"
+go build -o "$TMP/mnpuserved" ./cmd/mnpuserved
+go build -o "$TMP/mnpusim" ./cmd/mnpusim
+
+echo "serve-smoke: starting daemon on $ADDR"
+"$TMP/mnpuserved" -addr "$ADDR" -workers 1 -drain-timeout 60s \
+	>"$TMP/served.log" 2>&1 &
+SERVED_PID=$!
+
+i=0
+until curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "daemon never became healthy"
+	kill -0 "$SERVED_PID" 2>/dev/null || fail "daemon exited during startup"
+	sleep 0.1
+done
+
+SPEC='{"workloads":["ncf","gpt2"],"scale":"tiny","sharing":"static"}'
+
+echo "serve-smoke: submitting tiny dual-core job"
+curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" >"$TMP/job1.json" ||
+	fail "submit rejected"
+JOB1=$(jfield "$TMP/job1.json" id)
+[ -n "$JOB1" ] || fail "no job id in $(cat "$TMP/job1.json")"
+
+i=0
+while :; do
+	curl -fsS "$BASE/v1/jobs/$JOB1" >"$TMP/poll.json"
+	ST=$(jfield "$TMP/poll.json" status)
+	case "$ST" in
+	done) break ;;
+	failed | cancelled) fail "job1 ended $ST: $(cat "$TMP/poll.json")" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -gt 600 ] && fail "job1 stuck in $ST"
+	sleep 0.1
+done
+
+echo "serve-smoke: comparing served result against mnpusim -json"
+curl -fsS "$BASE/v1/jobs/$JOB1/result" >"$TMP/served_result.json"
+"$TMP/mnpusim" -json -workloads ncf,gpt2 -scale tiny -sharing static \
+	>"$TMP/cli_result.json"
+cmp "$TMP/served_result.json" "$TMP/cli_result.json" ||
+	fail "served result differs from mnpusim -json"
+
+echo "serve-smoke: resubmitting — must be a cache hit"
+curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" >"$TMP/job2.json"
+grep -q '"cached":true' "$TMP/job2.json" ||
+	fail "resubmission not served from cache: $(cat "$TMP/job2.json")"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+grep -q '^serve.simulations 1$' "$TMP/metrics.txt" ||
+	fail "expected exactly 1 simulation, got: $(grep '^serve\.' "$TMP/metrics.txt" | tr '\n' ' ')"
+
+echo "serve-smoke: cancelling an in-flight heavier job"
+curl -fsS -X POST -d '{"workloads":["ncf","gpt2"],"scale":"small","sharing":"+dwt"}' \
+	"$BASE/v1/jobs" >"$TMP/job3.json"
+JOB3=$(jfield "$TMP/job3.json" id)
+curl -fsS -X DELETE "$BASE/v1/jobs/$JOB3" >/dev/null
+i=0
+while :; do
+	curl -fsS "$BASE/v1/jobs/$JOB3" >"$TMP/poll3.json"
+	ST=$(jfield "$TMP/poll3.json" status)
+	[ "$ST" = cancelled ] && break
+	[ "$ST" = done ] || [ "$ST" = failed ] &&
+		fail "job3 ended $ST instead of cancelled"
+	i=$((i + 1))
+	[ "$i" -gt 300 ] && fail "job3 never reached cancelled (last: $ST)"
+	sleep 0.1
+done
+
+echo "serve-smoke: SIGTERM drain"
+kill -TERM "$SERVED_PID"
+i=0
+while kill -0 "$SERVED_PID" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -gt 300 ] && fail "daemon did not exit after SIGTERM"
+	sleep 0.1
+done
+wait "$SERVED_PID" || fail "daemon exited non-zero"
+grep -q "drained cleanly" "$TMP/served.log" || fail "no clean-drain message"
+SERVED_PID=""
+
+echo "serve-smoke: OK"
