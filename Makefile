@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint invariants check bench obs-smoke serve-smoke
+.PHONY: build test race vet lint invariants attr-invariants check bench obs-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ lint:
 # double-buffer bounds, clock monotonicity).
 invariants:
 	$(GO) test -tags=invariants ./...
+
+# The stall-cycle attribution engine's exactness contract
+# (sum(buckets) == core cycles) with the invariant checks compiled in
+# and the race detector watching the serving/SSE paths.
+attr-invariants:
+	$(GO) test -race -tags=invariants ./internal/obs/attrib
+	$(GO) test -race -tags=invariants -run Attribution ./internal/sim
 
 # Everything CI runs: analyzers, plain tests, race detector, and the
 # invariant-checked build.

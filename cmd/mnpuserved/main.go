@@ -5,12 +5,18 @@
 //	mnpuserved -addr localhost:8080 -workers 4 -queue 64
 //
 // Submit jobs with POST /v1/jobs, poll GET /v1/jobs/{id}, fetch raw
-// result bytes from GET /v1/jobs/{id}/result, cancel with DELETE
-// /v1/jobs/{id}; GET /v1/workloads lists the built-in presets and GET
-// /metrics exposes the process's counter registry. On SIGINT/SIGTERM
-// the daemon stops accepting jobs, drains in-flight work (bounded by
-// -drain-timeout, after which remaining jobs are cancelled), keeps
-// status GETs answering throughout the drain, then exits.
+// result bytes from GET /v1/jobs/{id}/result, stream live progress and
+// the final stall-cycle attribution from GET /v1/jobs/{id}/events
+// (Server-Sent Events), cancel with DELETE /v1/jobs/{id};
+// GET /v1/workloads lists the built-in presets and GET /metrics exposes
+// the process's counter registry. Logs are structured (log/slog), keyed
+// by job ID; -log-level and -log-format select verbosity and text/json
+// encoding. -debug-addr optionally serves net/http/pprof and a
+// /debug/registry metrics dump on a second listener (off by default).
+// On SIGINT/SIGTERM the daemon stops accepting jobs, drains in-flight
+// work (bounded by -drain-timeout, after which remaining jobs are
+// cancelled), keeps status GETs answering throughout the drain, then
+// exits.
 package main
 
 import (
@@ -18,14 +24,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"mnpusim/internal/obs"
 	"mnpusim/internal/serve"
 )
 
@@ -35,6 +44,23 @@ func main() {
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mnpuserved:", err)
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the daemon's structured logger from the flag values.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
 	}
 }
 
@@ -50,6 +76,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job simulation timeout (0 = none; specs may override)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
 		cacheEntries = fs.Int("cache", 1024, "result-cache capacity (distinct configurations)")
+		logLevel     = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat    = fs.String("log-format", "text", "log encoding: text or json")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and /debug/registry on this extra address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,19 +86,38 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	logger, err := newLogger(stdout, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
+	reg := obs.NewRegistry()
 	srv := serve.New(serve.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		DefaultJobTimeout: *jobTimeout,
 		CacheEntries:      *cacheEntries,
+		Registry:          reg,
+		Logger:            logger,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "mnpuserved listening on %s (%d workers)\n", ln.Addr(), *workers)
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers)
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		ds := &http.Server{Handler: debugMux(reg)}
+		go func() { _ = ds.Serve(dln) }()
+		defer ds.Close()
+		logger.Info("debug listening", "debug_addr", dln.Addr().String())
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -82,7 +130,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	// Drain while the HTTP listener stays up, so clients keep polling
 	// job status during shutdown; only then close the listener.
-	fmt.Fprintf(stdout, "mnpuserved draining (up to %s)\n", *drainTimeout)
+	logger.Info("draining", "timeout", *drainTimeout)
 	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer dcancel()
 	drainErr := srv.Shutdown(dctx)
@@ -98,6 +146,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if drainErr != nil {
 		return fmt.Errorf("drain incomplete, in-flight jobs cancelled: %w", drainErr)
 	}
-	fmt.Fprintln(stdout, "mnpuserved drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
+}
+
+// debugMux is the optional diagnostics surface: the standard pprof
+// endpoints plus a plain-text dump of the process metric registry. It
+// binds to its own listener so the production API surface never exposes
+// profiling handlers.
+func debugMux(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/registry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Snapshot().WriteText(w)
+	})
+	return mux
 }

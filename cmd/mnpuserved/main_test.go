@@ -30,7 +30,7 @@ func (s *syncBuffer) String() string {
 	return s.b.String()
 }
 
-var listenRE = regexp.MustCompile(`listening on (\S+)`)
+var listenRE = regexp.MustCompile(`msg=listening addr=(\S+)`)
 
 // TestDaemonLifecycle boots the daemon on an ephemeral port, runs one
 // real tiny job through the HTTP API, then shuts it down via context
@@ -44,7 +44,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	out := &syncBuffer{}
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1"}, out)
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-debug-addr", "127.0.0.1:0"}, out)
 	}()
 
 	var addr string
@@ -96,6 +96,35 @@ func TestDaemonLifecycle(t *testing.T) {
 		resp.Body.Close()
 	}
 
+	// The job-keyed structured log recorded the run.
+	if !strings.Contains(out.String(), "msg=\"job done\"") || !strings.Contains(out.String(), "job="+view.ID) {
+		t.Errorf("structured job log missing; output:\n%s", out.String())
+	}
+
+	// The opt-in debug listener serves pprof and the registry dump.
+	dm := regexp.MustCompile(`debug_addr=(\S+)`).FindStringSubmatch(out.String())
+	if dm == nil {
+		t.Fatalf("debug listener never announced; output:\n%s", out.String())
+	}
+	dresp, err := http.Get("http://" + dm[1] + "/debug/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbuf bytes.Buffer
+	_, _ = dbuf.ReadFrom(dresp.Body)
+	dresp.Body.Close()
+	if !strings.Contains(dbuf.String(), "serve.jobs_done 1") {
+		t.Errorf("debug registry dump missing job counters:\n%s", dbuf.String())
+	}
+	if presp, err := http.Get("http://" + dm[1] + "/debug/pprof/cmdline"); err != nil {
+		t.Fatal(err)
+	} else {
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			t.Errorf("pprof cmdline returned %d", presp.StatusCode)
+		}
+	}
+
 	cancel()
 	select {
 	case err := <-runErr:
@@ -118,6 +147,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-nope"},
 		{"stray"},
 		{"-addr", "999.999.999.999:0"},
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
+		{"-addr", "127.0.0.1:0", "-debug-addr", "999.999.999.999:0"},
 	} {
 		ctx, cancel := context.WithCancel(context.Background())
 		err := run(ctx, args, out)

@@ -27,8 +27,11 @@ import (
 	"strings"
 	"syscall"
 
+	"mnpusim/internal/asciiplot"
 	"mnpusim/internal/config"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/attrib"
+	"mnpusim/internal/report"
 	"mnpusim/internal/sim"
 )
 
@@ -50,6 +53,7 @@ func run(ctx context.Context, args []string) error {
 		noXlat        = fs.Bool("no-translation", false, "remove address translation (bandwidth isolation mode)")
 		outFlag       = fs.String("out", "", "result directory (omit to print to stdout only)")
 		idealFlag     = fs.Bool("ideal", false, "also run each workload on the Ideal baseline and report speedups")
+		attrFlag      = fs.Bool("attr", false, "attribute each core's wall cycles to stall buckets (compute, dram_queue, row_conflict, transfer, ptw_queue, walk, idle); prints a stacked-bar view and, with -out, writes attribution.csv/.json")
 		obsFlag       = fs.String("obs", "", "write a Chrome trace-event timeline (Perfetto-loadable JSON) to this file")
 		obsCounters   = fs.String("obs-counters", "", "write the run's metric counters as sorted 'name value' lines to this file, or - for stdout")
 		jsonFlag      = fs.Bool("json", false, "write the result as canonical JSON to stdout instead of the text summary (byte-identical to the serving daemon's result endpoint)")
@@ -108,6 +112,11 @@ func run(ctx context.Context, args []string) error {
 	if *obsCounters != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	var attrEng *attrib.Engine
+	if *attrFlag {
+		attrEng = sim.NewAttribution(cfg)
+		cfg.Obs = obs.Tee(cfg.Obs, attrEng)
+	}
 
 	if *timeoutFlag > 0 {
 		var cancel context.CancelFunc
@@ -150,12 +159,77 @@ func run(ctx context.Context, args []string) error {
 	} else {
 		printSummary(cfg, res, ideal)
 	}
+	if attrEng != nil {
+		if err := reportAttribution(attrEng, out, *jsonFlag); err != nil {
+			return err
+		}
+	}
 	if out != "" {
 		if err := writeResults(out, cfg, res); err != nil {
 			return err
 		}
 		fmt.Printf("results written to %s/result\n", out)
 	}
+	return nil
+}
+
+// reportAttribution prints the stall-cycle breakdown as a stacked-bar
+// view (on stderr under -json, keeping stdout byte-pure) and, with an
+// output directory, writes attribution.csv and attribution.json next to
+// the artifact result files.
+func reportAttribution(eng *attrib.Engine, out string, jsonMode bool) error {
+	if !eng.Finalized() {
+		return fmt.Errorf("attribution incomplete: simulation ended before every core finished its first inference")
+	}
+	rep := eng.Report()
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("attribution: %w", err)
+	}
+	w := os.Stdout
+	if jsonMode {
+		w = os.Stderr
+	}
+	labels := make([]string, len(rep.Cores))
+	rows := make([][]float64, len(rep.Cores))
+	for i, c := range rep.Cores {
+		labels[i] = fmt.Sprintf("core%d %s", c.Core, c.Net)
+		buckets := c.Buckets()
+		rows[i] = make([]float64, len(buckets))
+		for b, v := range buckets {
+			rows[i][b] = float64(v)
+		}
+	}
+	fmt.Fprintln(w, "stall-cycle attribution (each bar = 100% of that core's cycles):")
+	fmt.Fprint(w, asciiplot.StackedBar(labels, attrib.BucketNames(), rows, 60))
+	for _, c := range rep.Cores {
+		fmt.Fprintf(w, "core %d %-8s total=%d", c.Core, c.Net, c.TotalCycles)
+		for b := attrib.Bucket(0); b < attrib.NumBuckets; b++ {
+			fmt.Fprintf(w, " %s=%.1f%%", attrib.BucketNames()[b], 100*c.Fraction(b))
+		}
+		fmt.Fprintln(w)
+	}
+	if out == "" {
+		return nil
+	}
+	rdir := filepath.Join(out, "result")
+	if err := os.MkdirAll(rdir, 0o755); err != nil {
+		return err
+	}
+	var csv strings.Builder
+	if err := report.AttributionCSV(&csv, rep); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(rdir, "attribution.csv"), []byte(csv.String()), 0o644); err != nil {
+		return err
+	}
+	var js strings.Builder
+	if err := report.WriteJSON(&js, rep); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(rdir, "attribution.json"), []byte(js.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "attribution written to %s/attribution.{csv,json}\n", rdir)
 	return nil
 }
 

@@ -44,6 +44,84 @@ func BarChart(labels []string, values []float64, normalize bool, width int) stri
 	return b.String()
 }
 
+// stackGlyphs is the default segment palette for StackedBar; segment i
+// renders as the i-th rune. The attribution views use the first seven:
+// compute, dram_queue, row_conflict, transfer, ptw_queue, walk, idle.
+var stackGlyphs = []rune("#DCTQW·=+x%o*")
+
+// StackedBar renders one stacked horizontal bar per row: each row's
+// non-negative segments share the full width proportionally (every bar
+// is its own 100%, suitable for cycle-fraction breakdowns). Segment
+// widths use largest-remainder rounding so each bar is exactly width
+// characters and every nonzero segment of at least half a character
+// stays visible. The first output line is a legend mapping segment
+// names to glyphs.
+func StackedBar(labels []string, segNames []string, rows [][]float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	b.WriteString("legend:")
+	for i, n := range segNames {
+		fmt.Fprintf(&b, " %s=%c", n, stackGlyphs[i%len(stackGlyphs)])
+	}
+	b.WriteByte('\n')
+	for r, label := range labels {
+		segs := rows[r]
+		total := 0.0
+		for _, v := range segs {
+			if v > 0 {
+				total += v
+			}
+		}
+		cells := make([]int, len(segs))
+		if total > 0 {
+			// Largest-remainder apportionment, ties broken by index so
+			// the render is deterministic.
+			used := 0
+			rem := make([]float64, len(segs))
+			for i, v := range segs {
+				if v <= 0 {
+					continue
+				}
+				exact := v / total * float64(width)
+				cells[i] = int(exact)
+				rem[i] = exact - float64(cells[i])
+				used += cells[i]
+			}
+			for used < width {
+				best := -1
+				for i := range segs {
+					if segs[i] <= 0 {
+						continue
+					}
+					if best < 0 || rem[i] > rem[best] {
+						best = i
+					}
+				}
+				if best < 0 {
+					break
+				}
+				cells[best]++
+				rem[best] = -1
+				used++
+			}
+		}
+		line := make([]rune, 0, width)
+		for i, n := range cells {
+			g := stackGlyphs[i%len(stackGlyphs)]
+			for j := 0; j < n; j++ {
+				line = append(line, g)
+			}
+		}
+		for len(line) < width {
+			line = append(line, ' ')
+		}
+		fmt.Fprintf(&b, "%-12s |%s|\n", label, string(line))
+	}
+	return b.String()
+}
+
 // CDFChart renders an empirical CDF as a fixed-size character grid.
 // Values are plotted on the x axis from lo to hi; the y axis is the
 // cumulative fraction.

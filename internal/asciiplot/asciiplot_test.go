@@ -50,6 +50,39 @@ func TestBarChartAutoScale(t *testing.T) {
 	}
 }
 
+func TestStackedBarProportions(t *testing.T) {
+	out := StackedBar([]string{"core0"}, []string{"compute", "idle"}, [][]float64{{3, 1}}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.Contains(lines[0], "compute=#") || !strings.Contains(lines[0], "idle=D") {
+		t.Errorf("legend: %q", lines[0])
+	}
+	if strings.Count(lines[1], "#") != 15 || strings.Count(lines[1], "D") != 5 {
+		t.Errorf("segments: %q", lines[1])
+	}
+}
+
+func TestStackedBarExactWidthAndRounding(t *testing.T) {
+	// Thirds do not divide 10 evenly; largest-remainder must still fill
+	// exactly 10 cells, deterministically.
+	out := StackedBar([]string{"x"}, []string{"a", "b", "c"}, [][]float64{{1, 1, 1}}, 10)
+	bar := out[strings.Index(out, "|")+1 : strings.LastIndex(out, "|")]
+	if len([]rune(bar)) != 10 {
+		t.Errorf("bar width: %q", bar)
+	}
+	again := StackedBar([]string{"x"}, []string{"a", "b", "c"}, [][]float64{{1, 1, 1}}, 10)
+	if out != again {
+		t.Error("stacked bar not deterministic")
+	}
+	// An all-zero row renders as blank, not a crash.
+	zero := StackedBar([]string{"z"}, []string{"a"}, [][]float64{{0}}, 10)
+	if !strings.Contains(zero, "|          |") {
+		t.Errorf("zero row: %q", zero)
+	}
+}
+
 func TestCDFChartShape(t *testing.T) {
 	xs := []float64{0.2, 0.4, 0.6, 0.8}
 	out := CDFChart(xs, 0, 1, 40, 8)

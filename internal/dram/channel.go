@@ -272,6 +272,9 @@ func (c *channel) pick(now int64) int {
 	}
 	for i := range c.queue {
 		p := &c.queue[i]
+		if c.refreshDue(now, p.loc.Rank) {
+			continue
+		}
 		b := &c.banks[c.cfg.BankIndex(p.loc)]
 		if b.openRow == p.loc.Row && c.casReady(now, p) {
 			c.notePick(i, starved)
@@ -298,9 +301,20 @@ func (c *channel) notePick(i int, starved bool) {
 	}
 }
 
+// refreshDue reports whether rank r has a refresh due that has not yet
+// started. New commands to such a rank are held off: otherwise a steady
+// request stream keeps reopening rows faster than the precharge-all
+// sequence can close them and the refresh starves past a full interval.
+func (c *channel) refreshDue(now int64, r int) bool {
+	return c.cfg.Timing.REFI > 0 && c.refreshing[r] <= now && now >= c.nextRefresh[r]
+}
+
 // canProgress reports whether the request could issue any useful command
 // (CAS, precharge, or activate) this cycle.
 func (c *channel) canProgress(now int64, p *pending) bool {
+	if c.refreshDue(now, p.loc.Rank) {
+		return false
+	}
 	b := &c.banks[c.cfg.BankIndex(p.loc)]
 	switch {
 	case b.openRow == p.loc.Row:
@@ -354,6 +368,9 @@ func (c *channel) busNeededAt(read bool) int64 {
 func (c *channel) issue(now int64, idx int) {
 	t := c.cfg.Timing
 	p := &c.queue[idx]
+	if c.refreshDue(now, p.loc.Rank) {
+		return // rank is closing for refresh; hold the command
+	}
 	bi := c.cfg.BankIndex(p.loc)
 	b := &c.banks[bi]
 
@@ -388,15 +405,16 @@ func (c *channel) issue(now int64, idx int) {
 		c.stats.BytesMoved += int64(p.req.Size)
 		c.stats.BusBusyCycles += int64(t.BL2)
 		isWrite := p.req.Kind == mem.Write
+		core := int32(p.req.Core)
 		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
 		if c.obs != nil {
 			var wr int64
 			if isWrite {
 				wr = 1
 			}
-			c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindDRAMIssue, Unit: int32(c.id),
-				A: int64(len(c.queue)), B: wr})
-			c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowHit, Unit: int32(c.id)})
+			c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindDRAMIssue, Core: core,
+				Unit: int32(c.id), A: int64(len(c.queue)), B: wr})
+			c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowHit, Core: core, Unit: int32(c.id)})
 		}
 
 	case b.openRow >= 0:
@@ -405,7 +423,8 @@ func (c *channel) issue(now int64, idx int) {
 			c.precharge(now, bi)
 			c.stats.RowMisses++
 			if c.obs != nil {
-				c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowConflict, Unit: int32(c.id)})
+				c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowConflict,
+					Core: int32(p.req.Core), Unit: int32(c.id)})
 			}
 		}
 
@@ -414,7 +433,8 @@ func (c *channel) issue(now int64, idx int) {
 		if c.canActivate(now, p.loc) {
 			c.activate(now, p.loc)
 			if c.obs != nil {
-				c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowMiss, Unit: int32(c.id)})
+				c.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindRowMiss,
+					Core: int32(p.req.Core), Unit: int32(c.id)})
 			}
 		}
 	}

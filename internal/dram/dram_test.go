@@ -281,6 +281,31 @@ func TestRefreshHappens(t *testing.T) {
 	}
 }
 
+func TestRefreshNotStarvedBySaturatingStream(t *testing.T) {
+	// A due refresh must win against a saturating row-hit stream. The
+	// controller holds new commands to a rank whose refresh is due so
+	// the precharge-all sequence converges; without that hold each CAS
+	// pushes the bank's precharge window forward and the refresh slips
+	// past a full tREFI (the invariant build panics with "refresh
+	// overdue by a full interval").
+	cfg := HBM2(1)
+	tm := newTestMemory(t, cfg)
+	horizon := int64(cfg.Timing.REFI) * 4
+	issued := 0
+	for tm.now < horizon {
+		for tm.m.Enqueue(tm.now, tm.request(0, uint64(issued*64), mem.Read, nil)) {
+			issued++
+		}
+		tm.m.Tick(tm.now)
+		tm.now++
+	}
+	st := tm.m.Stats().Totals()
+	if st.Refreshes < 3 {
+		t.Errorf("refreshes = %d over %d cycles (tREFI=%d), want >= 3",
+			st.Refreshes, horizon, cfg.Timing.REFI)
+	}
+}
+
 func TestSkipWindowBoundedByRefresh(t *testing.T) {
 	cfg := HBM2(1)
 	tm := newTestMemory(t, cfg)

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mnpusim/internal/sim"
+)
+
+func TestDualAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full attribution study in -short mode")
+	}
+	r := tinyRunner()
+	res, err := DualAttribution(r, "ncf", "gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ideal) != 2 || len(res.Levels) != 4 {
+		t.Fatalf("shape: %+v", res)
+	}
+	for i, ib := range res.Ideal {
+		if ib.Core != i || ib.Sum() != ib.TotalCycles || ib.TotalCycles == 0 {
+			t.Errorf("ideal[%d] malformed: %+v", i, ib)
+		}
+	}
+	for _, lv := range res.Levels {
+		cores := res.ByLevel[lv]
+		if len(cores) != 2 {
+			t.Fatalf("%s: %d cores", lv, len(cores))
+		}
+		for i, cb := range cores {
+			if cb.Sum() != cb.TotalCycles {
+				t.Errorf("%s core %d: sum %d != total %d", lv, i, cb.Sum(), cb.TotalCycles)
+			}
+			// Sharing can only slow a core down relative to its solo
+			// full-resource Ideal run.
+			if cb.TotalCycles < res.Ideal[i].TotalCycles {
+				t.Errorf("%s core %d faster than ideal: %d < %d",
+					lv, i, cb.TotalCycles, res.Ideal[i].TotalCycles)
+			}
+			d := res.Delta(lv, i)
+			if d.TotalCycles != cb.TotalCycles-res.Ideal[i].TotalCycles {
+				t.Errorf("%s core %d delta: %+v", lv, i, d)
+			}
+		}
+	}
+	// Static time-multiplexes every resource; it must lose at least as
+	// many total cycles as the fully provisioned +DWT level.
+	static := res.ByLevel[sim.Static][0].TotalCycles + res.ByLevel[sim.Static][1].TotalCycles
+	dwt := res.ByLevel[sim.ShareDWT][0].TotalCycles + res.ByLevel[sim.ShareDWT][1].TotalCycles
+	if static < dwt {
+		t.Errorf("Static (%d) outperformed +DWT (%d)", static, dwt)
+	}
+	s := res.String()
+	if !strings.Contains(s, "ncf+gpt2") || !strings.Contains(s, "dram_queue") {
+		t.Errorf("summary: %s", s)
+	}
+}

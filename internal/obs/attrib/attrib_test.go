@@ -1,0 +1,204 @@
+package attrib
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/obs"
+)
+
+// ev is a compact event constructor for synthetic streams.
+func ev(kind obs.Kind, cycle int64, core int32, a, b int64) obs.Event {
+	return obs.Event{Cycle: cycle, Kind: kind, Core: core, A: a, B: b}
+}
+
+func phase(cycle int64, core int32) obs.Event {
+	return obs.Event{Cycle: cycle, Kind: obs.KindPhase, Core: core, Str: obs.PhaseFirstInference}
+}
+
+func oneCore() *Engine {
+	return New([]CoreClock{{Dom: clock.NewDomain(clock.GHz, clock.GHz), Label: "w"}})
+}
+
+func TestComputeAndIdlePartition(t *testing.T) {
+	e := oneCore()
+	// Idle [0,10), compute [10,30), idle [30,40).
+	e.Emit(ev(obs.KindTileStart, 10, 0, 0, 0))
+	e.Emit(ev(obs.KindTileFinish, 30, 0, 0, 0))
+	e.Emit(phase(39, 0)) // LocalFloor(39+1) = 40
+	rep := e.Report()
+	c := rep.Cores[0]
+	if c.TotalCycles != 40 || c.Compute != 20 || c.Idle != 20 {
+		t.Fatalf("breakdown: %+v", c)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Finalized() {
+		t.Fatal("engine not finalized")
+	}
+}
+
+func TestWaterfallPriorities(t *testing.T) {
+	e := oneCore()
+	// DMA issued at 0: one request in flight -> dram_queue catch-all.
+	e.Emit(ev(obs.KindDMAIssue, 0, 0, 1, 0))
+	// Enqueued in DRAM at 5 (still dram_queue), walk allocated at 10
+	// (ptw_queue outranks), walk active 15..25, CAS at 25 (transfer
+	// outranks queue), burst done at 30, DMA complete at 30, idle after.
+	e.Emit(ev(obs.KindDRAMEnqueue, 5, 0, 1, 0))
+	e.Emit(ev(obs.KindMSHRAlloc, 10, 0, 1, 0))
+	e.Emit(ev(obs.KindWalkStart, 15, 0, 0, 0))
+	e.Emit(ev(obs.KindWalkEnd, 25, 0, 0, 10))
+	e.Emit(ev(obs.KindDRAMIssue, 25, 0, 0, 0))
+	e.Emit(ev(obs.KindTransfer, 30, 0, 64, 0))
+	e.Emit(ev(obs.KindDMAComplete, 30, 0, 0, 0))
+	e.Emit(phase(49, 0))
+	c := e.Report().Cores[0]
+	want := CoreBreakdown{Core: 0, Net: "w", TotalCycles: 50,
+		DRAMQueue: 10, PTWQueue: 5, Walk: 10, Transfer: 5, Idle: 20}
+	if c != want {
+		t.Fatalf("got %+v want %+v", c, want)
+	}
+	if err := e.Report().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowConflictPenalty(t *testing.T) {
+	e := oneCore()
+	e.Emit(ev(obs.KindDMAIssue, 0, 0, 1, 0))
+	e.Emit(ev(obs.KindDRAMEnqueue, 0, 0, 1, 0))
+	// Conflict precharge at 10; CAS finally fires at 22 clearing the
+	// flag; burst completes at 26.
+	e.Emit(ev(obs.KindRowConflict, 10, 0, 0, 0))
+	e.Emit(ev(obs.KindDRAMIssue, 22, 0, 0, 0))
+	e.Emit(ev(obs.KindTransfer, 26, 0, 64, 0))
+	e.Emit(ev(obs.KindDMAComplete, 26, 0, 0, 0))
+	e.Emit(phase(29, 0))
+	c := e.Report().Cores[0]
+	if c.DRAMQueue != 10 || c.RowConflict != 12 || c.Transfer != 4 || c.Idle != 4 {
+		t.Fatalf("breakdown: %+v", c)
+	}
+	if c.Sum() != c.TotalCycles {
+		t.Fatalf("sum %d != total %d", c.Sum(), c.TotalCycles)
+	}
+}
+
+func TestClockDomainMapping(t *testing.T) {
+	// Core at half the global clock: local cycle L maps to global 2L.
+	e := New([]CoreClock{{Dom: clock.NewDomain(clock.GHz, 2*clock.GHz)}})
+	// TileStart stamped at ToGlobal(4)=8, finish at ToGlobal(10)=20.
+	e.Emit(ev(obs.KindTileStart, 8, 0, 0, 0))
+	e.Emit(ev(obs.KindTileFinish, 20, 0, 0, 0))
+	// Phase at global 23: LocalFloor(24) = 12 local cycles total.
+	e.Emit(phase(23, 0))
+	c := e.Report().Cores[0]
+	if c.TotalCycles != 12 || c.Compute != 6 || c.Idle != 6 {
+		t.Fatalf("breakdown: %+v", c)
+	}
+}
+
+func TestStartOffset(t *testing.T) {
+	// Delayed initiation: global cycles before start contribute no local
+	// cycles, so the window starts at the core's own zero.
+	e := New([]CoreClock{{Dom: clock.NewDomain(clock.GHz, clock.GHz), Start: 100}})
+	e.Emit(ev(obs.KindTileStart, 100, 0, 0, 0))
+	e.Emit(ev(obs.KindTileFinish, 110, 0, 0, 0))
+	e.Emit(phase(119, 0))
+	c := e.Report().Cores[0]
+	if c.TotalCycles != 20 || c.Compute != 10 || c.Idle != 10 {
+		t.Fatalf("breakdown: %+v", c)
+	}
+}
+
+func TestEventsAfterFinalizeIgnored(t *testing.T) {
+	e := oneCore()
+	e.Emit(ev(obs.KindTileStart, 0, 0, 0, 0))
+	e.Emit(ev(obs.KindTileFinish, 10, 0, 0, 0))
+	e.Emit(phase(9, 0))
+	before := e.Report().Cores[0]
+	// Co-runner loop iterations keep emitting; the window must not move.
+	e.Emit(ev(obs.KindTileStart, 20, 0, 1, 0))
+	e.Emit(ev(obs.KindTileFinish, 40, 0, 1, 0))
+	if got := e.Report().Cores[0]; got != before {
+		t.Fatalf("post-finalize events moved the window: %+v -> %+v", before, got)
+	}
+}
+
+func TestOutOfOrderTimestampsClamped(t *testing.T) {
+	e := oneCore()
+	// A memory event at 20, then a core-local stamped event slightly
+	// behind it (the tick-internal reordering): the boundary must clamp,
+	// never run backwards or double-charge.
+	e.Emit(ev(obs.KindDMAIssue, 0, 0, 1, 0))
+	e.Emit(ev(obs.KindDMAComplete, 20, 0, 0, 0))
+	e.Emit(ev(obs.KindTileStart, 18, 0, 0, 0))
+	e.Emit(ev(obs.KindTileFinish, 30, 0, 0, 0))
+	e.Emit(phase(29, 0))
+	c := e.Report().Cores[0]
+	if c.Sum() != c.TotalCycles || c.TotalCycles != 30 {
+		t.Fatalf("partition broken: %+v", c)
+	}
+	if c.DRAMQueue != 20 || c.Compute != 10 {
+		t.Fatalf("breakdown: %+v", c)
+	}
+}
+
+func TestUnknownCoresAndSystemEventsIgnored(t *testing.T) {
+	e := oneCore()
+	e.Emit(obs.Event{Cycle: 0, Kind: obs.KindRunStart, Core: -1})
+	e.Emit(ev(obs.KindTileStart, 0, 7, 0, 0)) // out-of-range core
+	e.Emit(phase(9, 0))
+	if c := e.Report().Cores[0]; c.Idle != 10 {
+		t.Fatalf("breakdown: %+v", c)
+	}
+}
+
+func TestMinusAndFractions(t *testing.T) {
+	a := CoreBreakdown{TotalCycles: 100, Compute: 60, DRAMQueue: 40}
+	b := CoreBreakdown{TotalCycles: 70, Compute: 60, DRAMQueue: 10}
+	d := a.Minus(b)
+	if d.TotalCycles != 30 || d.DRAMQueue != 30 || d.Compute != 0 {
+		t.Fatalf("delta: %+v", d)
+	}
+	if f := a.Fraction(BucketCompute); f != 0.6 {
+		t.Fatalf("fraction: %v", f)
+	}
+	if (CoreBreakdown{}).Fraction(BucketCompute) != 0 {
+		t.Fatal("empty-window fraction not zero")
+	}
+}
+
+func TestValidateRejectsBrokenReports(t *testing.T) {
+	bad := Report{Cores: []CoreBreakdown{{TotalCycles: 10, Compute: 4}}}
+	if bad.Validate() == nil {
+		t.Fatal("sum mismatch not rejected")
+	}
+	neg := Report{Cores: []CoreBreakdown{{TotalCycles: -1, Compute: -1}}}
+	if neg.Validate() == nil {
+		t.Fatal("negative bucket not rejected")
+	}
+}
+
+func TestBucketNamesAndJSONStability(t *testing.T) {
+	names := BucketNames()
+	want := []string{"compute", "dram_queue", "row_conflict", "transfer", "ptw_queue", "walk", "idle"}
+	if len(names) != len(want) {
+		t.Fatalf("names: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] || Bucket(i).String() != want[i] {
+			t.Fatalf("bucket %d: %q", i, names[i])
+		}
+	}
+	b, err := json.Marshal(CoreBreakdown{Core: 1, Net: "ncf", TotalCycles: 3, Compute: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantJSON = `{"core":1,"net":"ncf","total_cycles":3,"compute":3,"dram_queue":0,"row_conflict":0,"transfer":0,"ptw_queue":0,"walk":0,"idle":0}`
+	if string(b) != wantJSON {
+		t.Fatalf("json: %s", b)
+	}
+}

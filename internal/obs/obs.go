@@ -84,15 +84,18 @@ const (
 	// KindDRAMEnqueue marks a request admitted to a channel controller
 	// queue. Core and Unit (channel) set, A = queue length after.
 	KindDRAMEnqueue
-	// KindDRAMIssue marks a CAS command servicing a request.
-	// Unit (channel) set, A = queue length after, B = 0 read / 1 write.
+	// KindDRAMIssue marks a CAS command servicing a request. Core
+	// (issuing core) and Unit (channel) set, A = queue length after,
+	// B = 0 read / 1 write.
 	KindDRAMIssue
-	// KindRowHit marks a CAS on an already-open row. Unit set.
+	// KindRowHit marks a CAS on an already-open row. Core (issuing
+	// core) and Unit set.
 	KindRowHit
-	// KindRowMiss marks an activate on a closed bank. Unit set.
+	// KindRowMiss marks an activate on a closed bank. Core (the core
+	// whose request forced it) and Unit set.
 	KindRowMiss
-	// KindRowConflict marks a precharge forced by a row conflict.
-	// Unit set.
+	// KindRowConflict marks a precharge forced by a row conflict. Core
+	// (the core whose request forced it) and Unit set.
 	KindRowConflict
 	// KindRefresh marks a rank refresh starting. Unit (channel) set,
 	// A = tRFC duration in global cycles, B = rank.
@@ -104,6 +107,11 @@ const (
 
 	numKinds
 )
+
+// PhaseFirstInference is the KindPhase label the simulator emits when a
+// core completes its measured first inference. The attribution engine
+// (obs/attrib) closes that core's accounting window on this event.
+const PhaseFirstInference = "first-inference done"
 
 var kindNames = [numKinds]string{
 	KindRunStart:    "run_start",

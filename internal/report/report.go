@@ -6,11 +6,13 @@ package report
 import (
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"strconv"
 
 	"mnpusim/internal/experiments"
+	"mnpusim/internal/obs/attrib"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
@@ -128,10 +130,28 @@ func PerWorkloadCSV(w io.Writer, columns []string, rows map[string][]float64) er
 }
 
 // CoreResultCSV writes the per-core outputs of one simulation — the
-// fields the original simulator's result files carry.
-func CoreResultCSV(w io.Writer, res sim.Result) error {
+// fields the original simulator's result files carry. An optional
+// attribution report appends one attr_<bucket> column per stall-cycle
+// bucket after the stable base columns; the report must cover exactly
+// the result's cores.
+func CoreResultCSV(w io.Writer, res sim.Result, attr ...attrib.Report) error {
+	var breakdowns []attrib.CoreBreakdown
+	if len(attr) > 0 {
+		if len(attr) > 1 {
+			return fmt.Errorf("report: at most one attribution report, got %d", len(attr))
+		}
+		breakdowns = attr[0].Cores
+		if len(breakdowns) != len(res.Cores) {
+			return fmt.Errorf("report: attribution covers %d cores, result has %d", len(breakdowns), len(res.Cores))
+		}
+	}
 	cw := csv.NewWriter(w)
 	header := []string{"core", "net", "avg_cycle", "utilization", "footprint_bytes", "traffic_bytes", "tlb_hit_rate", "walks"}
+	if breakdowns != nil {
+		for _, b := range attrib.BucketNames() {
+			header = append(header, "attr_"+b)
+		}
+	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -141,6 +161,33 @@ func CoreResultCSV(w io.Writer, res sim.Result) error {
 			fmtF(c.Utilization), strconv.FormatInt(c.FootprintBytes, 10),
 			strconv.FormatInt(c.TrafficBytes, 10), fmtF(c.TLBHitRate),
 			strconv.FormatInt(c.MMU.Walks, 10),
+		}
+		if breakdowns != nil {
+			for _, v := range breakdowns[i].Buckets() {
+				rec = append(rec, strconv.FormatInt(v, 10))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// AttributionCSV writes a stall-cycle attribution report as one row per
+// core: core,net,total_cycles followed by one column per bucket in
+// taxonomy order.
+func AttributionCSV(w io.Writer, rep attrib.Report) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"core", "net", "total_cycles"}, attrib.BucketNames()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range rep.Cores {
+		rec := []string{strconv.Itoa(c.Core), c.Net, strconv.FormatInt(c.TotalCycles, 10)}
+		for _, v := range c.Buckets() {
+			rec = append(rec, strconv.FormatInt(v, 10))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

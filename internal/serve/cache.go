@@ -2,6 +2,14 @@ package serve
 
 import "sync"
 
+// cachedResult is one result-cache entry: the canonical result bytes
+// plus the run's attribution report bytes (nil when the simulation
+// produced none). Both are immutable after insertion.
+type cachedResult struct {
+	result []byte
+	attr   []byte
+}
+
 // resultCache is the content-addressed result store: canonical result
 // bytes keyed by the config fingerprint. Only successful results are
 // cached — failures and cancellations always rerun. Eviction is
@@ -11,22 +19,22 @@ import "sync"
 type resultCache struct {
 	mu         sync.Mutex
 	maxEntries int
-	m          map[string][]byte
+	m          map[string]cachedResult
 	order      []string
 }
 
 func newResultCache(maxEntries int) *resultCache {
-	return &resultCache{maxEntries: maxEntries, m: make(map[string][]byte)}
+	return &resultCache{maxEntries: maxEntries, m: make(map[string]cachedResult)}
 }
 
-func (c *resultCache) get(key string) ([]byte, bool) {
+func (c *resultCache) get(key string) (cachedResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	b, ok := c.m[key]
-	return b, ok
+	e, ok := c.m[key]
+	return e, ok
 }
 
-func (c *resultCache) put(key string, result []byte) {
+func (c *resultCache) put(key string, result, attr []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.m[key]; ok {
@@ -36,7 +44,7 @@ func (c *resultCache) put(key string, result []byte) {
 		delete(c.m, c.order[0])
 		c.order = c.order[1:]
 	}
-	c.m[key] = result
+	c.m[key] = cachedResult{result: result, attr: attr}
 	c.order = append(c.order, key)
 }
 

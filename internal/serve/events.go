@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mnpusim/internal/obs"
+)
+
+// jobProgress accumulates a running job's live counters. The simulation
+// goroutine writes it through the job's probe sink; SSE streams read it
+// concurrently, so every field is atomic.
+type jobProgress struct {
+	cycle         atomic.Int64 // latest observed global cycle
+	iters         atomic.Int64 // completed inferences across cores
+	skips         atomic.Int64 // event-driven fast-forward windows taken
+	skippedCycles atomic.Int64 // global cycles covered by those windows
+}
+
+// Emit implements obs.Sink.
+func (p *jobProgress) Emit(e obs.Event) {
+	p.cycle.Store(e.Cycle)
+	switch e.Kind {
+	case obs.KindSkipWindow:
+		p.skips.Add(1)
+		p.skippedCycles.Add(e.A)
+	case obs.KindIterDone:
+		p.iters.Add(1)
+	}
+}
+
+// progressView is the SSE "progress" event payload.
+type progressView struct {
+	Status        Status `json:"status"`
+	Cycle         int64  `json:"cycle"`
+	Iterations    int64  `json:"iterations"`
+	SkipWindows   int64  `json:"skip_windows"`
+	SkippedCycles int64  `json:"skipped_cycles"`
+}
+
+func (p *jobProgress) view(st Status) progressView {
+	return progressView{
+		Status:        st,
+		Cycle:         p.cycle.Load(),
+		Iterations:    p.iters.Load(),
+		SkipWindows:   p.skips.Load(),
+		SkippedCycles: p.skippedCycles.Load(),
+	}
+}
+
+// snapshotJSON renders a registry snapshot as one flat JSON object.
+// The snapshot is already name-sorted, so the encoding is deterministic.
+func snapshotJSON(snap obs.Snapshot) []byte {
+	b := []byte{'{'}
+	for i, m := range snap {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, m.Name)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, m.Value, 10)
+	}
+	return append(b, '}')
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream
+// of the job's life. While the job runs it carries periodic "progress"
+// events (skip-window and inference counters) and occasional "snapshot"
+// events (the registry as a JSON object); once the job ends it carries
+// an "attribution" event when a stall-cycle report exists, then exactly
+// one terminal event — "result" (data bytes identical to
+// GET /v1/jobs/{id}/result), "failed", or "cancelled" — and closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "no such job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errf(http.StatusInternalServerError, "streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Payloads are single-line JSON (json.Marshal emits no newlines), so
+	// one data: line carries the exact bytes.
+	send := func(name string, payload []byte) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, payload); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	sendJSON := func(name string, v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		return send(name, b)
+	}
+
+	if !sendJSON("progress", job.progress.view(job.Status())) {
+		return
+	}
+	ticker := time.NewTicker(s.cfg.EventInterval)
+	defer ticker.Stop()
+	ticks := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			st := job.Status()
+			if !sendJSON("progress", job.progress.view(st)) {
+				return
+			}
+			if ab, ok := job.AttributionJSON(); ok && !send("attribution", ab) {
+				return
+			}
+			switch st {
+			case StatusDone:
+				b, _ := job.ResultJSON()
+				send("result", b)
+			case StatusFailed:
+				sendJSON("failed", map[string]string{"error": job.View(false).Error})
+			case StatusCancelled:
+				sendJSON("cancelled", map[string]string{"error": job.View(false).Error})
+			}
+			return
+		case <-ticker.C:
+			if !sendJSON("progress", job.progress.view(job.Status())) {
+				return
+			}
+			if ticks++; ticks%s.cfg.snapshotEvery == 0 {
+				if !send("snapshot", snapshotJSON(s.reg.Snapshot())) {
+					return
+				}
+			}
+		}
+	}
+}

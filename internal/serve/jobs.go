@@ -114,11 +114,17 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// progress accumulates the live counters streamed by the events
+	// endpoint; the simulation goroutine writes it through the job's
+	// teed probe sink.
+	progress jobProgress
+
 	mu       sync.Mutex
 	status   Status
 	cached   bool
 	errMsg   string
 	result   []byte // canonical JSON of the sim.Result
+	attr     []byte // canonical JSON of the attrib.Report, nil if unavailable
 	done     chan struct{}
 	doneOnce sync.Once
 }
@@ -134,6 +140,10 @@ type JobView struct {
 	Error  string `json:"error,omitempty"`
 	// Result is the simulation outcome, present once Status is "done".
 	Result json.RawMessage `json:"result,omitempty"`
+	// Attribution is the per-core stall-cycle breakdown (an
+	// attrib.Report), present once Status is "done" for jobs whose
+	// simulation produced one.
+	Attribution json.RawMessage `json:"attribution,omitempty"`
 }
 
 // View snapshots the job for JSON encoding. withResult controls whether
@@ -144,6 +154,7 @@ func (j *Job) View(withResult bool) JobView {
 	v := JobView{ID: j.ID, Key: j.Key, Status: j.status, Cached: j.cached, Error: j.errMsg}
 	if withResult && j.status == StatusDone {
 		v.Result = json.RawMessage(j.result)
+		v.Attribution = json.RawMessage(j.attr)
 	}
 	return v
 }
@@ -166,6 +177,18 @@ func (j *Job) ResultJSON() ([]byte, bool) {
 	return j.result, true
 }
 
+// AttributionJSON returns the canonical attribution bytes, or false
+// while the job has not completed or produced none (stubbed or raw
+// failed runs).
+func (j *Job) AttributionJSON() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusDone || j.attr == nil {
+		return nil, false
+	}
+	return j.attr, true
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -182,10 +205,10 @@ func (j *Job) markRunning() bool {
 }
 
 // finish moves the job to a terminal state exactly once.
-func (j *Job) finish(st Status, result []byte, errMsg string) {
+func (j *Job) finish(st Status, result, attr []byte, errMsg string) {
 	j.mu.Lock()
 	if !j.status.Terminal() {
-		j.status, j.result, j.errMsg = st, result, errMsg
+		j.status, j.result, j.attr, j.errMsg = st, result, attr, errMsg
 	}
 	j.mu.Unlock()
 	j.doneOnce.Do(func() { close(j.done) })

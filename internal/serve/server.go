@@ -8,9 +8,15 @@
 // Endpoints:
 //
 //	POST   /v1/jobs             submit a JobSpec; 202 with the job view
-//	GET    /v1/jobs/{id}        job status, result inlined when done
+//	GET    /v1/jobs/{id}        job status; result and stall-cycle
+//	                            attribution inlined when done
 //	GET    /v1/jobs/{id}/result raw canonical result JSON (bytes equal
 //	                            to `mnpusim -json` for the same config)
+//	GET    /v1/jobs/{id}/events SSE stream: progress and registry
+//	                            snapshots while running, then an
+//	                            attribution event and one terminal
+//	                            event whose payload byte-matches the
+//	                            result endpoint
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/workloads        built-in workloads, scales, sharing levels
 //	GET    /v1/healthz          liveness and queue occupancy
@@ -22,6 +28,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -51,6 +59,16 @@ type Config struct {
 	// Registry receives the server's counters and every job's
 	// simulation metrics. Nil creates a private registry.
 	Registry *obs.Registry
+	// EventInterval paces the progress events of the per-job SSE
+	// stream. Zero means 250ms.
+	EventInterval time.Duration
+	// Logger receives the server's structured log, keyed by job ID.
+	// Nil discards it.
+	Logger *slog.Logger
+
+	// snapshotEvery emits one registry-snapshot SSE event per this many
+	// progress ticks; New defaults it to 4.
+	snapshotEvery int
 }
 
 // Server is the simulation service. Create with New, serve its
@@ -58,6 +76,7 @@ type Config struct {
 type Server struct {
 	cfg Config
 	reg *obs.Registry
+	log *slog.Logger
 
 	// simulate is the execution seam; tests substitute slow or failing
 	// simulations without burning CPU.
@@ -96,14 +115,23 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 4096
 	}
+	if cfg.EventInterval <= 0 {
+		cfg.EventInterval = 250 * time.Millisecond
+	}
+	cfg.snapshotEvery = 4
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
+		log:        logger,
 		simulate:   sim.RunContext,
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -179,10 +207,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.register(job)
 		s.mu.Unlock()
 		job.cached = true
-		job.finish(StatusDone, cached, "")
+		job.finish(StatusDone, cached.result, cached.attr, "")
 		s.jobsSubmitted.Inc()
 		s.cacheHits.Inc()
 		s.jobsDone.Inc()
+		s.log.Info("job served from cache", "job", job.ID, "key", job.Key)
 		return job, nil
 	}
 
@@ -202,6 +231,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 
 	s.jobsSubmitted.Inc()
 	s.queueDepth.Set(int64(len(s.queue)))
+	s.log.Info("job queued", "job", job.ID, "key", job.Key, "queued", len(s.queue))
 	return job, nil
 }
 
@@ -247,11 +277,12 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 	wasQueued := job.status == StatusQueued
 	job.mu.Unlock()
 	if wasQueued {
-		job.finish(StatusCancelled, nil, "cancelled while queued")
+		job.finish(StatusCancelled, nil, nil, "cancelled while queued")
 		s.jobsCancelled.Inc()
 	} else {
 		job.cancel()
 	}
+	s.log.Info("job cancel requested", "job", job.ID, "was_queued", wasQueued)
 	return job, true
 }
 
@@ -265,7 +296,10 @@ func (s *Server) worker() {
 }
 
 // runJob executes one job under its context and timeout, classifying
-// the outcome and feeding the result cache.
+// the outcome and feeding the result cache. Every run carries a
+// stall-cycle attribution engine and the job's progress sink on its
+// probe stream; neither perturbs the result bytes (the obs layer's
+// determinism contract, proven in internal/sim).
 func (s *Server) runJob(job *Job) {
 	if !job.markRunning() {
 		return // cancelled while queued
@@ -283,28 +317,45 @@ func (s *Server) runJob(job *Job) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = s.reg
 	}
+	attr := sim.NewAttribution(cfg)
+	cfg.Obs = obs.Tee(cfg.Obs, attr, &job.progress)
 	s.simulations.Inc()
+	s.log.Info("job running", "job", job.ID, "cores", cfg.Cores())
+	start := time.Now()
 	res, err := s.simulate(ctx, cfg)
+	elapsed := time.Since(start)
 	switch {
 	case err == nil:
 		b, merr := json.Marshal(res)
 		if merr != nil {
-			job.finish(StatusFailed, nil, fmt.Sprintf("encoding result: %v", merr))
+			job.finish(StatusFailed, nil, nil, fmt.Sprintf("encoding result: %v", merr))
 			s.jobsFailed.Inc()
 			return
 		}
-		s.cache.put(job.Key, b)
-		job.finish(StatusDone, b, "")
+		// Attribution rides along only when the run produced a complete,
+		// validated breakdown (stubbed simulations emit no events).
+		var ab []byte
+		if attr.Finalized() {
+			if rep := attr.Report(); rep.Validate() == nil {
+				ab, _ = json.Marshal(rep)
+			}
+		}
+		s.cache.put(job.Key, b, ab)
+		job.finish(StatusDone, b, ab, "")
 		s.jobsDone.Inc()
+		s.log.Info("job done", "job", job.ID, "elapsed", elapsed, "global_cycles", res.GlobalCycles)
 	case errors.Is(err, context.Canceled):
-		job.finish(StatusCancelled, nil, err.Error())
+		job.finish(StatusCancelled, nil, nil, err.Error())
 		s.jobsCancelled.Inc()
+		s.log.Info("job cancelled", "job", job.ID, "elapsed", elapsed)
 	case errors.Is(err, context.DeadlineExceeded):
-		job.finish(StatusFailed, nil, fmt.Sprintf("job timeout (%s): %v", job.timeout, err))
+		job.finish(StatusFailed, nil, nil, fmt.Sprintf("job timeout (%s): %v", job.timeout, err))
 		s.jobsFailed.Inc()
+		s.log.Warn("job timed out", "job", job.ID, "timeout", job.timeout)
 	default:
-		job.finish(StatusFailed, nil, err.Error())
+		job.finish(StatusFailed, nil, nil, err.Error())
 		s.jobsFailed.Inc()
+		s.log.Warn("job failed", "job", job.ID, "err", err)
 	}
 }
 
@@ -317,6 +368,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		s.log.Info("draining", "queued", len(s.queue))
 	}
 	s.mu.Unlock()
 
@@ -378,6 +430,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)

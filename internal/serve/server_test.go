@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/attrib"
 	"mnpusim/internal/sim"
 )
 
@@ -423,6 +425,186 @@ func TestWorkloadsAndMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readSSE consumes a whole SSE stream (the events endpoint closes it
+// after the terminal event).
+func readSSE(t *testing.T, ts *httptest.Server, id string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.name != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func findEvent(evs []sseEvent, name string) (sseEvent, bool) {
+	for _, e := range evs {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return sseEvent{}, false
+}
+
+// emitFakeRun replays a minimal but complete probe stream for a
+// one-core run: some compute, one skip window, one finished inference,
+// and the first-inference phase marker that finalizes attribution.
+func emitFakeRun(sink obs.Sink) {
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.Event{Cycle: 0, Kind: obs.KindTileStart, Core: 0})
+	sink.Emit(obs.Event{Cycle: 50, Kind: obs.KindSkipWindow, Core: -1, A: 10})
+	sink.Emit(obs.Event{Cycle: 99, Kind: obs.KindTileFinish, Core: 0})
+	sink.Emit(obs.Event{Cycle: 99, Kind: obs.KindIterDone, Core: 0, A: 1})
+	sink.Emit(obs.Event{Cycle: 99, Kind: obs.KindPhase, Core: 0, Str: obs.PhaseFirstInference})
+}
+
+// TestJobEventsStream checks the SSE contract: the stream carries
+// progress counters fed by the job's probe sink, an attribution event
+// once the run finalizes one, and a terminal "result" event whose data
+// bytes are identical to the result endpoint's body.
+func TestJobEventsStream(t *testing.T) {
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		emitFakeRun(c.Obs)
+		return fakeResult(42), nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, ncfSpec())
+	waitTerminal(t, s, v.ID)
+	evs := readSSE(t, ts, v.ID)
+
+	prog, ok := findEvent(evs, "progress")
+	if !ok {
+		t.Fatalf("no progress event in %+v", evs)
+	}
+	var pv struct {
+		Status        string `json:"status"`
+		Iterations    int64  `json:"iterations"`
+		SkipWindows   int64  `json:"skip_windows"`
+		SkippedCycles int64  `json:"skipped_cycles"`
+	}
+	if err := json.Unmarshal(prog.data, &pv); err != nil {
+		t.Fatal(err)
+	}
+	if pv.Iterations != 1 || pv.SkipWindows != 1 || pv.SkippedCycles != 10 {
+		t.Errorf("progress counters: %+v", pv)
+	}
+
+	ae, ok := findEvent(evs, "attribution")
+	if !ok {
+		t.Fatalf("no attribution event in %+v", evs)
+	}
+	var rep attrib.Report
+	if err := json.Unmarshal(ae.data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Errorf("streamed attribution invalid: %v", err)
+	}
+
+	re, ok := findEvent(evs, "result")
+	if !ok || evs[len(evs)-1].name != "result" {
+		t.Fatalf("terminal result event missing or not last: %+v", evs)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(bytes.Buffer)
+	_, _ = want.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(re.data, want.Bytes()) {
+		t.Errorf("SSE result bytes differ from result endpoint:\n sse %s\n got %s", re.data, want.Bytes())
+	}
+
+	// The job view inlines the same attribution the stream carried.
+	gv := getJob(t, ts, v.ID)
+	if !bytes.Equal([]byte(gv.Attribution), ae.data) {
+		t.Errorf("inlined attribution differs from SSE event")
+	}
+
+	// A resubmission served from cache still carries the attribution.
+	v2, _ := postJob(t, ts, ncfSpec())
+	if !v2.Cached {
+		t.Fatalf("resubmission not cached: %+v", v2)
+	}
+	if ab, ok := func() ([]byte, bool) { j, _ := s.Job(v2.ID); return j.AttributionJSON() }(); !ok || !bytes.Equal(ab, ae.data) {
+		t.Errorf("cached job lost attribution (ok=%v)", ok)
+	}
+}
+
+// TestJobEventsFailedTerminal checks a failing job's stream ends with a
+// "failed" event carrying the error, and no attribution or result.
+func TestJobEventsFailedTerminal(t *testing.T) {
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return sim.Result{}, errors.New("boom")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, ncfSpec())
+	waitTerminal(t, s, v.ID)
+	evs := readSSE(t, ts, v.ID)
+	fe, ok := findEvent(evs, "failed")
+	if !ok || evs[len(evs)-1].name != "failed" {
+		t.Fatalf("failed terminal missing or not last: %+v", evs)
+	}
+	if !bytes.Contains(fe.data, []byte("boom")) {
+		t.Errorf("failed payload: %s", fe.data)
+	}
+	if _, ok := findEvent(evs, "result"); ok {
+		t.Error("failed job streamed a result event")
+	}
+	if _, ok := findEvent(evs, "attribution"); ok {
+		t.Error("failed job streamed an attribution event")
+	}
+	if _, code := func() (JobView, int) { return postJob(t, ts, ncfSpec()) }(); code != http.StatusAccepted {
+		t.Errorf("failed result was cached (code %d)", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("events for unknown job returned %d", resp.StatusCode)
+	}
+}
+
 // TestEndToEndRealSimulation runs one real tiny simulation through the
 // HTTP surface and byte-compares the served result against a direct
 // sim.Run of the same config — the same identity the serve-smoke CI
@@ -464,5 +646,29 @@ func TestEndToEndRealSimulation(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Error("served result differs from direct sim.Run of the same config")
+	}
+
+	// The real run produced a finalized attribution whose per-core
+	// totals equal the served result's cycles.
+	ab, ok := job.AttributionJSON()
+	if !ok {
+		t.Fatal("real job has no attribution")
+	}
+	var rep attrib.Report
+	if err := json.Unmarshal(ab, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("served attribution invalid: %v", err)
+	}
+	if len(rep.Cores) != len(res.Cores) || rep.Cores[0].TotalCycles != res.Cores[0].Cycles {
+		t.Errorf("attribution totals %+v do not match result cores", rep.Cores)
+	}
+
+	// The SSE terminal event byte-matches the result endpoint.
+	evs := readSSE(t, ts, v.ID)
+	re, ok := findEvent(evs, "result")
+	if !ok || !bytes.Equal(re.data, got) {
+		t.Errorf("SSE terminal event does not byte-match result (found=%v)", ok)
 	}
 }

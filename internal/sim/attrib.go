@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"mnpusim/internal/clock"
+	"mnpusim/internal/obs/attrib"
+)
+
+// NewAttribution builds a stall-cycle attribution engine matched to
+// cfg's clock domains and start offsets. Tee it into cfg.Obs before
+// running, then read Report() after:
+//
+//	eng := sim.NewAttribution(cfg)
+//	cfg.Obs = obs.Tee(cfg.Obs, eng)
+//	res, err := sim.Run(cfg)
+//	rep := eng.Report() // rep.Cores[i].TotalCycles == res.Cores[i].Cycles
+//
+// Attribution is pure observation: attaching the engine leaves the
+// simulation result byte-identical.
+func NewAttribution(cfg Config) *attrib.Engine {
+	n := cfg.Cores()
+	clocks := make([]attrib.CoreClock, n)
+	for i := 0; i < n; i++ {
+		clocks[i] = attrib.CoreClock{
+			Dom: clock.NewDomain(cfg.Arch[i].FreqHz, clock.Hz(cfg.DRAM.FreqHz)),
+		}
+		if cfg.StartCycles != nil {
+			clocks[i].Start = cfg.StartCycles[i]
+		}
+		if i < len(cfg.Nets) {
+			clocks[i].Label = cfg.Nets[i].Name
+		}
+	}
+	return attrib.New(clocks)
+}

@@ -12,8 +12,9 @@ import (
 )
 
 // TestObsDoesNotPerturbResults runs the same dual-core mix with and
-// without the full observability stack and byte-compares the serialized
-// results: observation must never alter execution.
+// without the full observability stack — Chrome trace, counter
+// registry, and the stall-cycle attribution engine — and byte-compares
+// the serialized results: observation must never alter execution.
 func TestObsDoesNotPerturbResults(t *testing.T) {
 	cfg, err := sim.NewWorkloadConfig(workloads.ScaleTiny, sim.ShareDWT, "ncf", "gpt2")
 	if err != nil {
@@ -27,13 +28,17 @@ func TestObsDoesNotPerturbResults(t *testing.T) {
 
 	var trace bytes.Buffer
 	chrome := obs.NewChromeTrace(&trace)
-	cfg.Obs = chrome
+	attr := sim.NewAttribution(cfg)
+	cfg.Obs = obs.Tee(chrome, attr)
 	cfg.Metrics = obs.NewRegistry()
 	observed, err := sim.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := chrome.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := attr.Report().Validate(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -232,7 +232,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			for i, c := range cores {
 				if !finished[i] && c.FinishedFirstIteration() {
 					finished[i] = true
-					sink.Emit(obs.Event{Cycle: now, Kind: obs.KindPhase, Core: int32(i), Str: "first-inference done"})
+					sink.Emit(obs.Event{Cycle: now, Kind: obs.KindPhase, Core: int32(i), Str: obs.PhaseFirstInference})
 				}
 			}
 		}

@@ -3,10 +3,12 @@
 #
 # Boots mnpuserved, runs a tiny dual-core job to completion over HTTP,
 # checks the served result bytes equal `mnpusim -json` for the same
-# config, checks an identical resubmission is answered from the
-# content-addressed cache (no second simulation), cancels an in-flight
-# heavier job, and finally SIGTERMs the daemon and requires a clean
-# drain (exit 0).
+# config, streams the job's SSE feed and requires the terminal "result"
+# event's payload to byte-match the result endpoint (plus an
+# "attribution" event carrying the stall-cycle breakdown), checks an
+# identical resubmission is answered from the content-addressed cache
+# (no second simulation), cancels an in-flight heavier job, and finally
+# SIGTERMs the daemon and requires a clean drain (exit 0).
 #
 # Needs: curl. Uses only POSIX sh + grep/sed so it runs in CI images.
 set -eu
@@ -77,6 +79,22 @@ curl -fsS "$BASE/v1/jobs/$JOB1/result" >"$TMP/served_result.json"
 	>"$TMP/cli_result.json"
 cmp "$TMP/served_result.json" "$TMP/cli_result.json" ||
 	fail "served result differs from mnpusim -json"
+
+echo "serve-smoke: streaming SSE events for the finished job"
+curl -fsS -N "$BASE/v1/jobs/$JOB1/events" >"$TMP/events.txt" ||
+	fail "events stream failed"
+grep -q '^event: progress$' "$TMP/events.txt" ||
+	fail "no progress event in stream: $(cat "$TMP/events.txt")"
+grep -q '^event: attribution$' "$TMP/events.txt" ||
+	fail "no attribution event in stream: $(cat "$TMP/events.txt")"
+grep -q '"total_cycles"' "$TMP/events.txt" ||
+	fail "attribution payload missing bucket data"
+# The terminal result event's data bytes must equal the result endpoint.
+awk '/^event: result$/ { want = 1; next }
+	want && sub(/^data: /, "") { printf "%s", $0; exit }' \
+	"$TMP/events.txt" >"$TMP/sse_result.json"
+cmp "$TMP/sse_result.json" "$TMP/served_result.json" ||
+	fail "SSE terminal event differs from result endpoint bytes"
 
 echo "serve-smoke: resubmitting — must be a cache hit"
 curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" >"$TMP/job2.json"
