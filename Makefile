@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint invariants attr-invariants check bench obs-smoke serve-smoke
+.PHONY: build test race vet lint invariants attr-invariants check bench obs-smoke serve-smoke kernel-check kernel-ab
 
 build:
 	$(GO) build ./...
@@ -42,8 +42,34 @@ attr-invariants:
 # invariant-checked build.
 check: lint test race invariants
 
+# The discrete-event kernel's proof obligations with the runtime
+# invariants compiled in and the race detector on: serialized results
+# are deterministic and byte-identical across kernels, stall-cycle
+# attribution stays exact under both, and the event kernel reproduces
+# the tick kernel's full probe-event stream for every config class.
+kernel-check:
+	$(GO) test -race -tags=invariants \
+		-run 'TestRunDeterministic|TestAttributionSumsMatchResult|TestKernelEventMatchesTick' \
+		./internal/sim
+
+# Byte-diff the two kernels end to end: the same smoke configs run
+# under -kernel tick and -kernel event, and the canonical JSON results
+# must be identical. cmp exits non-zero on the first differing byte.
+kernel-ab:
+	$(GO) run ./cmd/mnpusim -workloads ncf,gpt2 -scale tiny -sharing +dwt \
+		-kernel tick -json > /tmp/mnpusim_ab_dual_tick.json
+	$(GO) run ./cmd/mnpusim -workloads ncf,gpt2 -scale tiny -sharing +dwt \
+		-kernel event -json > /tmp/mnpusim_ab_dual_event.json
+	cmp /tmp/mnpusim_ab_dual_tick.json /tmp/mnpusim_ab_dual_event.json
+	$(GO) run ./cmd/mnpusim -workloads res,dlrm -scale tiny -sharing static \
+		-kernel tick -json > /tmp/mnpusim_ab_static_tick.json
+	$(GO) run ./cmd/mnpusim -workloads res,dlrm -scale tiny -sharing static \
+		-kernel event -json > /tmp/mnpusim_ab_static_event.json
+	cmp /tmp/mnpusim_ab_static_tick.json /tmp/mnpusim_ab_static_event.json
+	@echo "kernel A/B: outputs byte-identical"
+
 # Machine-readable wall-clock benchmark of the dual-core paper sweep
-# (serial vs worker pool, event skipping on vs off) -> BENCH_sweep.json.
+# (serial vs worker pool, tick vs event kernel) -> BENCH_sweep.json.
 bench:
 	$(GO) run ./cmd/mnpubench -sweep-bench BENCH_sweep.json
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mnpusim/internal/experiments"
+	"mnpusim/internal/obs"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
@@ -44,6 +45,19 @@ type SweepBench struct {
 	// Per-configuration event-skip profile: what fraction of the
 	// simulated timeline the loop fast-forwarded instead of ticking.
 	SkipProfile []SkipProfile `json:"skip_profile"`
+
+	// Kernel A/B: the same 4-mix +DWT subset under the tick kernel
+	// (fast-forward enabled) and the discrete-event kernel, serially.
+	KernelSubsetSims    int     `json:"kernel_subset_sims"`
+	KernelTickSeconds   float64 `json:"kernel_tick_seconds"`
+	KernelEventSeconds  float64 `json:"kernel_event_seconds"`
+	KernelSpeedup       float64 `json:"kernel_speedup"`
+	KernelGeomeanDrift  float64 `json:"kernel_geomean_drift"` // must be 0
+	KernelSubsetDetails string  `json:"kernel_subset_details"`
+
+	// Per-configuration kernel cost profile: component-tick invocations
+	// and heap pops under each kernel.
+	KernelProfile []KernelProfile `json:"kernel_profile"`
 }
 
 // SkipProfile records the event layer's effect on one configuration.
@@ -58,10 +72,70 @@ type SkipProfile struct {
 	Identical       bool    `json:"identical"`
 }
 
+// KernelProfile records the tick-vs-event kernel cost of one
+// configuration: how many component-tick invocations each driver
+// performs, the event kernel's heap-pop count, and the wall-clock ratio.
+type KernelProfile struct {
+	Config         string  `json:"config"`
+	GlobalCycles   int64   `json:"global_cycles"`
+	TickCompTicks  int64   `json:"kernel_tick_component_ticks"`
+	EventCompTicks int64   `json:"kernel_event_component_ticks"`
+	TickReduction  float64 `json:"kernel_tick_reduction"` // tick/event invocation ratio
+	HeapPops       int64   `json:"kernel_heap_pops"`
+	TickSeconds    float64 `json:"kernel_tick_seconds"`
+	EventSeconds   float64 `json:"kernel_event_seconds"`
+	Speedup        float64 `json:"kernel_speedup"`
+	Identical      bool    `json:"identical"`
+}
+
+// profileKernel runs one config under both kernels with a metrics
+// registry attached, comparing results and timing both.
+func profileKernel(name string, cfg sim.Config) (KernelProfile, error) {
+	p := KernelProfile{Config: name}
+	run := func(k sim.Kernel) (sim.Result, int64, int64, float64, error) {
+		c := cfg
+		c.Kernel = k
+		c.Metrics = obs.NewRegistry()
+		start := time.Now()
+		res, err := sim.Run(c)
+		if err != nil {
+			return sim.Result{}, 0, 0, 0, err
+		}
+		secs := time.Since(start).Seconds()
+		ticks := c.Metrics.Counter("sim.component_ticks").Value()
+		pops := c.Metrics.Counter("sim.heap_pops").Value()
+		return res, ticks, pops, secs, nil
+	}
+	tickRes, tickTicks, _, tickSecs, err := run(sim.KernelTick)
+	if err != nil {
+		return p, err
+	}
+	evRes, evTicks, pops, evSecs, err := run(sim.KernelEvent)
+	if err != nil {
+		return p, err
+	}
+	p.GlobalCycles = tickRes.GlobalCycles
+	p.TickCompTicks = tickTicks
+	p.EventCompTicks = evTicks
+	if evTicks > 0 {
+		p.TickReduction = float64(tickTicks) / float64(evTicks)
+	}
+	p.HeapPops = pops
+	p.TickSeconds = tickSecs
+	p.EventSeconds = evSecs
+	if evSecs > 0 {
+		p.Speedup = tickSecs / evSecs
+	}
+	p.Identical = reflect.DeepEqual(tickRes, evRes)
+	return p, nil
+}
+
 // profileSkip runs one config with the loop-stats hook and again with
-// event skipping disabled, comparing results and timing both.
+// event skipping disabled, comparing results and timing both. Both legs
+// pin the tick kernel: the profile measures its fast-forward layer.
 func profileSkip(name string, cfg sim.Config) (SkipProfile, error) {
 	p := SkipProfile{Config: name}
+	cfg.Kernel = sim.KernelTick
 	cfg.OnLoopStats = func(iters, skips, skipped int64) {
 		p.LoopIters, p.SkippedCycles = iters, skipped
 	}
@@ -100,12 +174,15 @@ func timedDualSweep(scale workloads.Scale, workers int) (time.Duration, int, flo
 	return time.Since(start), r.Simulations(), res.OverallGeomean(sim.ShareDWT), nil
 }
 
-// timedSubset serially runs a fixed 4-mix +DWT subset and returns
-// elapsed time, sims, and the geomean-of-geomeans witness.
-func timedSubset(scale workloads.Scale, noEventSkip bool) (time.Duration, int, float64, error) {
+// subsetMixes is the fixed 4-mix +DWT subset the A/B comparisons run.
+const subsetDetails = "4 +DWT dual mixes: ncf+gpt2 sfrnn+res dlrm+yt alex+ds2"
+
+// timedSubset serially runs a fixed 4-mix +DWT subset under opts and
+// returns elapsed time, sims, and the geomean-of-geomeans witness.
+func timedSubset(scale workloads.Scale, opts ...experiments.Option) (time.Duration, int, float64, error) {
 	mixes := [][2]string{{"ncf", "gpt2"}, {"sfrnn", "res"}, {"dlrm", "yt"}, {"alex", "ds2"}}
-	r := experiments.NewRunner(experiments.WithScale(scale), experiments.WithWorkers(1),
-		experiments.WithNoEventSkip(noEventSkip))
+	r := experiments.NewRunner(append([]experiments.Option{
+		experiments.WithScale(scale), experiments.WithWorkers(1)}, opts...)...)
 	start := time.Now()
 	prod := 1.0
 	for _, m := range mixes {
@@ -146,7 +223,7 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 
 	// Warm the process-wide schedule cache so both sweep legs measure
 	// simulation time, not one-off schedule compilation.
-	if _, _, _, err := timedSubset(scale, false); err != nil {
+	if _, _, _, err := timedSubset(scale); err != nil {
 		return err
 	}
 
@@ -169,12 +246,13 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 	b.ParallelGeomeanDrift = abs(serialGeo - parGeo)
 
 	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping on...\n")
-	onT, subSims, onW, err := timedSubset(scale, false)
+	onT, subSims, onW, err := timedSubset(scale, experiments.WithKernel(sim.KernelTick))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping off...\n")
-	offT, _, offW, err := timedSubset(scale, true)
+	offT, _, offW, err := timedSubset(scale, experiments.WithKernel(sim.KernelTick),
+		experiments.WithNoEventSkip(true))
 	if err != nil {
 		return err
 	}
@@ -183,7 +261,21 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 	b.SkipOffSeconds = offT.Seconds()
 	b.EventSkipSpeedup = offT.Seconds() / onT.Seconds()
 	b.SkipGeomeanDrift = abs(onW - offW)
-	b.SkipSubsetDetails = "4 +DWT dual mixes: ncf+gpt2 sfrnn+res dlrm+yt alex+ds2"
+	b.SkipSubsetDetails = subsetDetails
+
+	// Kernel A/B: the tick leg is the skip-on measurement above (the
+	// tick kernel with fast-forward enabled — its best case).
+	fmt.Fprintf(os.Stderr, "sweep-bench: kernel subset, event kernel...\n")
+	evT, _, evW, err := timedSubset(scale, experiments.WithKernel(sim.KernelEvent))
+	if err != nil {
+		return err
+	}
+	b.KernelSubsetSims = subSims
+	b.KernelTickSeconds = onT.Seconds()
+	b.KernelEventSeconds = evT.Seconds()
+	b.KernelSpeedup = onT.Seconds() / evT.Seconds()
+	b.KernelGeomeanDrift = abs(onW - evW)
+	b.KernelSubsetDetails = subsetDetails
 
 	fmt.Fprintf(os.Stderr, "sweep-bench: per-config skip profiles...\n")
 	for _, pc := range []struct {
@@ -208,6 +300,11 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 			return err
 		}
 		b.SkipProfile = append(b.SkipProfile, prof)
+		kprof, err := profileKernel(pc.name, cfg)
+		if err != nil {
+			return err
+		}
+		b.KernelProfile = append(b.KernelProfile, kprof)
 	}
 
 	enc := json.NewEncoder(f)
@@ -215,7 +312,7 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 	if err := enc.Encode(b); err != nil {
 		return err
 	}
-	fmt.Printf("sweep-bench: %d sims serial=%.1fs parallel(%d)=%.1fs speedup=%.2fx; event-skip speedup=%.2fx -> %s\n",
-		b.SweepSims, b.SerialSeconds, b.Workers, b.ParallelSeconds, b.ParallelSpeedup, b.EventSkipSpeedup, path)
+	fmt.Printf("sweep-bench: %d sims serial=%.1fs parallel(%d)=%.1fs speedup=%.2fx; event-skip speedup=%.2fx; kernel speedup=%.2fx -> %s\n",
+		b.SweepSims, b.SerialSeconds, b.Workers, b.ParallelSeconds, b.ParallelSpeedup, b.EventSkipSpeedup, b.KernelSpeedup, path)
 	return nil
 }

@@ -34,6 +34,12 @@ var scopes = map[string][]string{
 	},
 	"clockdomain": {"mnpusim/internal/"},
 	"nolibpanic":  {"mnpusim/internal/", "mnpusim/cmd/"},
+	// wakecontract covers the component packages driven by the event
+	// kernel's wake contract (see internal/sim/kernel.go).
+	"wakecontract": {
+		"mnpusim/internal/dram", "mnpusim/internal/mmu",
+		"mnpusim/internal/npu",
+	},
 }
 
 func main() {

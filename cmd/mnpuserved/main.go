@@ -36,6 +36,7 @@ import (
 
 	"mnpusim/internal/obs"
 	"mnpusim/internal/serve"
+	"mnpusim/internal/sim"
 )
 
 func main() {
@@ -76,6 +77,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job simulation timeout (0 = none; specs may override)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
 		cacheEntries = fs.Int("cache", 1024, "result-cache capacity (distinct configurations)")
+		kernelFlag   = fs.String("kernel", "", "simulation kernel for jobs that do not pick one: event (default) or tick; results byte-identical")
 		logLevel     = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logFormat    = fs.String("log-format", "text", "log encoding: text or json")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and /debug/registry on this extra address (empty = off)")
@@ -90,6 +92,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	kernel, err := sim.ParseKernel(*kernelFlag)
+	if err != nil {
+		return err
+	}
 
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Config{
@@ -97,6 +103,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		QueueDepth:        *queue,
 		DefaultJobTimeout: *jobTimeout,
 		CacheEntries:      *cacheEntries,
+		DefaultKernel:     kernel,
 		Registry:          reg,
 		Logger:            logger,
 	})

@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string) error {
 		obsFlag       = fs.String("obs", "", "write a Chrome trace-event timeline (Perfetto-loadable JSON) to this file")
 		obsCounters   = fs.String("obs-counters", "", "write the run's metric counters as sorted 'name value' lines to this file, or - for stdout")
 		jsonFlag      = fs.Bool("json", false, "write the result as canonical JSON to stdout instead of the text summary (byte-identical to the serving daemon's result endpoint)")
+		kernelFlag    = fs.String("kernel", "", "simulation kernel: event (default) or tick; results are byte-identical either way")
 		timeoutFlag   = fs.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
 	)
 	fs.Usage = func() {
@@ -98,6 +99,12 @@ func run(ctx context.Context, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("need -workloads or six positional config arguments")
 	}
+
+	kernel, err := sim.ParseKernel(*kernelFlag)
+	if err != nil {
+		return err
+	}
+	cfg.Kernel = kernel
 
 	var chrome *obs.ChromeTrace
 	if *obsFlag != "" {

@@ -49,6 +49,8 @@ func TestCorpus(t *testing.T) {
 		{"clockdom_good", Clockdomain, 0},
 		{"libpanic_bad", Nolibpanic, 2},
 		{"libpanic_good", Nolibpanic, 0},
+		{"wakecontract_bad", Wakecontract, 2},
+		{"wakecontract_good", Wakecontract, 0},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

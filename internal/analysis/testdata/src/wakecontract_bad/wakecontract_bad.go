@@ -1,0 +1,38 @@
+// Package wakecontract_bad seeds wakecontract violations: every line
+// marked `// want:wakecontract` must be flagged by the analyzer.
+package wakecontract_bad
+
+// engine carries the wake contract (Tick + NextEventAfter), so its
+// timed mutating entry points are stimulus seams the kernel must hear
+// about.
+type engine struct {
+	queue   []int64
+	readyAt int64
+	ticks   int64
+}
+
+func (e *engine) Tick(now int64) {
+	e.ticks++
+	if len(e.queue) > 0 && e.queue[0] <= now {
+		e.queue = e.queue[1:]
+	}
+}
+
+func (e *engine) NextEventAfter(now int64) int64 {
+	if len(e.queue) == 0 {
+		return 1 << 62
+	}
+	return e.readyAt
+}
+
+// Push lands a request in the queue between ticks: observable state
+// changes at now+1, which the armed wake entry knows nothing about.
+func (e *engine) Push(now int64, v int64) { // want:wakecontract
+	e.queue = append(e.queue, v)
+	e.readyAt = now + 1
+}
+
+// Cancel mutates wake-guarded state through an increment.
+func (e *engine) Cancel(now int64) { // want:wakecontract
+	e.ticks--
+}

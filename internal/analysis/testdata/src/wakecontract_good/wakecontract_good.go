@@ -1,0 +1,48 @@
+// Package wakecontract_good contains wake-contract components the
+// analyzer must stay silent on.
+package wakecontract_good
+
+// engine's only timed mutations happen inside the contract surface or
+// helpers it calls — the kernel re-arms after every delivered tick.
+type engine struct {
+	queue   []int64
+	readyAt int64
+	ticks   int64
+	trace   bool
+}
+
+func (e *engine) Tick(now int64) {
+	e.ticks++
+	e.drain(now)
+}
+
+func (e *engine) SkipTo(now int64) {
+	e.ticks = now
+}
+
+// drain is called from Tick: the post-tick re-arm covers it.
+func (e *engine) drain(now int64) {
+	if len(e.queue) > 0 && e.queue[0] <= now {
+		e.queue = e.queue[1:]
+	}
+}
+
+func (e *engine) NextEventAfter(now int64) int64 {
+	if len(e.queue) == 0 {
+		return 1 << 62
+	}
+	return e.readyAt
+}
+
+// Depth is timed but read-only.
+func (e *engine) Depth(now int64) int { return len(e.queue) }
+
+// SetTrace takes no cycle: configuration, not stimulus.
+func (e *engine) SetTrace(on bool) { e.trace = on }
+
+// meter has no wake contract (no NextEventAfter), so its timed
+// mutators are out of scope.
+type meter struct{ count int64 }
+
+func (m *meter) Tick(now int64)          { m.count++ }
+func (m *meter) Observe(now int64) int64 { m.count++; return m.count }

@@ -500,18 +500,13 @@ func (c *channel) finishAt(at int64, req *mem.Request) {
 // deadline caps how far the system may fast-forward, so a skipped window
 // never spans a bank-state change.
 func (c *channel) nextEventAfter(now int64) int64 {
-	if len(c.queue) > 0 {
-		return now + 1
-	}
 	next := int64(1) << 62
-	for _, cmp := range c.completions {
-		if cmp.at < next {
-			next = cmp.at
-		}
-	}
 	if c.cfg.Timing.REFI > 0 {
 		for r := range c.nextRefresh {
-			if c.refreshing[r] <= now && c.nextRefresh[r] <= now+1 {
+			if c.refreshing[r] <= now && c.nextRefresh[r] <= now {
+				// A due refresh progresses cycle-by-cycle: the
+				// precharge-all sequence and the refresh start each
+				// consume command slots as bank timers expire.
 				return now + 1
 			}
 			if c.nextRefresh[r] < next {
@@ -519,5 +514,52 @@ func (c *channel) nextEventAfter(now int64) int64 {
 			}
 		}
 	}
+	for _, cmp := range c.completions {
+		if cmp.at < next {
+			next = cmp.at
+		}
+	}
+	// Between command issues the controller state is frozen — every
+	// timer (bank, CAS window, bus) is an absolute cycle — so the
+	// earliest cycle any queued request could issue a command is exact,
+	// not a bound. Under FCFS only the head request is ever considered.
+	n := len(c.queue)
+	if c.cfg.Policy == FCFS && n > 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if e := c.earliestProgress(&c.queue[i]); e < next {
+			next = e
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
 	return next
+}
+
+// earliestProgress returns the earliest cycle at which p could issue a
+// useful command (CAS, precharge, or activate) given the controller's
+// current timers, mirroring canProgress cycle for cycle: canProgress(t,
+// p) is false for every t before the returned cycle and true at it,
+// provided no other command issues in between (any such issue means the
+// channel was ticked, which re-evaluates this horizon).
+func (c *channel) earliestProgress(p *pending) int64 {
+	t := c.cfg.Timing
+	b := &c.banks[c.cfg.BankIndex(p.loc)]
+	switch {
+	case b.openRow == p.loc.Row:
+		grp := p.loc.Rank*c.cfg.BankGroups + p.loc.BankGroup
+		e := max(c.nextCASGroup[grp], c.nextCASAny)
+		if p.req.Kind == mem.Read {
+			return max(e, b.nextRead, c.busNeededAt(true)-int64(t.CL))
+		}
+		return max(e, b.nextWrite, c.busNeededAt(false)-int64(t.CWL))
+	case b.openRow >= 0:
+		return b.nextPrecharge
+	default:
+		w := c.actWindow[p.loc.Rank]
+		oldest := w[c.actWindowPos[p.loc.Rank]]
+		return max(b.nextActivate, c.lastActivate[p.loc.Rank]+int64(t.RRDS), oldest+int64(t.FAW))
+	}
 }

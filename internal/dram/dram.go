@@ -25,6 +25,18 @@ type Memory struct {
 	// completes.
 	OnTransfer TransferFunc
 
+	// OnEnqueue, if non-nil, is called after a request is admitted into
+	// channel ch's controller queue. The event-driven kernel uses it to
+	// arm the channel's wake entry: an enqueue at cycle now means the
+	// channel can change state at now+1.
+	OnEnqueue func(now int64, ch int)
+
+	// OnComplete, if non-nil, is called after a request's Done chain has
+	// run (burst retired at cycle done). The event-driven kernel uses it
+	// to wake the request's originator — the MMU for page-table reads,
+	// the issuing core for data — on the completion cycle.
+	OnComplete func(done int64, r *mem.Request)
+
 	// obs, if non-nil, receives structured probe events (enqueues,
 	// transfers, and the per-channel command stream). Observation never
 	// alters scheduling.
@@ -121,6 +133,8 @@ func (m *Memory) CanAccept(core int, addr uint64) bool {
 // (and leaves r untouched) if the queue is full; the caller should retry
 // on a later cycle. The request's Done callback fires when its data
 // burst completes.
+//
+//lint:allow wakecontract audited stimulus seam: OnEnqueue re-arms the landing channel, and the Done wrapper's OnComplete re-arms the walk or data consumer at the burst's completion cycle
 func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
 	loc := m.mapperFor(r.Core).Locate(r.Addr)
 	ch := m.channels[loc.Channel]
@@ -144,11 +158,17 @@ func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
 		if inner != nil {
 			inner(done, rr)
 		}
+		if m.OnComplete != nil {
+			m.OnComplete(done, rr)
+		}
 	}
 	ch.enqueue(r, loc, m.seq)
 	if m.obs != nil {
 		m.obs.Emit(obs.Event{Cycle: now, Kind: obs.KindDRAMEnqueue, Core: int32(r.Core),
 			Unit: chIdx, A: int64(len(ch.queue))})
+	}
+	if m.OnEnqueue != nil {
+		m.OnEnqueue(now, loc.Channel)
 	}
 	return true
 }
@@ -158,6 +178,22 @@ func (m *Memory) Tick(now int64) {
 	for _, ch := range m.channels {
 		ch.tick(now)
 	}
+}
+
+// Channels returns the number of channels in the device.
+func (m *Memory) Channels() int { return len(m.channels) }
+
+// TickChannel advances a single channel controller by one global cycle.
+// The event-driven kernel uses it to tick only channels with work;
+// ticking an idle channel is a no-op, so over-ticking is always safe.
+func (m *Memory) TickChannel(ch int, now int64) { m.channels[ch].tick(now) }
+
+// ChannelNextEventAfter returns the earliest future cycle at which
+// channel ch needs ticking (see the device-wide NextEventAfter for the
+// contract: queued commands are cycle-by-cycle, completions and refresh
+// deadlines are absolute bounds).
+func (m *Memory) ChannelNextEventAfter(ch int, now int64) int64 {
+	return m.channels[ch].nextEventAfter(now)
 }
 
 // Busy reports whether any channel has queued or in-flight work.

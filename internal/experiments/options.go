@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"mnpusim/internal/obs"
+	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
 
@@ -83,8 +84,17 @@ func WithSeed(seed int64) Option {
 	return func(r *Runner) { r.opts.Seed = seed }
 }
 
+// WithKernel selects the simulation kernel every run uses (see
+// sim.Config.Kernel); results are identical either way.
+func WithKernel(k sim.Kernel) Option {
+	return func(r *Runner) { r.opts.Kernel = k }
+}
+
 // WithNoEventSkip forces every simulation to tick cycle-by-cycle (see
 // sim.Config.NoEventSkip); results are identical either way.
+//
+// Deprecated: use WithKernel(sim.KernelTick) to select the tick kernel;
+// NoEventSkip additionally disables its fast-forward.
 func WithNoEventSkip(on bool) Option {
 	return func(r *Runner) { r.opts.NoEventSkip = on }
 }

@@ -46,8 +46,14 @@ type Options struct {
 	// any worker count — simulations are independent and results are
 	// assembled in enumeration order.
 	Workers int
+	// Kernel selects the simulation kernel every run uses (see
+	// sim.Config.Kernel); results are identical either way.
+	Kernel sim.Kernel
 	// NoEventSkip forces every simulation to tick cycle-by-cycle
 	// (see sim.Config.NoEventSkip); results are identical either way.
+	//
+	// Deprecated: use Kernel (sim.KernelTick keeps the loop this flag
+	// modifies; NoEventSkip additionally disables its fast-forward).
 	NoEventSkip bool
 	// Obs, if non-nil, receives the probe stream of every simulation the
 	// runner executes (see sim.Config.Obs). With Workers != 1 events
@@ -175,6 +181,9 @@ func (r *Runner) logf(format string, args ...any) {
 // is held only around sim.RunContext itself; a cancelled runner stops
 // waiting for a free worker slot instead of starting a doomed run.
 func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
+	if r.opts.Kernel != sim.KernelDefault {
+		cfg.Kernel = r.opts.Kernel
+	}
 	if r.opts.NoEventSkip {
 		cfg.NoEventSkip = true
 	}

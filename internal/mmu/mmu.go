@@ -147,6 +147,8 @@ func (m *MMU) Stats(core int) CoreStats { return m.stats[core] }
 // engine at the current global cycle. It returns false if the MMU
 // cannot take the request this cycle (TLB ports exhausted or the
 // pending-walk limit reached for a new page); the caller retries later.
+//
+//lint:allow wakecontract audited stimulus seam: under the event kernel every core submits through sim.wakeSubmitter, which re-arms the MMU at the next global cycle on success
 func (m *MMU) Submit(now int64, r *mem.Request) bool {
 	core := r.Core
 	if m.cfg.Disabled {

@@ -1,0 +1,102 @@
+package mmu
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mnpusim/internal/mem"
+)
+
+// issueEvent is one translated request arriving at the backend.
+type issueEvent struct {
+	Cycle int64
+	Core  int
+	VAddr uint64
+	Addr  uint64
+}
+
+// recordingBackend always accepts and logs every drained request; the
+// MMU's externally observable behaviour is exactly this stream.
+type recordingBackend struct {
+	events []issueEvent
+}
+
+func (b *recordingBackend) CanAccept(core int, addr uint64) bool { return true }
+
+func (b *recordingBackend) Enqueue(now int64, r *mem.Request) bool {
+	b.events = append(b.events, issueEvent{Cycle: now, Core: r.Core, VAddr: r.VAddr, Addr: r.Addr})
+	return true
+}
+
+// TestMMUWakeContract is the mmu half of the event kernel's wake
+// contract: after Tick(now), the MMU's observable state must not change
+// before its reported NextEventAfter(now) unless a Submit lands first.
+// Two identical MMUs replay one seeded random submit stream — the
+// reference ticks every cycle, the other ticks only at its armed wake
+// cycle (re-armed to now+1 by each successful Submit, exactly as the
+// kernel's wakeSubmitter does). A state change the contract failed to
+// announce makes the backend issue streams or final stats diverge.
+func TestMMUWakeContract(t *testing.T) {
+	const cores = 2
+	for _, seed := range []int64{3, 11, 99} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := testMMUConfig(cores)
+			var refBack, wakeBack recordingBackend
+			ref := newTestMMU(t, cfg, &refBack)
+			wake := newTestMMU(t, cfg, &wakeBack)
+
+			const far = int64(1) << 62
+			armed := int64(0)
+
+			const cycles = 30_000
+			for now := int64(0); now < cycles || ref.Busy() || wake.Busy(); now++ {
+				ref.Tick(now)
+				if armed <= now {
+					wake.Tick(now)
+					next := wake.NextEventAfter(now)
+					if next <= now {
+						t.Fatalf("cycle %d: horizon %d not in the future", now, next)
+					}
+					armed = min(next, far)
+				}
+				// Submits land after the cycle's ticks, as the cores' do
+				// in the simulator; a success at now means the MMU can
+				// change state at now+1, so it re-arms there. A refusal
+				// is dropped on both sides — acceptance parity keeps the
+				// twins in lockstep.
+				if now < cycles && rng.Intn(5) == 0 {
+					n := 1 + rng.Intn(3)
+					for i := 0; i < n; i++ {
+						core := rng.Intn(cores)
+						// A small page pool drives TLB hits, misses, and
+						// coalesced walks; the offset varies freely.
+						va := uint64(rng.Intn(48))<<12 | uint64(rng.Intn(64))*64
+						mk := func() *mem.Request {
+							return &mem.Request{Core: core, VAddr: va, Size: 64, Kind: mem.Read, Class: mem.Data}
+						}
+						okRef := ref.Submit(now, mk())
+						okWake := wake.Submit(now, mk())
+						if okRef != okWake {
+							t.Fatalf("cycle %d: submit acceptance diverged (ref=%v wake=%v)", now, okRef, okWake)
+						}
+						if okRef && now+1 < armed {
+							armed = now + 1
+						}
+					}
+				}
+			}
+
+			if !reflect.DeepEqual(refBack.events, wakeBack.events) {
+				t.Fatalf("issue streams diverged: ref=%d events wake=%d events", len(refBack.events), len(wakeBack.events))
+			}
+			for c := 0; c < cores; c++ {
+				if ref.Stats(c) != wake.Stats(c) {
+					t.Errorf("core %d stats diverged:\nref:  %+v\nwake: %+v", c, ref.Stats(c), wake.Stats(c))
+				}
+			}
+		})
+	}
+}

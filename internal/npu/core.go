@@ -364,13 +364,24 @@ func (c *Core) checkIterationEnd(now int64) {
 }
 
 // HasIssuableWork reports whether the core could issue a DMA request or
-// advance compute right now (used for fast-forward decisions).
+// otherwise change pipeline state on its next ticked cycle (used for
+// fast-forward and wake decisions).
 func (c *Core) HasIssuableWork() bool {
 	if c.pendingReq != nil {
 		return true
 	}
-	if c.loadTile < len(c.sched.Tasks) && c.loadTile <= c.loadWindow() && !c.loadEmit.done() {
-		return true
+	if c.loadTile < len(c.sched.Tasks) && c.loadTile <= c.loadWindow() {
+		if !c.loadEmit.done() {
+			return true
+		}
+		if c.loadInflight == 0 {
+			// Every request of the load tile has returned: the next
+			// tick performs the SPM double-buffer swap, opening the
+			// tile to compute and the next tile to loading. Without
+			// this case a core whose only in-flight traffic is stores
+			// would sleep through its own swap.
+			return true
+		}
 	}
 	if len(c.storeQueue) > 0 {
 		return true
@@ -387,15 +398,18 @@ func (c *Core) NextEventAfter(now int64) int64 {
 		return now + 1
 	}
 	if c.computeTile < len(c.sched.Tasks) && c.loadedThrough >= c.computeTile {
-		rem := c.computeRem
 		if !c.computeInit {
-			rem = c.sched.Tasks[c.computeTile].ComputeCycles
+			// The tile is loaded but not yet started: the next ticked
+			// cycle initializes it (emitting its start probe and
+			// splitting the busy/stall accounting), so the core must
+			// wake immediately rather than at the projected finish.
+			return now + 1
 		}
 		// A completion at local cycle L fires during the global tick
 		// whose window first covers L: Tick(T) processes through
 		// LocalFloor(T+1), so that tick is ToGlobal(L)-1, not
 		// ToGlobal(L).
-		return c.dom.ToGlobal(c.localDone+rem) - 1
+		return c.dom.ToGlobal(c.localDone+c.computeRem) - 1
 	}
 	if c.inflight > 0 {
 		return 1 << 62 // memory callbacks will create work

@@ -1,0 +1,254 @@
+package npu
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mnpusim/internal/clock"
+	"mnpusim/internal/mem"
+)
+
+// wakingSubmitter wraps a recordingSubmitter so that delivering a
+// completion at cycle done also arms the core's wake entry for that
+// cycle — the test-side analogue of dram.Memory.OnComplete.
+type wakingSubmitter struct {
+	*recordingSubmitter
+	arm func(at int64)
+}
+
+func (s *wakingSubmitter) Submit(now int64, r *mem.Request) bool {
+	inner := r.Done
+	arm := s.arm
+	r.Done = func(done int64, rr *mem.Request) {
+		if inner != nil {
+			inner(done, rr)
+		}
+		arm(done)
+	}
+	return s.recordingSubmitter.Submit(now, r)
+}
+
+// TestCoreWakeContract is the npu half of the event kernel's wake
+// contract: after Tick(now), a core's observable state must not change
+// before its reported NextEventAfter(now) unless a memory completion
+// lands first. Two identical cores run the same schedule against
+// submitters with the same fixed completion delay — the reference ticks
+// every global cycle, the other only at its armed wake cycle (re-armed
+// by each completion delivery, with SkipTo catching up skipped windows
+// exactly as the kernel's coreComp does). A state change the contract
+// failed to announce shifts a DMA issue or the finish cycle.
+func TestCoreWakeContract(t *testing.T) {
+	cases := []struct {
+		name  string
+		freq  clock.Hz
+		delay int64
+	}{
+		{"1to1-d10", clock.GHz, 10},
+		{"1to1-d37", clock.GHz, 37},
+		{"700MHz-d10", 700 * clock.MHz, 10},
+		{"700MHz-d61", 700 * clock.MHz, 61},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			arch := TinyCore()
+			arch.FreqHz = tc.freq
+			sched := buildSchedule(t, arch, multiTileNet())
+			dom := clock.NewDomain(arch.FreqHz, clock.GHz)
+
+			refSub := &recordingSubmitter{delay: tc.delay}
+			ref, err := NewCore(0, arch, sched, dom, refSub, &mem.IDAllocator{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const far = int64(1) << 62
+			armed, last := int64(0), int64(-1)
+			wakeSub := &wakingSubmitter{
+				recordingSubmitter: &recordingSubmitter{delay: tc.delay},
+				arm: func(at int64) {
+					if at < armed {
+						armed = at
+					}
+				},
+			}
+			wake, err := NewCore(0, arch, sched, dom, wakeSub, &mem.IDAllocator{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const limit = 2_000_000
+			refFinish, wakeFinish := int64(-1), int64(-1)
+			for now := int64(0); now < limit && (refFinish < 0 || wakeFinish < 0); now++ {
+				refSub.tick(now)
+				if refFinish < 0 {
+					ref.Tick(now)
+					if ref.FinishedFirstIteration() {
+						refFinish = now
+					}
+				}
+				// The wake submitter's completions may pull armed back to
+				// the current cycle, so it ticks before the arm check.
+				wakeSub.tick(now)
+				if wakeFinish < 0 && armed <= now {
+					if last < now-1 {
+						wake.SkipTo(now)
+					}
+					wake.Tick(now)
+					last = now
+					if wake.FinishedFirstIteration() {
+						wakeFinish = now
+					} else {
+						next := wake.NextEventAfter(now)
+						if next <= now {
+							t.Fatalf("cycle %d: horizon %d not in the future", now, next)
+						}
+						armed = min(next, far)
+					}
+				}
+			}
+
+			if refFinish < 0 || wakeFinish < 0 {
+				t.Fatalf("no finish in %d cycles (ref=%d wake=%d)", int64(limit), refFinish, wakeFinish)
+			}
+			if refFinish != wakeFinish {
+				t.Fatalf("finish cycles diverged: ref=%d wake=%d", refFinish, wakeFinish)
+			}
+			if !reflect.DeepEqual(refSub.issues, wakeSub.issues) {
+				t.Fatalf("DMA issue streams diverged: ref=%d issues wake=%d issues",
+					len(refSub.issues), len(wakeSub.issues))
+			}
+			if !reflect.DeepEqual(ref.Stats(), wake.Stats()) {
+				t.Errorf("stats diverged:\nref:  %+v\nwake: %+v", ref.Stats(), wake.Stats())
+			}
+		})
+	}
+}
+
+// TestCoreWakeContractRandomizedDelay stresses the contract with a
+// submitter whose per-request delay is a pure function of the issue
+// order (so both twins see identical completion times) drawn from a
+// seeded stream, covering reordered completions and bursty delivery.
+func TestCoreWakeContractRandomizedDelay(t *testing.T) {
+	for _, seed := range []int64{5, 23} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			arch := TinyCore()
+			sched := buildSchedule(t, arch, multiTileNet())
+			dom := clock.NewDomain(arch.FreqHz, clock.GHz)
+
+			mkDelays := func() func() int64 {
+				rng := rand.New(rand.NewSource(seed))
+				return func() int64 { return 1 + int64(rng.Intn(96)) }
+			}
+			refSub := &variableSubmitter{next: mkDelays()}
+			ref, err := NewCore(0, arch, sched, dom, refSub, &mem.IDAllocator{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const far = int64(1) << 62
+			armed, last := int64(0), int64(-1)
+			wakeSub := &variableSubmitter{next: mkDelays(), arm: func(at int64) {
+				if at < armed {
+					armed = at
+				}
+			}}
+			wake, err := NewCore(0, arch, sched, dom, wakeSub, &mem.IDAllocator{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const limit = 2_000_000
+			refFinish, wakeFinish := int64(-1), int64(-1)
+			for now := int64(0); now < limit && (refFinish < 0 || wakeFinish < 0); now++ {
+				refSub.tick(now)
+				if refFinish < 0 {
+					ref.Tick(now)
+					if ref.FinishedFirstIteration() {
+						refFinish = now
+					}
+				}
+				wakeSub.tick(now)
+				if wakeFinish < 0 && armed <= now {
+					if last < now-1 {
+						wake.SkipTo(now)
+					}
+					wake.Tick(now)
+					last = now
+					if wake.FinishedFirstIteration() {
+						wakeFinish = now
+					} else {
+						next := wake.NextEventAfter(now)
+						if next <= now {
+							t.Fatalf("cycle %d: horizon %d not in the future", now, next)
+						}
+						armed = min(next, far)
+					}
+				}
+			}
+
+			if refFinish != wakeFinish || refFinish < 0 {
+				t.Fatalf("finish cycles diverged: ref=%d wake=%d", refFinish, wakeFinish)
+			}
+			if !reflect.DeepEqual(refSub.issues, wakeSub.issues) {
+				t.Fatalf("DMA issue streams diverged: ref=%d issues wake=%d issues",
+					len(refSub.issues), len(wakeSub.issues))
+			}
+			if !reflect.DeepEqual(ref.Stats(), wake.Stats()) {
+				t.Errorf("stats diverged:\nref:  %+v\nwake: %+v", ref.Stats(), wake.Stats())
+			}
+		})
+	}
+}
+
+// variableSubmitter completes each request after a delay drawn from a
+// deterministic per-instance stream; with identical streams two
+// instances deliver identical completion schedules.
+type variableSubmitter struct {
+	next    func() int64
+	pending []struct {
+		at int64
+		r  *mem.Request
+	}
+	issues []struct {
+		at   int64
+		kind mem.Kind
+	}
+	arm func(at int64)
+}
+
+func (s *variableSubmitter) Submit(now int64, r *mem.Request) bool {
+	s.issues = append(s.issues, struct {
+		at   int64
+		kind mem.Kind
+	}{now, r.Kind})
+	at := now + s.next()
+	if s.arm != nil {
+		inner := r.Done
+		arm := s.arm
+		r.Done = func(done int64, rr *mem.Request) {
+			if inner != nil {
+				inner(done, rr)
+			}
+			arm(done)
+		}
+	}
+	s.pending = append(s.pending, struct {
+		at int64
+		r  *mem.Request
+	}{at, r})
+	return true
+}
+
+func (s *variableSubmitter) tick(now int64) {
+	out := s.pending[:0]
+	for _, p := range s.pending {
+		if p.at <= now {
+			p.r.Complete(now)
+		} else {
+			out = append(out, p)
+		}
+	}
+	s.pending = out
+}

@@ -53,6 +53,11 @@ type JobSpec struct {
 	// fields cannot be expressed in JSON.
 	Config *sim.Config `json:"config,omitempty"`
 
+	// Kernel selects the simulation kernel: "event" (the default) or
+	// "tick". Results are byte-identical either way; the job's content
+	// address and cached result do not depend on it.
+	Kernel string `json:"kernel,omitempty"`
+
 	// TimeoutMS bounds the simulation's run time in wall-clock
 	// milliseconds; 0 uses the server default. The timeout starts when
 	// a worker picks the job up, not while it queues.
@@ -61,11 +66,18 @@ type JobSpec struct {
 
 // BuildConfig resolves the spec into a runnable configuration.
 func (s JobSpec) BuildConfig() (sim.Config, error) {
+	kernel, err := sim.ParseKernel(s.Kernel)
+	if err != nil {
+		return sim.Config{}, err
+	}
 	if s.Config != nil {
 		if len(s.Workloads) > 0 || s.Scale != "" || s.Sharing != "" {
 			return sim.Config{}, fmt.Errorf("serve: spec has both a raw config and preset fields; use one")
 		}
 		cfg := *s.Config
+		if kernel != sim.KernelDefault {
+			cfg.Kernel = kernel
+		}
 		if err := cfg.Validate(); err != nil {
 			return sim.Config{}, err
 		}
@@ -95,6 +107,7 @@ func (s JobSpec) BuildConfig() (sim.Config, error) {
 		return sim.Config{}, err
 	}
 	cfg.NoTranslation = s.NoTranslation
+	cfg.Kernel = kernel
 	return cfg, nil
 }
 

@@ -53,6 +53,11 @@ type Config struct {
 	// CacheEntries bounds the content-addressed result cache. Zero
 	// means 1024.
 	CacheEntries int
+	// DefaultKernel selects the simulation kernel for jobs whose spec
+	// leaves it unset (zero resolves to the event kernel). Results are
+	// byte-identical either way, so the content-addressed cache is
+	// shared across kernels.
+	DefaultKernel sim.Kernel
 	// MaxJobs bounds how many job records are retained; once exceeded,
 	// the oldest terminal jobs are forgotten. Zero means 4096.
 	MaxJobs int
@@ -314,6 +319,9 @@ func (s *Server) runJob(job *Job) {
 		defer cancel()
 	}
 	cfg := job.cfg
+	if cfg.Kernel == sim.KernelDefault {
+		cfg.Kernel = s.cfg.DefaultKernel
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = s.reg
 	}

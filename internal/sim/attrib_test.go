@@ -14,45 +14,54 @@ import (
 // Ideal, non-integer clock ratios, DRAM-backed walks, no translation,
 // staggered starts): for every core, the buckets are non-negative,
 // non-overlapping by construction, and sum exactly to the core's
-// measured first-inference cycles.
+// measured first-inference cycles. The whole matrix runs under both
+// kernels — attribution consumes the probe stream, so the event
+// kernel's skip windows must leave it exact too.
 func TestAttributionSumsMatchResult(t *testing.T) {
 	if testing.Short() {
 		t.Skip("several full simulations")
 	}
-	for name, cfg := range skipConfigs(t) {
-		t.Run(name, func(t *testing.T) {
-			eng := NewAttribution(cfg)
-			cfg.Obs = obs.Tee(cfg.Obs, eng)
-			res, err := Run(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !eng.Finalized() {
-				t.Fatal("engine not finalized after a completed run")
-			}
-			rep := eng.Report()
-			if err := rep.Validate(); err != nil {
-				t.Fatal(err)
-			}
-			if len(rep.Cores) != len(res.Cores) {
-				t.Fatalf("%d attributed cores, %d result cores", len(rep.Cores), len(res.Cores))
-			}
-			for i, c := range rep.Cores {
-				if c.TotalCycles != res.Cores[i].Cycles {
-					t.Errorf("core %d: attributed window %d != measured cycles %d",
-						i, c.TotalCycles, res.Cores[i].Cycles)
-				}
-				if c.Sum() != c.TotalCycles {
-					t.Errorf("core %d: buckets sum to %d, window is %d", i, c.Sum(), c.TotalCycles)
-				}
-				if c.Net != res.Cores[i].Net {
-					t.Errorf("core %d: label %q != %q", i, c.Net, res.Cores[i].Net)
-				}
-				if c.Compute == 0 {
-					t.Errorf("core %d: no compute cycles attributed: %+v", i, c)
-				}
-			}
-		})
+	for _, kernel := range []Kernel{KernelTick, KernelEvent} {
+		for name, cfg := range skipConfigs(t) {
+			cfg.Kernel = kernel
+			t.Run(string(kernel)+"/"+name, func(t *testing.T) {
+				checkAttributionExact(t, cfg)
+			})
+		}
+	}
+}
+
+func checkAttributionExact(t *testing.T, cfg Config) {
+	eng := NewAttribution(cfg)
+	cfg.Obs = obs.Tee(cfg.Obs, eng)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Finalized() {
+		t.Fatal("engine not finalized after a completed run")
+	}
+	rep := eng.Report()
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cores) != len(res.Cores) {
+		t.Fatalf("%d attributed cores, %d result cores", len(rep.Cores), len(res.Cores))
+	}
+	for i, c := range rep.Cores {
+		if c.TotalCycles != res.Cores[i].Cycles {
+			t.Errorf("core %d: attributed window %d != measured cycles %d",
+				i, c.TotalCycles, res.Cores[i].Cycles)
+		}
+		if c.Sum() != c.TotalCycles {
+			t.Errorf("core %d: buckets sum to %d, window is %d", i, c.Sum(), c.TotalCycles)
+		}
+		if c.Net != res.Cores[i].Net {
+			t.Errorf("core %d: label %q != %q", i, c.Net, res.Cores[i].Net)
+		}
+		if c.Compute == 0 {
+			t.Errorf("core %d: no compute cycles attributed: %+v", i, c)
+		}
 	}
 }
 

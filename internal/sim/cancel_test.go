@@ -37,28 +37,33 @@ func TestRunContextPreCancelled(t *testing.T) {
 
 // TestRunContextMidRunCancel cancels from inside the OnIssue hook, so
 // the cancellation deterministically lands mid-simulation. The run must
-// abort at its next cancellation poll — at most one skip window later —
-// with an error wrapping context.Canceled, rather than run to
-// completion.
+// abort at its next cancellation poll — a loop-iteration budget under
+// the tick kernel, a heap-pop budget under the event kernel — with an
+// error wrapping context.Canceled, rather than run to completion.
 func TestRunContextMidRunCancel(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	cfg := tinyDual(t)
-	var once sync.Once
-	cfg.OnIssue = func(now int64, r *mem.Request) { once.Do(cancel) }
+	for _, k := range []sim.Kernel{sim.KernelTick, sim.KernelEvent} {
+		t.Run(string(k), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cfg := tinyDual(t)
+			cfg.Kernel = k
+			var once sync.Once
+			cfg.OnIssue = func(now int64, r *mem.Request) { once.Do(cancel) }
 
-	start := time.Now()
-	_, err := sim.RunContext(ctx, cfg)
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("error %v does not wrap context.Canceled", err)
-	}
-	if !strings.Contains(err.Error(), "cancelled at cycle") {
-		t.Errorf("mid-run cancel should report the abort cycle: %v", err)
-	}
-	// A tiny run takes well under this; the bound only catches a loop
-	// that ignored the cancellation and ticked to completion anyway.
-	if d := time.Since(start); d > 30*time.Second {
-		t.Errorf("cancelled run took %v", d)
+			start := time.Now()
+			_, err := sim.RunContext(ctx, cfg)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			if !strings.Contains(err.Error(), "cancelled at cycle") {
+				t.Errorf("mid-run cancel should report the abort cycle: %v", err)
+			}
+			// A tiny run takes well under this; the bound only catches
+			// a loop that ignored the cancellation and ran to the end.
+			if d := time.Since(start); d > 30*time.Second {
+				t.Errorf("cancelled run took %v", d)
+			}
+		})
 	}
 }
 

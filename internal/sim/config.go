@@ -37,10 +37,22 @@ type Config struct {
 	// bandwidth-isolation experiments).
 	NoTranslation bool
 
-	// NoEventSkip forces the main loop to tick every global cycle
-	// instead of fast-forwarding across windows with no state changes.
-	// Results are bit-identical either way; the knob exists so tests can
-	// prove it and so anomalies can be bisected to the skip logic.
+	// Kernel selects the simulation driver: KernelEvent (the default)
+	// runs a discrete-event kernel that ticks each component only on
+	// cycles where it has work; KernelTick runs the legacy
+	// tick-everything loop. Results are bit-identical either way; the
+	// knob exists so tests can prove it and anomalies can be bisected to
+	// the kernel.
+	Kernel Kernel
+
+	// NoEventSkip forces the tick kernel's main loop to tick every
+	// global cycle instead of fast-forwarding across windows with no
+	// state changes. Results are bit-identical either way.
+	//
+	// Deprecated: setting NoEventSkip selects the tick kernel when
+	// Kernel is unset (a config that opted out of fast-forwarding gets
+	// the loop it asked for); under an explicit KernelEvent it is
+	// ignored. Use Kernel instead.
 	NoEventSkip bool
 
 	// DRAMBackedWalks times page-table walks as real DRAM PTE reads
@@ -123,6 +135,9 @@ func (c Config) Validate() error {
 	n := c.Cores()
 	if n == 0 {
 		return fmt.Errorf("sim: no cores configured")
+	}
+	if err := c.Kernel.Validate(); err != nil {
+		return err
 	}
 	if len(c.Nets) != n {
 		return fmt.Errorf("sim: %d networks for %d cores", len(c.Nets), n)

@@ -10,18 +10,22 @@ import (
 	"mnpusim/internal/workloads"
 )
 
-// TestRunDeterministic runs a small full-sharing simulation twice and
-// byte-compares the serialized metrics. Any map-iteration-order or
-// wall-clock leak anywhere in the pipeline shows up here as a diff.
+// TestRunDeterministic runs a small full-sharing simulation twice under
+// each kernel and byte-compares the serialized metrics. Any
+// map-iteration-order or wall-clock leak anywhere in the pipeline shows
+// up here as a diff, and the final cross-kernel comparison pins the
+// event kernel's results to the tick kernel's byte for byte.
 // CI runs this under -tags=invariants so the runtime checks are live.
 func TestRunDeterministic(t *testing.T) {
-	cfg, err := sim.NewWorkloadConfig(workloads.ScaleTiny, sim.ShareDWT, "ncf", "gpt2")
+	base, err := sim.NewWorkloadConfig(workloads.ScaleTiny, sim.ShareDWT, "ncf", "gpt2")
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	serialize := func() ([]byte, []byte) {
+	serialize := func(k sim.Kernel) ([]byte, []byte) {
 		t.Helper()
+		cfg := base
+		cfg.Kernel = k
 		res, err := sim.Run(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -37,12 +41,25 @@ func TestRunDeterministic(t *testing.T) {
 		return js, csv.Bytes()
 	}
 
-	js1, csv1 := serialize()
-	js2, csv2 := serialize()
-	if !bytes.Equal(js1, js2) {
-		t.Errorf("JSON output differs between identical runs:\nfirst:  %s\nsecond: %s", js1, js2)
+	outputs := map[sim.Kernel][2][]byte{}
+	for _, k := range []sim.Kernel{sim.KernelTick, sim.KernelEvent} {
+		t.Run(string(k), func(t *testing.T) {
+			js1, csv1 := serialize(k)
+			js2, csv2 := serialize(k)
+			if !bytes.Equal(js1, js2) {
+				t.Errorf("JSON output differs between identical runs:\nfirst:  %s\nsecond: %s", js1, js2)
+			}
+			if !bytes.Equal(csv1, csv2) {
+				t.Errorf("CSV output differs between identical runs:\nfirst:\n%s\nsecond:\n%s", csv1, csv2)
+			}
+			outputs[k] = [2][]byte{js1, csv1}
+		})
 	}
-	if !bytes.Equal(csv1, csv2) {
-		t.Errorf("CSV output differs between identical runs:\nfirst:\n%s\nsecond:\n%s", csv1, csv2)
+	tick, event := outputs[sim.KernelTick], outputs[sim.KernelEvent]
+	if !bytes.Equal(tick[0], event[0]) {
+		t.Errorf("JSON output differs across kernels:\ntick:  %s\nevent: %s", tick[0], event[0])
+	}
+	if !bytes.Equal(tick[1], event[1]) {
+		t.Errorf("CSV output differs across kernels:\ntick:\n%s\nevent:\n%s", tick[1], event[1])
 	}
 }

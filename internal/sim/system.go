@@ -59,10 +59,12 @@ func (r Result) DRAMEnergy(p dram.EnergyParams) dram.EnergyBreakdown {
 
 const farFuture = int64(1) << 62
 
-// cancelCheckMask throttles how often the main loop polls the context's
-// done channel during dense tick sequences: every 64 plain iterations,
-// plus unconditionally at every fast-forward (skip-window) boundary, so
-// cancellation is observed within one skip window of the cancel.
+// cancelCheckMask throttles how often both kernels poll the context's
+// done channel: every 64 processed cycles (tick-kernel iterations or
+// event-kernel drained cycles), plus — in the tick kernel —
+// unconditionally at every fast-forward boundary. A processed cycle is
+// the unit of real work in both kernels, so the poll interval bounds
+// cancellation latency the same way in each.
 const cancelCheckMask = 63
 
 // Run executes the configured system until every core completes its
@@ -74,12 +76,66 @@ func Run(cfg Config) (Result, error) {
 	return RunContext(context.Background(), cfg)
 }
 
+// system is one fully built simulation: the hardware, the probe sink,
+// and the main-loop bookkeeping shared by both kernels.
+type system struct {
+	cfg    Config
+	memory *dram.Memory
+	unit   *mmu.MMU
+	cores  []*npu.Core
+	starts []int64
+	sink   obs.Sink
+
+	// finished tracks which cores already emitted their first-inference
+	// phase event; nil when no sink is attached.
+	finished []bool
+
+	// Loop bookkeeping, identical across kernels by construction: the
+	// event kernel processes exactly the cycles the tick kernel's
+	// fast-forward would tick, so loopIters/loopSkips/loopSkipped (and
+	// the probe events derived from them) match byte-for-byte.
+	loopIters, loopSkips, loopSkipped int64
+
+	// compTicks counts per-component Tick invocations (one per channel,
+	// MMU, or core per ticked cycle); the headline metric the event
+	// kernel reduces.
+	compTicks int64
+}
+
+func (s *system) allDone() bool {
+	for _, c := range s.cores {
+		if !c.FinishedFirstIteration() {
+			return false
+		}
+	}
+	return true
+}
+
+// phaseScan emits a first-inference phase event for every core that
+// newly finished during cycle now; both kernels call it after every
+// processed cycle so the phase stream is identical.
+func (s *system) phaseScan(now int64) {
+	if s.sink == nil {
+		return
+	}
+	for i, c := range s.cores {
+		if !s.finished[i] && c.FinishedFirstIteration() {
+			s.finished[i] = true
+			s.sink.Emit(obs.Event{Cycle: now, Kind: obs.KindPhase, Core: int32(i), Str: obs.PhaseFirstInference})
+		}
+	}
+}
+
+func (s *system) cancelled(ctx context.Context, at int64) error {
+	return fmt.Errorf("sim: run cancelled at cycle %d: %w", at, ctx.Err())
+}
+
 // RunContext is Run with cancellation: if ctx is cancelled or its
-// deadline passes mid-run, the simulation stops at the next skip-window
-// boundary (or within a handful of ticks) and returns an error wrapping
-// ctx.Err(). A cancelled run returns a zero Result; partial simulation
-// state is discarded. The simulation itself is single-goroutine, so
-// cancellation leaks nothing.
+// deadline passes mid-run, the simulation stops within a bounded number
+// of loop iterations (tick kernel) or heap pops (event kernel) and
+// returns an error wrapping ctx.Err(). A cancelled run returns a zero
+// Result; partial simulation state is discarded. The simulation itself
+// is single-goroutine, so cancellation leaks nothing.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("sim: run not started: %w", err)
@@ -88,6 +144,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	n := cfg.Cores()
+	kern := cfg.effectiveKernel()
 
 	// Build the hardware.
 	memory, err := dram.New(cfg.DRAM)
@@ -130,6 +187,33 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		starts = make([]int64, n)
 	}
 
+	// The event kernel is created before the cores so its wake function
+	// can be wired into the stimulus seams: DRAM enqueues and burst
+	// completions (memory hooks) and DMA submissions (the per-core
+	// Submitter wrapper). Component ids are heap tie-break priorities
+	// and mirror the tick loop's within-cycle order: channels, MMU,
+	// cores.
+	var ek *eventKernel
+	if kern == KernelEvent {
+		chs := memory.Channels()
+		ek = newEventKernel(chs + 1 + n)
+		// An enqueue re-arms the landing channel at the channel's own
+		// recomputed horizon, not blindly now+1: the fresh request's
+		// earliest command may sit behind bank or bus timers, and the
+		// tick kernel's fast-forward (which recomputes the device
+		// horizon after every cycle) would skip straight to it. More
+		// work can only move the horizon earlier, so wake()'s
+		// earlier-only rule applies cleanly.
+		memory.OnEnqueue = func(now int64, ch int) { ek.wake(ch, memory.ChannelNextEventAfter(ch, now)) }
+		memory.OnComplete = func(done int64, r *mem.Request) {
+			if r.Class == mem.PageTable {
+				ek.wake(chs, done)
+			} else if r.Core >= 0 && r.Core < n {
+				ek.wake(chs+1+r.Core, done)
+			}
+		}
+	}
+
 	// Compile the software and build the cores.
 	cores := make([]*npu.Core, n)
 	scheds := make([]*tile.Schedule, n)
@@ -147,7 +231,11 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		}
 		scheds[i] = sched
 		dom := clock.NewDomain(a.FreqHz, clock.Hz(cfg.DRAM.FreqHz))
-		core, err := npu.NewCore(i, a, sched, dom, unit, ids)
+		submitter := npu.Submitter(unit)
+		if ek != nil {
+			submitter = &wakeSubmitter{mmu: unit, ek: ek, mmuID: memory.Channels(), start: starts[i]}
+		}
+		core, err := npu.NewCore(i, a, sched, dom, submitter, ids)
 		if err != nil {
 			return Result{}, err
 		}
@@ -175,130 +263,44 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 
-	allDone := func() bool {
-		for _, c := range cores {
-			if !c.FinishedFirstIteration() {
-				return false
-			}
-		}
-		return true
+	sys := &system{
+		cfg:    cfg,
+		memory: memory,
+		unit:   unit,
+		cores:  cores,
+		starts: starts,
+		sink:   sink,
 	}
 
-	var finished []bool
 	if sink != nil {
 		sink.Emit(obs.Event{Cycle: 0, Kind: obs.KindRunStart, Core: -1, A: int64(n), Str: cfg.Sharing.String()})
 		for i := 0; i < n; i++ {
 			sink.Emit(obs.Event{Cycle: 0, Kind: obs.KindCoreInfo, Core: int32(i), Str: cfg.Nets[i].Name})
 		}
-		finished = make([]bool, n)
+		sys.finished = make([]bool, n)
 	}
 
-	// done is nil for context.Background(), turning every cancellation
-	// poll into a single branch.
-	done := ctx.Done()
-	cancelled := func(at int64) (Result, error) {
-		return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", at, ctx.Err())
+	var now int64
+	if kern == KernelTick {
+		now, err = sys.runTick(ctx)
+	} else {
+		now, err = sys.runEvent(ctx, ek)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 
-	var loopIters, loopSkips, loopSkipped int64
-	now := int64(0)
-	prevNow := int64(-1)
-	for !allDone() {
-		if done != nil && loopIters&cancelCheckMask == 0 {
-			select {
-			case <-done:
-				return cancelled(now)
-			default:
-			}
-		}
-		loopIters++
-		if invariant.Enabled {
-			invariant.Check(now > prevNow,
-				"sim: global clock not monotonic: %d after %d", now, prevNow)
-			prevNow = now
-		}
-		if cfg.MaxGlobalCycles > 0 && now > cfg.MaxGlobalCycles {
-			return Result{}, fmt.Errorf("sim: exceeded MaxGlobalCycles=%d (deadlock or runaway config)", cfg.MaxGlobalCycles)
-		}
-		memory.Tick(now)
-		unit.Tick(now)
-		for i, c := range cores {
-			if now < starts[i] {
-				continue
-			}
-			c.Tick(now - starts[i])
-		}
-		if sink != nil {
-			for i, c := range cores {
-				if !finished[i] && c.FinishedFirstIteration() {
-					finished[i] = true
-					sink.Emit(obs.Event{Cycle: now, Kind: obs.KindPhase, Core: int32(i), Str: obs.PhaseFirstInference})
-				}
-			}
-		}
-		if cfg.NoEventSkip {
-			now++
-			continue
-		}
-		// Event skipping: every component reports the earliest cycle at
-		// which its state can change. The horizon must be computed after
-		// the ticks — a request submitted this cycle may have armed the
-		// MMU or DRAM. Anything at or before now+1 means the next cycle
-		// must tick normally; otherwise no component changes state in
-		// (now, next), so the window is fast-forwarded and the ticks it
-		// would have run are no-ops by construction.
-		next := memory.NextEventAfter(now)
-		if next > now+1 {
-			if e := unit.NextEventAfter(now); e < next {
-				next = e
-			}
-		}
-		if next > now+1 {
-			for i, c := range cores {
-				if now < starts[i] {
-					next = min(next, starts[i])
-				} else if e := c.NextEventAfter(now-starts[i]) + starts[i]; e < next {
-					next = e
-				}
-				if next <= now+1 {
-					break
-				}
-			}
-		}
-		if next <= now+1 {
-			now++
-			continue
-		}
-		if next >= farFuture {
-			return Result{}, fmt.Errorf("sim: system wedged at cycle %d with no pending events: %s", now, describeWedge(cores, unit))
-		}
-		if invariant.Enabled {
-			invariant.Check(next > now+1,
-				"sim: fast-forward target %d does not advance past %d", next, now)
-		}
-		if done != nil {
-			select {
-			case <-done:
-				return cancelled(now)
-			default:
-			}
-		}
-		loopSkips++
-		loopSkipped += next - now - 1
-		if sink != nil {
-			sink.Emit(obs.Event{Cycle: now, Kind: obs.KindSkipWindow, Core: -1, A: next - now - 1})
-		}
-		memory.SkipTo(next)
-		unit.SkipTo(next)
-		for i, c := range cores {
-			if now >= starts[i] {
-				c.SkipTo(next - starts[i])
-			}
-		}
-		now = next
-	}
 	if sink != nil {
-		sink.Emit(obs.Event{Cycle: now, Kind: obs.KindRunEnd, Core: -1, A: now, B: loopIters})
+		sink.Emit(obs.Event{Cycle: now, Kind: obs.KindRunEnd, Core: -1, A: now, B: sys.loopIters})
+	}
+	if reg != nil {
+		// Kernel cost counters, written directly (not via the probe
+		// stream, which stays identical across kernels): component-tick
+		// invocations, and for the event kernel its heap traffic.
+		reg.Counter("sim.component_ticks").Add(sys.compTicks)
+		if ek != nil {
+			reg.Counter("sim.heap_pops").Add(ek.pops)
+		}
 	}
 	if cfg.OnLoopStats != nil {
 		// Deprecated shim: the loop bookkeeping now flows through the
@@ -333,6 +335,112 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// runTick is the legacy tick-everything loop: every component ticks on
+// every global cycle, with an optional fast-forward across windows in
+// which no component can change state (disabled by the deprecated
+// NoEventSkip flag). It returns the final global cycle count.
+func (s *system) runTick(ctx context.Context) (int64, error) {
+	cfg := s.cfg
+	chTicks := int64(s.memory.Channels())
+
+	// done is nil for context.Background(), turning every cancellation
+	// poll into a single branch.
+	done := ctx.Done()
+
+	now := int64(0)
+	prevNow := int64(-1)
+	for !s.allDone() {
+		if done != nil && s.loopIters&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return 0, s.cancelled(ctx, now)
+			default:
+			}
+		}
+		s.loopIters++
+		if invariant.Enabled {
+			invariant.Check(now > prevNow,
+				"sim: global clock not monotonic: %d after %d", now, prevNow)
+			prevNow = now
+		}
+		if cfg.MaxGlobalCycles > 0 && now > cfg.MaxGlobalCycles {
+			return 0, fmt.Errorf("sim: exceeded MaxGlobalCycles=%d (deadlock or runaway config)", cfg.MaxGlobalCycles)
+		}
+		s.memory.Tick(now)
+		s.unit.Tick(now)
+		s.compTicks += chTicks + 1
+		for i, c := range s.cores {
+			if now < s.starts[i] {
+				continue
+			}
+			c.Tick(now - s.starts[i])
+			s.compTicks++
+		}
+		s.phaseScan(now)
+		if cfg.NoEventSkip {
+			now++
+			continue
+		}
+		// Event skipping: every component reports the earliest cycle at
+		// which its state can change. The horizon must be computed after
+		// the ticks — a request submitted this cycle may have armed the
+		// MMU or DRAM. Anything at or before now+1 means the next cycle
+		// must tick normally; otherwise no component changes state in
+		// (now, next), so the window is fast-forwarded and the ticks it
+		// would have run are no-ops by construction.
+		next := s.memory.NextEventAfter(now)
+		if next > now+1 {
+			if e := s.unit.NextEventAfter(now); e < next {
+				next = e
+			}
+		}
+		if next > now+1 {
+			for i, c := range s.cores {
+				if now < s.starts[i] {
+					next = min(next, s.starts[i])
+				} else if e := c.NextEventAfter(now-s.starts[i]) + s.starts[i]; e < next {
+					next = e
+				}
+				if next <= now+1 {
+					break
+				}
+			}
+		}
+		if next <= now+1 {
+			now++
+			continue
+		}
+		if next >= farFuture {
+			return 0, fmt.Errorf("sim: system wedged at cycle %d with no pending events: %s", now, describeWedge(s.cores, s.unit))
+		}
+		if invariant.Enabled {
+			invariant.Check(next > now+1,
+				"sim: fast-forward target %d does not advance past %d", next, now)
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return 0, s.cancelled(ctx, now)
+			default:
+			}
+		}
+		s.loopSkips++
+		s.loopSkipped += next - now - 1
+		if s.sink != nil {
+			s.sink.Emit(obs.Event{Cycle: now, Kind: obs.KindSkipWindow, Core: -1, A: next - now - 1})
+		}
+		s.memory.SkipTo(next)
+		s.unit.SkipTo(next)
+		for i, c := range s.cores {
+			if now >= s.starts[i] {
+				c.SkipTo(next - s.starts[i])
+			}
+		}
+		now = next
+	}
+	return now, nil
 }
 
 // RunIdeal runs each core's workload alone on the Ideal configuration
