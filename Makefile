@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint invariants attr-invariants check bench obs-smoke serve-smoke kernel-check kernel-ab
+.PHONY: build test race vet lint lint-json invariants attr-invariants check bench obs-smoke serve-smoke kernel-check kernel-ab
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,19 @@ vet:
 	$(GO) vet ./...
 
 # Formatting, go vet, and the project analyzers (nodeterminism,
-# clockdomain, nolibpanic). mnpulint exits non-zero on any finding
-# that is not allowlisted with a justified //lint:allow directive.
+# cycletypes, clockdomain, nolibpanic, wakecontract). mnpulint exits
+# non-zero on any finding that is not allowlisted with a justified
+# //lint:allow directive.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/mnpulint ./...
+
+# The analyzer suite with machine-readable output: one JSON array of
+# {file, line, col, analyzer, message} findings on stdout (empty array
+# when clean), same exit codes as lint.
+lint-json:
+	$(GO) run ./cmd/mnpulint -json ./...
 
 # The full test suite with the build-tag-gated runtime invariants
 # compiled in (DRAM timing windows, MSHR accounting, SPM

@@ -42,29 +42,33 @@ var (
 // simulations are reused across benchmarks.
 func sharedRunner() *experiments.Runner {
 	runnerOnce.Do(func() {
-		opts := experiments.DefaultOptions()
+		opts := []experiments.Option{
+			experiments.WithScale(workloads.ScaleTiny),
+			experiments.WithQuadSample(40),
+			experiments.WithSeed(7),
+		}
 		if s := os.Getenv("MNPUSIM_SCALE"); s != "" {
 			scale, err := config.ParseScale(s)
 			if err != nil {
 				panic(err)
 			}
-			opts.Scale = scale
+			opts = append(opts, experiments.WithScale(scale))
 		}
 		if q := os.Getenv("MNPUSIM_QUAD_SAMPLE"); q != "" {
 			n, err := strconv.Atoi(q)
 			if err != nil {
 				panic(err)
 			}
-			opts.QuadSample = n
+			opts = append(opts, experiments.WithQuadSample(n))
 		}
 		if w := os.Getenv("MNPUSIM_WORKERS"); w != "" {
 			n, err := strconv.Atoi(w)
 			if err != nil {
 				panic(err)
 			}
-			opts.Workers = n
+			opts = append(opts, experiments.WithWorkers(n))
 		}
-		runner = experiments.NewRunner(experiments.WithOptions(opts))
+		runner = experiments.NewRunner(opts...)
 	})
 	return runner
 }
@@ -385,8 +389,7 @@ func BenchmarkEnergy(b *testing.B) {
 // dual-core mix simulation per iteration (uncached), reporting simulated
 // cycles per wall second.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	opts := sharedRunner().Options()
-	cfg, err := sim.NewWorkloadConfig(opts.Scale, sim.ShareDWT, "ncf", "ncf")
+	cfg, err := sim.NewWorkloadConfig(sharedRunner().Scale(), sim.ShareDWT, "ncf", "ncf")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -100,7 +100,6 @@ func run(ctx context.Context, args []string) error {
 		csvFlag    = fs.String("csv", "", "directory for machine-readable CSV output")
 		workers    = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		kernelFlag = fs.String("kernel", "", "simulation kernel for every run: event (default) or tick; results identical")
-		noSkip     = fs.Bool("no-event-skip", false, "tick every cycle instead of event skipping (debug; results identical; implies -kernel tick)")
 		sweepBench = fs.String("sweep-bench", "", "write a JSON wall-clock benchmark of the dual-core sweep to this file and exit")
 		obsCtr     = fs.String("obs-counters", "", "write the accumulated metric counters of every simulation as sorted 'name value' lines to this file, or - for stdout")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
@@ -154,7 +153,6 @@ func run(ctx context.Context, args []string) error {
 		experiments.WithSeed(*seedFlag),
 		experiments.WithWorkers(*workers),
 		experiments.WithKernel(kernel),
-		experiments.WithNoEventSkip(*noSkip),
 	}
 	if *verbose {
 		eopts = append(eopts, experiments.WithProgress(os.Stderr))

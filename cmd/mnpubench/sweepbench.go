@@ -16,8 +16,8 @@ import (
 
 // SweepBench is the machine-readable wall-clock record written by
 // -sweep-bench: the full dual-core sharing sweep (Figs 4/6) timed
-// serially and on the worker pool, plus an event-skip on/off comparison
-// over a small mix subset.
+// serially and on the worker pool, plus a tick-vs-event kernel
+// comparison over a small mix subset.
 type SweepBench struct {
 	Scale      string `json:"scale"`
 	NumCPU     int    `json:"num_cpu"`
@@ -33,21 +33,9 @@ type SweepBench struct {
 	ParallelSimsPerSec   float64 `json:"parallel_sims_per_sec"`
 	ParallelGeomeanDrift float64 `json:"parallel_geomean_drift"` // must be 0: |serial - parallel| overall geomean
 
-	// Event-skip on/off over a 4-mix subset (serial, so the ratio
-	// isolates the hot-loop change from the pool).
-	SkipSubsetSims    int     `json:"skip_subset_sims"`
-	SkipOnSeconds     float64 `json:"skip_on_seconds"`
-	SkipOffSeconds    float64 `json:"skip_off_seconds"`
-	EventSkipSpeedup  float64 `json:"event_skip_speedup"`
-	SkipGeomeanDrift  float64 `json:"skip_geomean_drift"` // must be 0
-	SkipSubsetDetails string  `json:"skip_subset_details"`
-
-	// Per-configuration event-skip profile: what fraction of the
-	// simulated timeline the loop fast-forwarded instead of ticking.
-	SkipProfile []SkipProfile `json:"skip_profile"`
-
-	// Kernel A/B: the same 4-mix +DWT subset under the tick kernel
-	// (fast-forward enabled) and the discrete-event kernel, serially.
+	// Kernel A/B: a 4-mix +DWT subset under the tick kernel
+	// (fast-forward enabled) and the discrete-event kernel, serially
+	// (so the ratio isolates the hot-loop change from the pool).
 	KernelSubsetSims    int     `json:"kernel_subset_sims"`
 	KernelTickSeconds   float64 `json:"kernel_tick_seconds"`
 	KernelEventSeconds  float64 `json:"kernel_event_seconds"`
@@ -60,21 +48,10 @@ type SweepBench struct {
 	KernelProfile []KernelProfile `json:"kernel_profile"`
 }
 
-// SkipProfile records the event layer's effect on one configuration.
-type SkipProfile struct {
-	Config          string  `json:"config"`
-	GlobalCycles    int64   `json:"global_cycles"`
-	LoopIters       int64   `json:"loop_iters"`
-	SkippedCycles   int64   `json:"skipped_cycles"`
-	SkippedFraction float64 `json:"skipped_fraction"`
-	SkipOnSeconds   float64 `json:"skip_on_seconds"`
-	SkipOffSeconds  float64 `json:"skip_off_seconds"`
-	Identical       bool    `json:"identical"`
-}
-
 // KernelProfile records the tick-vs-event kernel cost of one
 // configuration: how many component-tick invocations each driver
-// performs, the event kernel's heap-pop count, and the wall-clock ratio.
+// performs, the event kernel's heap-pop count, the tick kernel's
+// fast-forward effectiveness, and the wall-clock ratio.
 type KernelProfile struct {
 	Config         string  `json:"config"`
 	GlobalCycles   int64   `json:"global_cycles"`
@@ -82,10 +59,15 @@ type KernelProfile struct {
 	EventCompTicks int64   `json:"kernel_event_component_ticks"`
 	TickReduction  float64 `json:"kernel_tick_reduction"` // tick/event invocation ratio
 	HeapPops       int64   `json:"kernel_heap_pops"`
-	TickSeconds    float64 `json:"kernel_tick_seconds"`
-	EventSeconds   float64 `json:"kernel_event_seconds"`
-	Speedup        float64 `json:"kernel_speedup"`
-	Identical      bool    `json:"identical"`
+	// Fast-forward telemetry of the tick-kernel leg: how much of the
+	// simulated timeline its skip-window layer jumped over.
+	TickLoopIters   int64   `json:"kernel_tick_loop_iters"`
+	SkippedCycles   int64   `json:"kernel_tick_skipped_cycles"`
+	SkippedFraction float64 `json:"kernel_tick_skipped_fraction"`
+	TickSeconds     float64 `json:"kernel_tick_seconds"`
+	EventSeconds    float64 `json:"kernel_event_seconds"`
+	Speedup         float64 `json:"kernel_speedup"`
+	Identical       bool    `json:"identical"`
 }
 
 // profileKernel runs one config under both kernels with a metrics
@@ -96,6 +78,11 @@ func profileKernel(name string, cfg sim.Config) (KernelProfile, error) {
 		c := cfg
 		c.Kernel = k
 		c.Metrics = obs.NewRegistry()
+		if k == sim.KernelTick {
+			c.OnLoopStats = func(iters, skips, skipped int64) {
+				p.TickLoopIters, p.SkippedCycles = iters, skipped
+			}
+		}
 		start := time.Now()
 		res, err := sim.Run(c)
 		if err != nil {
@@ -115,6 +102,9 @@ func profileKernel(name string, cfg sim.Config) (KernelProfile, error) {
 		return p, err
 	}
 	p.GlobalCycles = tickRes.GlobalCycles
+	if tickRes.GlobalCycles > 0 {
+		p.SkippedFraction = float64(p.SkippedCycles) / float64(tickRes.GlobalCycles)
+	}
 	p.TickCompTicks = tickTicks
 	p.EventCompTicks = evTicks
 	if evTicks > 0 {
@@ -127,37 +117,6 @@ func profileKernel(name string, cfg sim.Config) (KernelProfile, error) {
 		p.Speedup = tickSecs / evSecs
 	}
 	p.Identical = reflect.DeepEqual(tickRes, evRes)
-	return p, nil
-}
-
-// profileSkip runs one config with the loop-stats hook and again with
-// event skipping disabled, comparing results and timing both. Both legs
-// pin the tick kernel: the profile measures its fast-forward layer.
-func profileSkip(name string, cfg sim.Config) (SkipProfile, error) {
-	p := SkipProfile{Config: name}
-	cfg.Kernel = sim.KernelTick
-	cfg.OnLoopStats = func(iters, skips, skipped int64) {
-		p.LoopIters, p.SkippedCycles = iters, skipped
-	}
-	start := time.Now()
-	on, err := sim.Run(cfg)
-	if err != nil {
-		return p, err
-	}
-	p.SkipOnSeconds = time.Since(start).Seconds()
-	p.GlobalCycles = on.GlobalCycles
-	if on.GlobalCycles > 0 {
-		p.SkippedFraction = float64(p.SkippedCycles) / float64(on.GlobalCycles)
-	}
-	cfg.NoEventSkip = true
-	cfg.OnLoopStats = nil
-	start = time.Now()
-	off, err := sim.Run(cfg)
-	if err != nil {
-		return p, err
-	}
-	p.SkipOffSeconds = time.Since(start).Seconds()
-	p.Identical = reflect.DeepEqual(on, off)
 	return p, nil
 }
 
@@ -245,26 +204,13 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 	b.ParallelSimsPerSec = float64(sims) / parT.Seconds()
 	b.ParallelGeomeanDrift = abs(serialGeo - parGeo)
 
-	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping on...\n")
+	// Kernel A/B: the tick kernel with fast-forward enabled (its best
+	// case) against the discrete-event kernel, serially.
+	fmt.Fprintf(os.Stderr, "sweep-bench: kernel subset, tick kernel...\n")
 	onT, subSims, onW, err := timedSubset(scale, experiments.WithKernel(sim.KernelTick))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweep-bench: skip subset, event skipping off...\n")
-	offT, _, offW, err := timedSubset(scale, experiments.WithKernel(sim.KernelTick),
-		experiments.WithNoEventSkip(true))
-	if err != nil {
-		return err
-	}
-	b.SkipSubsetSims = subSims
-	b.SkipOnSeconds = onT.Seconds()
-	b.SkipOffSeconds = offT.Seconds()
-	b.EventSkipSpeedup = offT.Seconds() / onT.Seconds()
-	b.SkipGeomeanDrift = abs(onW - offW)
-	b.SkipSubsetDetails = subsetDetails
-
-	// Kernel A/B: the tick leg is the skip-on measurement above (the
-	// tick kernel with fast-forward enabled — its best case).
 	fmt.Fprintf(os.Stderr, "sweep-bench: kernel subset, event kernel...\n")
 	evT, _, evW, err := timedSubset(scale, experiments.WithKernel(sim.KernelEvent))
 	if err != nil {
@@ -277,7 +223,7 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 	b.KernelGeomeanDrift = abs(onW - evW)
 	b.KernelSubsetDetails = subsetDetails
 
-	fmt.Fprintf(os.Stderr, "sweep-bench: per-config skip profiles...\n")
+	fmt.Fprintf(os.Stderr, "sweep-bench: per-config kernel profiles...\n")
 	for _, pc := range []struct {
 		name  string
 		level sim.Sharing
@@ -295,11 +241,6 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 		if pc.ideal {
 			cfg = sim.IdealFor(cfg, 0)
 		}
-		prof, err := profileSkip(pc.name, cfg)
-		if err != nil {
-			return err
-		}
-		b.SkipProfile = append(b.SkipProfile, prof)
 		kprof, err := profileKernel(pc.name, cfg)
 		if err != nil {
 			return err
@@ -312,7 +253,7 @@ func runSweepBench(path string, scale workloads.Scale, workers int) error {
 	if err := enc.Encode(b); err != nil {
 		return err
 	}
-	fmt.Printf("sweep-bench: %d sims serial=%.1fs parallel(%d)=%.1fs speedup=%.2fx; event-skip speedup=%.2fx; kernel speedup=%.2fx -> %s\n",
-		b.SweepSims, b.SerialSeconds, b.Workers, b.ParallelSeconds, b.ParallelSpeedup, b.EventSkipSpeedup, b.KernelSpeedup, path)
+	fmt.Printf("sweep-bench: %d sims serial=%.1fs parallel(%d)=%.1fs speedup=%.2fx; kernel speedup=%.2fx -> %s\n",
+		b.SweepSims, b.SerialSeconds, b.Workers, b.ParallelSeconds, b.ParallelSpeedup, b.KernelSpeedup, path)
 	return nil
 }

@@ -1,15 +1,21 @@
 // Command mnpulint runs the project's static analyzer suite
-// (internal/analysis) over the module: determinism, clock-domain
+// (internal/analysis) over the module: determinism, typed clock-domain
 // hygiene, and the library panic policy. It exits 1 if any finding
 // survives the allowlist, 2 on operational errors (bad flags,
 // unparsable source).
 //
 // Usage:
 //
-//	mnpulint [-tags tag,tag] [./...|dir ...]
+//	mnpulint [-tags tag,tag] [-json] [./...|dir ...]
+//
+// With -json, findings are emitted as one JSON array of
+// {file, line, col, analyzer, message} objects (empty array when
+// clean) instead of the human-readable lines; exit codes are
+// unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,7 +28,8 @@ import (
 
 // scopes maps each analyzer to the import-path prefixes it applies to.
 // nodeterminism targets the packages whose outputs must replay
-// bit-identically; clockdomain covers every library package.
+// bit-identically; cycletypes and clockdomain cover every library
+// package plus the CLIs (any of them may handle cycle values).
 // nolibpanic additionally covers cmd/: since the CLIs and the serving
 // daemon report failures as error returns with exit codes, panic is
 // banned there too. examples/ stays outside all scopes.
@@ -32,6 +39,7 @@ var scopes = map[string][]string{
 		"mnpusim/internal/dram", "mnpusim/internal/mmu",
 		"mnpusim/internal/report", "mnpusim/internal/config",
 	},
+	"cycletypes":  {"mnpusim/internal/", "mnpusim/cmd/"},
 	"clockdomain": {"mnpusim/internal/"},
 	"nolibpanic":  {"mnpusim/internal/", "mnpusim/cmd/"},
 	// wakecontract covers the component packages driven by the event
@@ -40,6 +48,15 @@ var scopes = map[string][]string{
 		"mnpusim/internal/dram", "mnpusim/internal/mmu",
 		"mnpusim/internal/npu",
 	},
+}
+
+// jsonFinding is the machine-readable shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -58,6 +75,7 @@ func main() {
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("mnpulint", flag.ContinueOnError)
 	tags := fs.String("tags", "", "comma-separated build tags to consider satisfied")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -74,11 +92,11 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	total := 0
+	all := []jsonFinding{}
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			return total, err
+			return len(all), err
 		}
 		var active []*analysis.Analyzer
 		for _, a := range analysis.All() {
@@ -90,18 +108,31 @@ func run(args []string, out io.Writer) (int, error) {
 			continue
 		}
 		for _, f := range analysis.Run(pkg, active) {
-			rel := f
-			if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
-				rel.Pos.Filename = r
+			file := f.Pos.Filename
+			if r, err := filepath.Rel(cwd, file); err == nil {
+				file = r
 			}
-			fmt.Fprintln(out, rel)
-			total++
+			all = append(all, jsonFinding{
+				File: file, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(out, "mnpulint: %d finding(s)\n", total)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return len(all), err
+		}
+		return len(all), nil
 	}
-	return total, nil
+	for _, f := range all {
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(out, "mnpulint: %d finding(s)\n", len(all))
+	}
+	return len(all), nil
 }
 
 // resolvePatterns expands "./..." (and "dir/...") into package

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 )
 
@@ -14,6 +15,31 @@ func TestRunCleanPackage(t *testing.T) {
 	}
 	if findings != 0 {
 		t.Errorf("%d findings in internal/obs:\n%s", findings, out.String())
+	}
+}
+
+func TestRunJSONCleanPackage(t *testing.T) {
+	t.Chdir("../..")
+	var out bytes.Buffer
+	findings, err := run([]string{"-json", "./internal/obs"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 0 {
+		t.Errorf("%d findings in internal/obs:\n%s", findings, out.String())
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out.String())
+	}
+	if len(got) != 0 {
+		t.Errorf("JSON array not empty for a clean package: %+v", got)
 	}
 }
 
@@ -34,6 +60,9 @@ func TestScopesCoverCmd(t *testing.T) {
 	} {
 		if got := inScope("nolibpanic", path); got != want {
 			t.Errorf("inScope(nolibpanic, %s) = %v, want %v", path, got, want)
+		}
+		if got := inScope("cycletypes", path); got != want {
+			t.Errorf("inScope(cycletypes, %s) = %v, want %v", path, got, want)
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/config"
 	"mnpusim/internal/experiments"
 	"mnpusim/internal/mem"
@@ -141,9 +142,9 @@ func run(args []string) error {
 			cfg.Obs = chrome
 		}
 		cfg.Metrics = reg
-		cfg.OnIssue = func(now int64, req *mem.Request) {
+		cfg.OnIssue = func(now clock.Global, req *mem.Request) {
 			if log.Lines() < *limit {
-				_ = log.Log(now, req)
+				_ = log.Log(now.Int64(), req)
 			}
 		}
 		if _, err := sim.Run(cfg); err != nil {

@@ -1,8 +1,8 @@
 // Package analysis is a stdlib-only static analyzer suite for the
 // simulator's project-specific correctness properties: deterministic
-// replay (nodeterminism), clock-domain hygiene (clockdomain), library
-// panic policy (nolibpanic), and the event kernel's wake contract
-// (wakecontract).
+// replay (nodeterminism), typed clock-domain hygiene (cycletypes),
+// truncation-free cycle math (clockdomain), library panic policy
+// (nolibpanic), and the event kernel's wake contract (wakecontract).
 //
 // Findings on a line can be suppressed with an allowlist comment on the
 // same line or the line directly above:
@@ -57,7 +57,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Nodeterminism, Clockdomain, Nolibpanic, Wakecontract}
+	return []*Analyzer{Nodeterminism, Cycletypes, Clockdomain, Nolibpanic, Wakecontract}
 }
 
 // Run applies the analyzers to pkg and returns the surviving findings

@@ -47,6 +47,8 @@ func TestCorpus(t *testing.T) {
 		{"nodet_good", Nodeterminism, 0},
 		{"clockdom_bad", Clockdomain, 2},
 		{"clockdom_good", Clockdomain, 0},
+		{"cycletypes_bad", Cycletypes, 3},
+		{"cycletypes_good", Cycletypes, 0},
 		{"libpanic_bad", Nolibpanic, 2},
 		{"libpanic_good", Nolibpanic, 0},
 		{"wakecontract_bad", Wakecontract, 2},

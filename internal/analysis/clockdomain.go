@@ -2,103 +2,32 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"regexp"
 )
 
-// Clockdomain flags arithmetic that mixes local-clock and global-clock
-// cycle values without converting through clock.Domain
-// (ToGlobal/ToLocal/LocalFloor), and truncating integer conversions in
-// cycle math. Cycle variables are recognized by name: an identifier
-// (or selector leaf) containing "local" belongs to the local domain,
-// one containing "global" to the global domain.
+// Clockdomain flags truncating integer conversions in cycle math:
+// cycle counts must stay 64-bit. Mixed local/global arithmetic is no
+// longer this analyzer's job — the clock.Local and clock.Global types
+// make that a compile error, and the cycletypes analyzer polices the
+// casts that could launder a value across the boundary.
 var Clockdomain = &Analyzer{
 	Name: "clockdomain",
-	Doc:  "flags local/global cycle arithmetic without Domain conversion and truncating cycle conversions",
+	Doc:  "flags truncating integer conversions of cycle counts",
 	Run:  runClockdomain,
 }
 
-var (
-	localNameRE  = regexp.MustCompile(`(?i)local`)
-	globalNameRE = regexp.MustCompile(`(?i)global`)
-	cycleNameRE  = regexp.MustCompile(`(?i)cycle|\bcyc\b|deadline|readyat`)
-)
-
-// conversion methods of clock.Domain whose results carry the target
-// domain explicitly.
-var domainConverters = map[string]clockDomain{
-	"ToGlobal":   domainGlobal,
-	"ToLocal":    domainLocal,
-	"LocalFloor": domainLocal,
-}
-
-type clockDomain int
-
-const (
-	domainUnknown clockDomain = iota
-	domainNeutral             // literals and plain constants
-	domainLocal
-	domainGlobal
-)
+var cycleNameRE = regexp.MustCompile(`(?i)cycle|\bcyc\b|deadline|readyat`)
 
 func runClockdomain(p *Pass) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.BinaryExpr:
-				checkMixedDomains(p, n)
-			case *ast.CallExpr:
-				checkTruncatingConversion(p, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkTruncatingConversion(p, call)
 			}
 			return true
 		})
 	}
-}
-
-func checkMixedDomains(p *Pass, be *ast.BinaryExpr) {
-	switch be.Op {
-	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
-	default:
-		return
-	}
-	if !isInteger(p.Info.TypeOf(be.X)) || !isInteger(p.Info.TypeOf(be.Y)) {
-		return
-	}
-	dx, dy := domainOf(be.X), domainOf(be.Y)
-	if (dx == domainLocal && dy == domainGlobal) || (dx == domainGlobal && dy == domainLocal) {
-		p.Report(be.Pos(), "arithmetic mixes local-clock and global-clock cycles (%s %s %s); convert through clock.Domain.ToGlobal/ToLocal first",
-			leafName(be.X), be.Op, leafName(be.Y))
-	}
-}
-
-// domainOf classifies an expression's clock domain by name, unwrapping
-// parens and recognizing Domain conversion calls.
-func domainOf(e ast.Expr) clockDomain {
-	switch v := e.(type) {
-	case *ast.ParenExpr:
-		return domainOf(v.X)
-	case *ast.BasicLit:
-		return domainNeutral
-	case *ast.CallExpr:
-		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
-			if d, ok := domainConverters[sel.Sel.Name]; ok {
-				return d
-			}
-		}
-		return domainUnknown
-	case *ast.Ident, *ast.SelectorExpr:
-		name := leafName(e.(ast.Expr))
-		switch {
-		case localNameRE.MatchString(name) && globalNameRE.MatchString(name):
-			return domainUnknown // e.g. localToGlobal helpers: can't tell
-		case localNameRE.MatchString(name):
-			return domainLocal
-		case globalNameRE.MatchString(name):
-			return domainGlobal
-		}
-	}
-	return domainUnknown
 }
 
 // checkTruncatingConversion flags T(x) where T is a narrower integer

@@ -1,16 +1,8 @@
 // Package clockdom_bad seeds clockdomain violations: every line marked
-// `// want:clockdomain` must be flagged by the analyzer.
+// `// want:clockdomain` must be flagged by the analyzer. Since the
+// typed clock domains landed, clockdomain polices only truncating
+// casts; domain mixing is the cycletypes analyzer's corpus.
 package clockdom_bad
-
-// Elapsed subtracts across clock domains without converting.
-func Elapsed(localCycles, globalCycles int64) int64 {
-	return globalCycles - localCycles // want:clockdomain
-}
-
-// Deadline compares a local count against a global one.
-func Deadline(localDone, globalNow int64) bool {
-	return localDone < globalNow // want:clockdomain
-}
 
 // Truncate narrows a cycle count to the platform int.
 func Truncate(walkCycles int64) int {
@@ -20,4 +12,9 @@ func Truncate(walkCycles int64) int {
 // Window narrows a cycle count to 32 bits.
 func Window(refreshCycles int64) int32 {
 	return int32(refreshCycles) // want:clockdomain
+}
+
+// Slot narrows an unsigned cycle count.
+func Slot(readyAt uint64) uint32 {
+	return uint32(readyAt) // want:clockdomain
 }

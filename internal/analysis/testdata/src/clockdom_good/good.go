@@ -1,25 +1,18 @@
-// Package clockdom_good holds correct clock-domain code the analyzer
+// Package clockdom_good holds correct cycle-width code the analyzer
 // must accept: zero findings expected.
 package clockdom_good
 
-import "mnpusim/internal/clock"
-
-// Budget converts to the global domain before comparing.
-func Budget(d clock.Domain, localCycles, globalBudget int64) bool {
-	return d.ToGlobal(localCycles) <= globalBudget
-}
-
-// Remaining subtracts within a single domain.
+// Remaining subtracts within 64 bits.
 func Remaining(localTarget, localDone int64) int64 {
 	return localTarget - localDone
-}
-
-// Arrival translates a global latency into local cycles before adding.
-func Arrival(d clock.Domain, globalLatency, localNow int64) int64 {
-	return localNow + d.ToLocal(globalLatency)
 }
 
 // Widen grows a cycle count, which cannot truncate.
 func Widen(tickCycles int32) int64 {
 	return int64(tickCycles)
+}
+
+// Shrink narrows a value that is not cycle-named: out of scope.
+func Shrink(rowIndex int64) int {
+	return int(rowIndex)
 }

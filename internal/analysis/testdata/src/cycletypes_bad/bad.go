@@ -1,0 +1,47 @@
+// Package cycletypes_bad seeds cycletypes violations: every line
+// marked `// want:cycletypes` must be flagged. The three named seeds
+// reproduce the shape of real bugs the typed clock domains were built
+// to kill; the remaining functions pin each cast rule individually.
+package cycletypes_bad
+
+import "mnpusim/internal/clock"
+
+// Bug seed 1 — the off-by-one completion conversion: a local cycle
+// count cast straight into the global domain. Exact at a 1:1 clock
+// ratio, off by the frequency ratio everywhere else — the bug that
+// motivated clock.Domain.ToGlobal in the first place.
+func CompletionTick(localDone clock.Local) clock.Global {
+	return clock.Global(localDone) // want:cycletypes
+}
+
+// Bug seed 2 — the skip-floor boundary mix: a global tick compared
+// against a local target by stripping both to int64. The comparison
+// only holds when the skip window happens to align with a local cycle
+// boundary.
+func FloorCovers(now clock.Global, target clock.Local) bool {
+	return now.Int64() >= int64(target) // want:cycletypes
+}
+
+// Bug seed 3 — the wake-time domain mix: a wake armed from a local
+// completion time, laundered through .Int64() so the global-typed
+// field accepts it. The component then sleeps through its real event.
+func ArmWake(localFinish clock.Local) clock.Global {
+	return clock.Global(localFinish.Int64() + 1) // want:cycletypes
+}
+
+// RawDeadline casts a raw 64-bit count into the typed domain
+// mid-expression instead of at a declared boundary.
+func RawDeadline(maxCycles int64) clock.Global {
+	return clock.Global(maxCycles) // want:cycletypes
+}
+
+// ConstStart casts a constant where an untyped constant would assign
+// without any conversion.
+func ConstStart() clock.Global {
+	return clock.Global(4096) // want:cycletypes
+}
+
+// Strip exits the domain with a cast instead of .Int64().
+func Strip(globalNow clock.Global) int64 {
+	return int64(globalNow) // want:cycletypes
+}

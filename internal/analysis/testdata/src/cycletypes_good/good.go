@@ -1,0 +1,44 @@
+// Package cycletypes_good holds correct typed-clock code the analyzer
+// must accept: zero findings expected.
+package cycletypes_good
+
+import "mnpusim/internal/clock"
+
+// Deadline is born typed: an untyped constant assigns into the domain
+// without any conversion.
+const Deadline clock.Global = 1 << 20
+
+// Convert crosses domains the sanctioned way.
+func Convert(d clock.Domain, localDone clock.Local) clock.Global {
+	return d.ToGlobal(localDone)
+}
+
+// Exit leaves the domain through the sanctioned exit.
+func Exit(now clock.Global) int64 {
+	return now.Int64()
+}
+
+// Widen lifts a plain-int hardware parameter (a DRAM timing field, a
+// latency knob) into the domain: plain ints cannot carry a cycle count
+// from the wrong domain, so the cast is allowed.
+func Widen(rcd int) clock.Global {
+	return clock.Global(rcd)
+}
+
+// Far assigns the untyped sentinel without conversion.
+func Far() clock.Global {
+	var next clock.Global = clock.FarFuture
+	return next
+}
+
+// Boundary is a declared entry point for raw cycles, justified by an
+// allow directive as config parsing is in the real tree.
+func Boundary(raw int64) clock.Global {
+	//lint:allow cycletypes raw cycles enter the global domain at this declared boundary
+	return clock.Global(raw)
+}
+
+// SameDomain arithmetic needs no conversions at all.
+func SameDomain(a, b clock.Global) clock.Global {
+	return a + b - 1
+}

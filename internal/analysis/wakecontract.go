@@ -15,9 +15,10 @@ import (
 // kernel no longer trusts, so each of its call paths must re-arm the
 // target (eventKernel.wake, or a completion/enqueue hook that does).
 //
-// The analyzer finds types carrying the wake contract (a Tick(int64)
-// and a NextEventAfter(int64) method, exported or not) and flags their
-// pointer-receiver methods that take a cycle (first parameter int64)
+// The analyzer finds types carrying the wake contract (a Tick and a
+// NextEventAfter method taking a cycle, exported or not) and flags
+// their pointer-receiver methods that take a cycle (first parameter
+// clock.Global, clock.Local, or a bare int64)
 // and assign to receiver state, excluding the contract surface itself
 // and helpers invoked by the type's own methods. Every finding is a
 // stimulus seam: audit that its callers wake the target, then allowlist
@@ -75,7 +76,7 @@ func runWakecontract(p *Pass) {
 }
 
 // hasWakeContract reports whether the method set carries the wake
-// contract: a Tick(int64) and a NextEventAfter(int64).
+// contract: a Tick and a NextEventAfter taking a cycle.
 func hasWakeContract(decls []*ast.FuncDecl) bool {
 	var tick, next bool
 	for _, fd := range decls {
@@ -174,12 +175,20 @@ func recvIdent(fd *ast.FuncDecl) *ast.Ident {
 }
 
 // firstParamInt64 reports whether the method's first parameter is a
-// plain int64 (the kernel's cycle type).
+// cycle: clock.Global or clock.Local (the kernel's typed clock
+// domains), or a bare int64.
 func firstParamInt64(fd *ast.FuncDecl) bool {
 	params := fd.Type.Params
 	if params == nil || len(params.List) == 0 {
 		return false
 	}
-	id, ok := params.List[0].Type.(*ast.Ident)
-	return ok && id.Name == "int64"
+	switch t := params.List[0].Type.(type) {
+	case *ast.Ident:
+		return t.Name == "int64"
+	case *ast.SelectorExpr:
+		if pkg, ok := t.X.(*ast.Ident); ok && pkg.Name == "clock" {
+			return t.Sel.Name == "Global" || t.Sel.Name == "Local"
+		}
+	}
+	return false
 }

@@ -29,6 +29,31 @@ func (f Hz) String() string {
 	}
 }
 
+// Local is a cycle count on a core's local clock. Global is a cycle
+// count on the global (DRAM) clock. They are distinct defined types so
+// that cross-domain arithmetic is a compile error: a Local can only
+// meet a Global through a Domain conversion. Construct them from plain
+// integers only inside this package or at sites carrying a justified
+// //lint:allow cycletypes directive (the cycletypes analyzer enforces
+// this); extract the raw count with Int64 when handing a cycle to a
+// stats struct or an output format.
+type Local int64
+
+// Global is a cycle count on the global (DRAM) clock. See Local.
+type Global int64
+
+// Int64 returns the raw cycle count. This is the sanctioned exit from
+// the typed domain, for stats, serialization, and logging.
+func (l Local) Int64() int64 { return int64(l) }
+
+// Int64 returns the raw cycle count. See Local.Int64.
+func (g Global) Int64() int64 { return int64(g) }
+
+// FarFuture is the "no pending event" wake horizon. It is an untyped
+// constant so it compares and assigns in either clock domain without a
+// conversion.
+const FarFuture = 1 << 62
+
 // Domain converts cycle counts between a local clock and the global
 // (DRAM) clock. The zero value is unusable; use NewDomain.
 type Domain struct {
@@ -65,24 +90,24 @@ func (d Domain) Global() Hz { return d.global }
 
 // ToGlobal converts a local cycle count to global cycles, rounding up so
 // a request never appears at the shared resource before it was issued.
-func (d Domain) ToGlobal(localCycles int64) int64 {
-	return ceilDiv(localCycles*d.gr, d.lr)
+func (d Domain) ToGlobal(localCycles Local) Global {
+	return Global(ceilDiv(int64(localCycles)*d.gr, d.lr))
 }
 
 // ToLocal converts a global cycle count to local cycles, rounding up so
 // a response never arrives at the core before the resource produced it.
-func (d Domain) ToLocal(globalCycles int64) int64 {
-	return ceilDiv(globalCycles*d.lr, d.gr)
+func (d Domain) ToLocal(globalCycles Global) Local {
+	return Local(ceilDiv(int64(globalCycles)*d.lr, d.gr))
 }
 
 // LocalFloor returns how many full local cycles have elapsed by global
 // cycle g. Cores use it to find how many local cycles to process when
 // ticked on the global clock.
-func (d Domain) LocalFloor(g int64) int64 {
+func (d Domain) LocalFloor(g Global) Local {
 	if g <= 0 {
 		return 0
 	}
-	return g * d.lr / d.gr
+	return Local(int64(g) * d.lr / d.gr)
 }
 
 // Ratio reports local/global as a float, useful for diagnostics.

@@ -39,13 +39,13 @@ func TestNewDomainPanicsOnNonPositive(t *testing.T) {
 func TestSameFrequencyIsIdentity(t *testing.T) {
 	d := NewDomain(GHz, GHz)
 	for _, v := range []int64{0, 1, 7, 1 << 40} {
-		if got := d.ToGlobal(v); got != v {
+		if got := d.ToGlobal(Local(v)); got.Int64() != v {
 			t.Errorf("ToGlobal(%d) = %d at 1:1", v, got)
 		}
-		if got := d.ToLocal(v); got != v {
+		if got := d.ToLocal(Global(v)); got.Int64() != v {
 			t.Errorf("ToLocal(%d) = %d at 1:1", v, got)
 		}
-		if got := d.LocalFloor(v); got != v {
+		if got := d.LocalFloor(Global(v)); got.Int64() != v {
 			t.Errorf("LocalFloor(%d) = %d at 1:1", v, got)
 		}
 	}
@@ -106,7 +106,7 @@ func TestNonPositiveCyclesClampToZero(t *testing.T) {
 func TestQuickRoundTripNeverEarly(t *testing.T) {
 	freqs := []Hz{250 * MHz, 500 * MHz, GHz, 2 * GHz, 3 * GHz}
 	f := func(localRaw uint16, fi, gi uint8) bool {
-		local := int64(localRaw)
+		local := Local(localRaw)
 		d := NewDomain(freqs[int(fi)%len(freqs)], freqs[int(gi)%len(freqs)])
 		return d.ToLocal(d.ToGlobal(local)) >= local
 	}
@@ -119,7 +119,7 @@ func TestQuickRoundTripNeverEarly(t *testing.T) {
 func TestQuickLocalFloorMonotonic(t *testing.T) {
 	d := NewDomain(700*MHz, GHz)
 	f := func(aRaw, bRaw uint32) bool {
-		a, b := int64(aRaw), int64(bRaw)
+		a, b := Global(aRaw), Global(bRaw)
 		if a > b {
 			a, b = b, a
 		}
@@ -134,7 +134,7 @@ func TestQuickLocalFloorMonotonic(t *testing.T) {
 func TestQuickLocalFloorBound(t *testing.T) {
 	d := NewDomain(1300*MHz, GHz)
 	f := func(gRaw uint32) bool {
-		g := int64(gRaw)
+		g := Global(gRaw)
 		l := d.LocalFloor(g)
 		// l local cycles take ToGlobal(l) >= ceil global cycles; floor
 		// semantics require they fit in g.

@@ -21,13 +21,13 @@ func edgeDomains() map[string]Domain {
 func TestUnityRatioIsIdentity(t *testing.T) {
 	d := NewDomain(GHz, GHz)
 	for _, n := range []int64{0, 1, 2, 3, 999, 1 << 40} {
-		if g := d.ToGlobal(n); g != n {
+		if g := d.ToGlobal(Local(n)); g.Int64() != n {
 			t.Errorf("ToGlobal(%d) = %d, want identity", n, g)
 		}
-		if l := d.ToLocal(n); l != n {
+		if l := d.ToLocal(Global(n)); l.Int64() != n {
 			t.Errorf("ToLocal(%d) = %d, want identity", n, l)
 		}
-		if f := d.LocalFloor(n); f != n {
+		if f := d.LocalFloor(Global(n)); f.Int64() != n {
 			t.Errorf("LocalFloor(%d) = %d, want identity", n, f)
 		}
 	}
@@ -37,21 +37,24 @@ func TestUnityRatioIsIdentity(t *testing.T) {
 // 700MHz/1200MHz pair, which reduces to the non-divisible ratio 7:12.
 func TestNonDivisibleRatioExact(t *testing.T) {
 	d := NewDomain(700*MHz, 1200*MHz)
+	toGlobal := func(n int64) int64 { return d.ToGlobal(Local(n)).Int64() }
+	toLocal := func(n int64) int64 { return d.ToLocal(Global(n)).Int64() }
+	localFloor := func(n int64) int64 { return d.LocalFloor(Global(n)).Int64() }
 	cases := []struct {
 		name string
 		fn   func(int64) int64
 		in   int64
 		want int64
 	}{
-		{"ToGlobal", d.ToGlobal, 1, 2},      // ceil(12/7)
-		{"ToGlobal", d.ToGlobal, 7, 12},     // exact multiple
-		{"ToGlobal", d.ToGlobal, 8, 14},     // ceil(96/7)
-		{"ToLocal", d.ToLocal, 1, 1},        // ceil(7/12)
-		{"ToLocal", d.ToLocal, 12, 7},       // exact multiple
-		{"ToLocal", d.ToLocal, 13, 8},       // ceil(91/12)
-		{"LocalFloor", d.LocalFloor, 11, 6}, // floor(77/12)
-		{"LocalFloor", d.LocalFloor, 12, 7}, // exact multiple
-		{"LocalFloor", d.LocalFloor, 1, 0},  // floor(7/12)
+		{"ToGlobal", toGlobal, 1, 2},      // ceil(12/7)
+		{"ToGlobal", toGlobal, 7, 12},     // exact multiple
+		{"ToGlobal", toGlobal, 8, 14},     // ceil(96/7)
+		{"ToLocal", toLocal, 1, 1},        // ceil(7/12)
+		{"ToLocal", toLocal, 12, 7},       // exact multiple
+		{"ToLocal", toLocal, 13, 8},       // ceil(91/12)
+		{"LocalFloor", localFloor, 11, 6}, // floor(77/12)
+		{"LocalFloor", localFloor, 12, 7}, // exact multiple
+		{"LocalFloor", localFloor, 1, 0},  // floor(7/12)
 	}
 	for _, c := range cases {
 		if got := c.fn(c.in); got != c.want {
@@ -65,13 +68,13 @@ func TestNonDivisibleRatioExact(t *testing.T) {
 func TestZeroAndNegativeCycles(t *testing.T) {
 	for name, d := range edgeDomains() {
 		for _, n := range []int64{0, -1, -1000} {
-			if g := d.ToGlobal(n); g != 0 {
+			if g := d.ToGlobal(Local(n)); g != 0 {
 				t.Errorf("%s: ToGlobal(%d) = %d, want 0", name, n, g)
 			}
-			if l := d.ToLocal(n); l != 0 {
+			if l := d.ToLocal(Global(n)); l != 0 {
 				t.Errorf("%s: ToLocal(%d) = %d, want 0", name, n, l)
 			}
-			if f := d.LocalFloor(n); f != 0 {
+			if f := d.LocalFloor(Global(n)); f != 0 {
 				t.Errorf("%s: LocalFloor(%d) = %d, want 0", name, n, f)
 			}
 		}
@@ -84,10 +87,10 @@ func TestZeroAndNegativeCycles(t *testing.T) {
 func TestRoundTripNeverEarly(t *testing.T) {
 	for name, d := range edgeDomains() {
 		for n := int64(1); n <= 500; n++ {
-			if rt := d.ToLocal(d.ToGlobal(n)); rt < n {
+			if rt := d.ToLocal(d.ToGlobal(Local(n))); rt.Int64() < n {
 				t.Fatalf("%s: ToLocal(ToGlobal(%d)) = %d, arrived early", name, n, rt)
 			}
-			if rt := d.ToGlobal(d.ToLocal(n)); rt < n {
+			if rt := d.ToGlobal(d.ToLocal(Global(n))); rt.Int64() < n {
 				t.Fatalf("%s: ToGlobal(ToLocal(%d)) = %d, arrived early", name, n, rt)
 			}
 		}
@@ -101,9 +104,9 @@ func TestRoundTripNeverEarly(t *testing.T) {
 // reintroduces the one-tick-late completion bug.
 func TestSkipBoundaryOffByOne(t *testing.T) {
 	for name, d := range edgeDomains() {
-		for L := int64(1); L <= 300; L++ {
-			want := int64(-1)
-			for T := int64(0); ; T++ {
+		for L := Local(1); L <= 300; L++ {
+			want := Global(-1)
+			for T := Global(0); ; T++ {
 				if d.LocalFloor(T+1) >= L {
 					want = T
 					break

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/model"
 	"mnpusim/internal/npu"
@@ -66,6 +67,20 @@ func LoadNPUMem(path string) (NPUMem, error) {
 		m.PageBytes = v
 	}
 	return m, kv.CheckFullyUsed()
+}
+
+// startCycles lifts parsed start_cycles values into the global clock
+// domain; misc_config is the boundary where raw integers become cycles.
+func startCycles(raw []int64) []clock.Global {
+	if raw == nil {
+		return nil
+	}
+	cs := make([]clock.Global, len(raw))
+	for i, v := range raw {
+		//lint:allow cycletypes start_cycles parsed from misc_config enter the global clock domain here
+		cs[i] = clock.Global(v)
+	}
+	return cs
 }
 
 // Misc holds the parsed misc_config: the execution mode.
@@ -200,10 +215,11 @@ func LoadSystem(archList, netList, dramPath, npumemPath, miscPath string) (sim.C
 		MaxPendingWalks:     nm.MaxPendingWalks,
 		NoTranslation:       misc.NoTranslation,
 		PhysBytesPerCore:    capacity,
-		StartCycles:         misc.StartCycles,
-		MaxGlobalCycles:     misc.MaxCycles,
-		WalkerMin:           misc.WalkerMin,
-		WalkerMax:           misc.WalkerMax,
+		StartCycles:         startCycles(misc.StartCycles),
+		//lint:allow cycletypes max_cycles parsed from misc_config enters the global clock domain here
+		MaxGlobalCycles: clock.Global(misc.MaxCycles),
+		WalkerMin:       misc.WalkerMin,
+		WalkerMax:       misc.WalkerMax,
 	}
 	if cfg.MaxGlobalCycles == 0 {
 		cfg.MaxGlobalCycles = 1_000_000_000

@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"mnpusim/internal/clock"
 	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/obs"
@@ -16,17 +17,17 @@ type pending struct {
 
 // completion is a data transfer scheduled to finish in the future.
 type completion struct {
-	at  int64
+	at  clock.Global
 	req *mem.Request
 }
 
 // bank is the per-bank state machine. openRow == -1 means precharged.
 type bank struct {
-	openRow       int64
-	nextActivate  int64
-	nextRead      int64
-	nextWrite     int64
-	nextPrecharge int64
+	openRow       int64 // row number, not a cycle; -1 when precharged
+	nextActivate  clock.Global
+	nextRead      clock.Global
+	nextWrite     clock.Global
+	nextPrecharge clock.Global
 }
 
 // channel is one memory controller plus its DRAM channel.
@@ -39,24 +40,24 @@ type channel struct {
 	completions []completion
 
 	// Data-bus and CAS-spacing state.
-	busFreeAt   int64
+	busFreeAt   clock.Global
 	lastWasRead bool
 	// nextCASGroup[rank*bankGroups+bg] enforces tCCDL within a bank
 	// group; nextCASAny enforces tCCDS across groups.
-	nextCASGroup []int64
-	nextCASAny   int64
+	nextCASGroup []clock.Global
+	nextCASAny   clock.Global
 
 	// Activation spacing (tRRD, tFAW) per rank.
-	lastActivate []int64   // per rank
-	actWindow    [][]int64 // per rank, last 4 activate cycles (ring)
+	lastActivate []clock.Global   // per rank
+	actWindow    [][]clock.Global // per rank, last 4 activate cycles (ring)
 	actWindowPos []int
 
 	// Refresh state per rank.
-	nextRefresh []int64
-	refreshing  []int64 // busy-until cycle; 0 when idle
+	nextRefresh []clock.Global
+	refreshing  []clock.Global // busy-until cycle; 0 when idle
 
 	// lastTick tracks tick monotonicity under -tags=invariants.
-	lastTick int64
+	lastTick clock.Global
 
 	// obs, if non-nil, receives the command-stream probe events (CAS
 	// issue, row hit/miss/conflict, refresh). Set via Memory.SetObs.
@@ -86,12 +87,12 @@ func newChannel(cfg Config, id int) *channel {
 		cfg:          cfg,
 		id:           id,
 		banks:        make([]bank, cfg.BanksPerChannel()),
-		nextCASGroup: make([]int64, cfg.Ranks*cfg.BankGroups),
-		lastActivate: make([]int64, cfg.Ranks),
-		actWindow:    make([][]int64, cfg.Ranks),
+		nextCASGroup: make([]clock.Global, cfg.Ranks*cfg.BankGroups),
+		lastActivate: make([]clock.Global, cfg.Ranks),
+		actWindow:    make([][]clock.Global, cfg.Ranks),
 		actWindowPos: make([]int, cfg.Ranks),
-		nextRefresh:  make([]int64, cfg.Ranks),
-		refreshing:   make([]int64, cfg.Ranks),
+		nextRefresh:  make([]clock.Global, cfg.Ranks),
+		refreshing:   make([]clock.Global, cfg.Ranks),
 		lastTick:     -1,
 	}
 	for i := range ch.banks {
@@ -102,14 +103,14 @@ func newChannel(cfg Config, id int) *channel {
 		ch.lastActivate[r] = -1 << 40
 	}
 	for r := 0; r < cfg.Ranks; r++ {
-		ch.actWindow[r] = make([]int64, 4)
+		ch.actWindow[r] = make([]clock.Global, 4)
 		for j := range ch.actWindow[r] {
 			ch.actWindow[r][j] = -1 << 40
 		}
 		if cfg.Timing.REFI > 0 {
-			ch.nextRefresh[r] = int64(cfg.Timing.REFI)
+			ch.nextRefresh[r] = clock.Global(cfg.Timing.REFI)
 		} else {
-			ch.nextRefresh[r] = 1 << 62
+			ch.nextRefresh[r] = clock.FarFuture
 		}
 	}
 	return ch
@@ -125,7 +126,7 @@ func (c *channel) enqueue(req *mem.Request, loc Location, seq uint64) {
 
 // tick advances the controller by one global cycle: retire completions,
 // handle refresh, then issue at most one DRAM command.
-func (c *channel) tick(now int64) {
+func (c *channel) tick(now clock.Global) {
 	if invariant.Enabled {
 		invariant.Check(now > c.lastTick,
 			"dram: channel %d ticked backwards: %d after %d", c.id, now, c.lastTick)
@@ -136,7 +137,7 @@ func (c *channel) tick(now int64) {
 		if t := c.cfg.Timing; t.REFI > 0 {
 			for r := range c.nextRefresh {
 				if c.refreshing[r] <= now {
-					invariant.Check(now < c.nextRefresh[r]+int64(t.REFI),
+					invariant.Check(now < c.nextRefresh[r]+clock.Global(t.REFI),
 						"dram: channel %d rank %d refresh overdue by a full interval at cycle %d (deadline %d)",
 						c.id, r, now, c.nextRefresh[r])
 				}
@@ -157,7 +158,7 @@ func (c *channel) tick(now int64) {
 	c.issue(now, idx)
 }
 
-func (c *channel) retire(now int64) {
+func (c *channel) retire(now clock.Global) {
 	out := c.completions[:0]
 	for _, cmp := range c.completions {
 		if cmp.at <= now {
@@ -171,7 +172,7 @@ func (c *channel) retire(now int64) {
 
 // handleRefresh performs refresh management for all ranks. It returns
 // true if it consumed the command slot this cycle.
-func (c *channel) handleRefresh(now int64) bool {
+func (c *channel) handleRefresh(now clock.Global) bool {
 	t := c.cfg.Timing
 	for r := 0; r < c.cfg.Ranks; r++ {
 		if c.refreshing[r] > now {
@@ -221,10 +222,10 @@ func (c *channel) handleRefresh(now int64) bool {
 					"dram: refresh with bank %d open (row %d)", b, c.banks[b].openRow)
 			}
 		}
-		c.refreshing[r] = now + int64(t.RFC)
-		c.nextRefresh[r] = now + int64(t.REFI)
+		c.refreshing[r] = now + clock.Global(t.RFC)
+		c.nextRefresh[r] = now + clock.Global(t.REFI)
 		for b := base; b < base+n; b++ {
-			c.banks[b].nextActivate = now + int64(t.RFC)
+			c.banks[b].nextActivate = now + clock.Global(t.RFC)
 		}
 		c.stats.Refreshes++
 		if c.obs != nil {
@@ -250,7 +251,7 @@ func (c *channel) handleRefresh(now int64) bool {
 //     activates/precharges).
 //
 // Under FCFS only the head request is considered.
-func (c *channel) pick(now int64) int {
+func (c *channel) pick(now clock.Global) int {
 	if c.cfg.Policy == FCFS {
 		return 0
 	}
@@ -305,13 +306,13 @@ func (c *channel) notePick(i int, starved bool) {
 // started. New commands to such a rank are held off: otherwise a steady
 // request stream keeps reopening rows faster than the precharge-all
 // sequence can close them and the refresh starves past a full interval.
-func (c *channel) refreshDue(now int64, r int) bool {
+func (c *channel) refreshDue(now clock.Global, r int) bool {
 	return c.cfg.Timing.REFI > 0 && c.refreshing[r] <= now && now >= c.nextRefresh[r]
 }
 
 // canProgress reports whether the request could issue any useful command
 // (CAS, precharge, or activate) this cycle.
-func (c *channel) canProgress(now int64, p *pending) bool {
+func (c *channel) canProgress(now clock.Global, p *pending) bool {
 	if c.refreshDue(now, p.loc.Rank) {
 		return false
 	}
@@ -331,7 +332,7 @@ func (c *channel) canProgress(now int64, p *pending) bool {
 // in flight, as long as its own data window (starting CL or CWL cycles
 // later) begins after the bus frees, plus a turnaround bubble when the
 // transfer direction changes.
-func (c *channel) casReady(now int64, p *pending) bool {
+func (c *channel) casReady(now clock.Global, p *pending) bool {
 	b := &c.banks[c.cfg.BankIndex(p.loc)]
 	if b.openRow != p.loc.Row {
 		return false
@@ -344,17 +345,17 @@ func (c *channel) casReady(now int64, p *pending) bool {
 		if now < b.nextRead {
 			return false
 		}
-		return now+int64(c.cfg.Timing.CL) >= c.busNeededAt(true)
+		return now+clock.Global(c.cfg.Timing.CL) >= c.busNeededAt(true)
 	}
 	if now < b.nextWrite {
 		return false
 	}
-	return now+int64(c.cfg.Timing.CWL) >= c.busNeededAt(false)
+	return now+clock.Global(c.cfg.Timing.CWL) >= c.busNeededAt(false)
 }
 
 // busNeededAt returns the earliest cycle the data bus may start a new
 // transfer in the given direction.
-func (c *channel) busNeededAt(read bool) int64 {
+func (c *channel) busNeededAt(read bool) clock.Global {
 	at := c.busFreeAt
 	if read != c.lastWasRead {
 		at += 2 // bus turnaround bubble
@@ -365,7 +366,7 @@ func (c *channel) busNeededAt(read bool) int64 {
 // issue advances the chosen request by one command (precharge, activate,
 // or CAS). CAS removes the request from the queue and schedules its
 // completion.
-func (c *channel) issue(now int64, idx int) {
+func (c *channel) issue(now clock.Global, idx int) {
 	t := c.cfg.Timing
 	p := &c.queue[idx]
 	if c.refreshDue(now, p.loc.Rank) {
@@ -380,25 +381,25 @@ func (c *channel) issue(now int64, idx int) {
 			return
 		}
 		grp := p.loc.Rank*c.cfg.BankGroups + p.loc.BankGroup
-		c.nextCASGroup[grp] = now + int64(t.CCDL)
-		c.nextCASAny = now + int64(t.CCDS)
+		c.nextCASGroup[grp] = now + clock.Global(t.CCDL)
+		c.nextCASAny = now + clock.Global(t.CCDS)
 		if p.req.Kind == mem.Read {
-			dataAt := max(now+int64(t.CL), c.busNeededAt(true))
-			c.busFreeAt = dataAt + int64(t.BL2)
+			dataAt := max(now+clock.Global(t.CL), c.busNeededAt(true))
+			c.busFreeAt = dataAt + clock.Global(t.BL2)
 			c.lastWasRead = true
-			if nb := now + int64(t.RTP); nb > b.nextPrecharge {
+			if nb := now + clock.Global(t.RTP); nb > b.nextPrecharge {
 				b.nextPrecharge = nb
 			}
 			c.finishAt(c.busFreeAt, p.req)
 			c.stats.Reads++
 		} else {
-			dataAt := max(now+int64(t.CWL), c.busNeededAt(false))
-			c.busFreeAt = dataAt + int64(t.BL2)
+			dataAt := max(now+clock.Global(t.CWL), c.busNeededAt(false))
+			c.busFreeAt = dataAt + clock.Global(t.BL2)
 			c.lastWasRead = false
-			if nb := dataAt + int64(t.BL2) + int64(t.WR); nb > b.nextPrecharge {
+			if nb := dataAt + clock.Global(t.BL2) + clock.Global(t.WR); nb > b.nextPrecharge {
 				b.nextPrecharge = nb
 			}
-			c.finishAt(dataAt+int64(t.BL2), p.req)
+			c.finishAt(dataAt+clock.Global(t.BL2), p.req)
 			c.stats.Writes++
 		}
 		c.stats.RowHits++
@@ -440,29 +441,29 @@ func (c *channel) issue(now int64, idx int) {
 	}
 }
 
-func (c *channel) precharge(now int64, bankIdx int) {
+func (c *channel) precharge(now clock.Global, bankIdx int) {
 	b := &c.banks[bankIdx]
 	b.openRow = -1
-	b.nextActivate = max(b.nextActivate, now+int64(c.cfg.Timing.RP))
+	b.nextActivate = max(b.nextActivate, now+clock.Global(c.cfg.Timing.RP))
 	c.stats.Precharges++
 }
 
-func (c *channel) canActivate(now int64, loc Location) bool {
+func (c *channel) canActivate(now clock.Global, loc Location) bool {
 	b := &c.banks[c.cfg.BankIndex(loc)]
 	if now < b.nextActivate {
 		return false
 	}
 	t := c.cfg.Timing
-	if now < c.lastActivate[loc.Rank]+int64(t.RRDS) {
+	if now < c.lastActivate[loc.Rank]+clock.Global(t.RRDS) {
 		return false
 	}
 	// tFAW: the 4th-most-recent activate must be at least FAW ago.
 	w := c.actWindow[loc.Rank]
 	oldest := w[c.actWindowPos[loc.Rank]]
-	return now >= oldest+int64(t.FAW)
+	return now >= oldest+clock.Global(t.FAW)
 }
 
-func (c *channel) activate(now int64, loc Location) {
+func (c *channel) activate(now clock.Global, loc Location) {
 	t := c.cfg.Timing
 	b := &c.banks[c.cfg.BankIndex(loc)]
 	if invariant.Enabled {
@@ -470,16 +471,16 @@ func (c *channel) activate(now int64, loc Location) {
 			"dram: activate on open bank (ch=%d bank=%d row=%d)", c.id, c.cfg.BankIndex(loc), b.openRow)
 		invariant.Check(now >= b.nextActivate,
 			"dram: tRC/tRP violated: activate at %d before %d", now, b.nextActivate)
-		invariant.Check(now >= c.lastActivate[loc.Rank]+int64(t.RRDS),
+		invariant.Check(now >= c.lastActivate[loc.Rank]+clock.Global(t.RRDS),
 			"dram: tRRD violated: activate at %d, last %d, RRDS=%d", now, c.lastActivate[loc.Rank], t.RRDS)
 		oldest := c.actWindow[loc.Rank][c.actWindowPos[loc.Rank]]
-		invariant.Check(now >= oldest+int64(t.FAW),
+		invariant.Check(now >= oldest+clock.Global(t.FAW),
 			"dram: tFAW violated: 5th activate at %d within FAW=%d of %d", now, t.FAW, oldest)
 	}
 	b.openRow = loc.Row
-	b.nextRead = now + int64(t.RCD)
-	b.nextWrite = now + int64(t.RCD)
-	b.nextPrecharge = now + int64(t.RAS)
+	b.nextRead = now + clock.Global(t.RCD)
+	b.nextWrite = now + clock.Global(t.RCD)
+	b.nextPrecharge = now + clock.Global(t.RAS)
 	c.lastActivate[loc.Rank] = now
 	w := c.actWindow[loc.Rank]
 	w[c.actWindowPos[loc.Rank]] = now
@@ -487,7 +488,7 @@ func (c *channel) activate(now int64, loc Location) {
 	c.stats.Activates++
 }
 
-func (c *channel) finishAt(at int64, req *mem.Request) {
+func (c *channel) finishAt(at clock.Global, req *mem.Request) {
 	c.completions = append(c.completions, completion{at: at, req: req})
 }
 
@@ -499,8 +500,8 @@ func (c *channel) finishAt(at int64, req *mem.Request) {
 // precharge-all sequence is underway) runs cycle-by-cycle, and a future
 // deadline caps how far the system may fast-forward, so a skipped window
 // never spans a bank-state change.
-func (c *channel) nextEventAfter(now int64) int64 {
-	next := int64(1) << 62
+func (c *channel) nextEventAfter(now clock.Global) clock.Global {
+	var next clock.Global = clock.FarFuture
 	if c.cfg.Timing.REFI > 0 {
 		for r := range c.nextRefresh {
 			if c.refreshing[r] <= now && c.nextRefresh[r] <= now {
@@ -544,7 +545,7 @@ func (c *channel) nextEventAfter(now int64) int64 {
 // p) is false for every t before the returned cycle and true at it,
 // provided no other command issues in between (any such issue means the
 // channel was ticked, which re-evaluates this horizon).
-func (c *channel) earliestProgress(p *pending) int64 {
+func (c *channel) earliestProgress(p *pending) clock.Global {
 	t := c.cfg.Timing
 	b := &c.banks[c.cfg.BankIndex(p.loc)]
 	switch {
@@ -552,14 +553,14 @@ func (c *channel) earliestProgress(p *pending) int64 {
 		grp := p.loc.Rank*c.cfg.BankGroups + p.loc.BankGroup
 		e := max(c.nextCASGroup[grp], c.nextCASAny)
 		if p.req.Kind == mem.Read {
-			return max(e, b.nextRead, c.busNeededAt(true)-int64(t.CL))
+			return max(e, b.nextRead, c.busNeededAt(true)-clock.Global(t.CL))
 		}
-		return max(e, b.nextWrite, c.busNeededAt(false)-int64(t.CWL))
+		return max(e, b.nextWrite, c.busNeededAt(false)-clock.Global(t.CWL))
 	case b.openRow >= 0:
 		return b.nextPrecharge
 	default:
 		w := c.actWindow[p.loc.Rank]
 		oldest := w[c.actWindowPos[p.loc.Rank]]
-		return max(b.nextActivate, c.lastActivate[p.loc.Rank]+int64(t.RRDS), oldest+int64(t.FAW))
+		return max(b.nextActivate, c.lastActivate[p.loc.Rank]+clock.Global(t.RRDS), oldest+clock.Global(t.FAW))
 	}
 }

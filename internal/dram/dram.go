@@ -3,13 +3,14 @@ package dram
 import (
 	"fmt"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/obs"
 )
 
 // TransferFunc observes every completed data burst; used by the
 // bandwidth-timeline instrumentation (Fig. 12).
-type TransferFunc func(now int64, core int, bytes int, class mem.Class)
+type TransferFunc func(now clock.Global, core int, bytes int, class mem.Class)
 
 // Memory is one DRAM device: a set of channels with per-channel
 // controllers, plus per-core channel routing for bandwidth sharing and
@@ -29,13 +30,13 @@ type Memory struct {
 	// channel ch's controller queue. The event-driven kernel uses it to
 	// arm the channel's wake entry: an enqueue at cycle now means the
 	// channel can change state at now+1.
-	OnEnqueue func(now int64, ch int)
+	OnEnqueue func(now clock.Global, ch int)
 
 	// OnComplete, if non-nil, is called after a request's Done chain has
 	// run (burst retired at cycle done). The event-driven kernel uses it
 	// to wake the request's originator — the MMU for page-table reads,
 	// the issuing core for data — on the completion cycle.
-	OnComplete func(done int64, r *mem.Request)
+	OnComplete func(done clock.Global, r *mem.Request)
 
 	// obs, if non-nil, receives structured probe events (enqueues,
 	// transfers, and the per-channel command stream). Observation never
@@ -135,7 +136,7 @@ func (m *Memory) CanAccept(core int, addr uint64) bool {
 // burst completes.
 //
 //lint:allow wakecontract audited stimulus seam: OnEnqueue re-arms the landing channel, and the Done wrapper's OnComplete re-arms the walk or data consumer at the burst's completion cycle
-func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
+func (m *Memory) Enqueue(now clock.Global, r *mem.Request) bool {
 	loc := m.mapperFor(r.Core).Locate(r.Addr)
 	ch := m.channels[loc.Channel]
 	if !ch.canAccept() {
@@ -146,7 +147,7 @@ func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
 	m.inflight++
 	inner := r.Done
 	chIdx := int32(loc.Channel)
-	r.Done = func(done int64, rr *mem.Request) {
+	r.Done = func(done clock.Global, rr *mem.Request) {
 		m.inflight--
 		if m.obs != nil {
 			m.obs.Emit(obs.Event{Cycle: done, Kind: obs.KindTransfer, Core: int32(rr.Core),
@@ -174,7 +175,7 @@ func (m *Memory) Enqueue(now int64, r *mem.Request) bool {
 }
 
 // Tick advances every channel controller by one global cycle.
-func (m *Memory) Tick(now int64) {
+func (m *Memory) Tick(now clock.Global) {
 	for _, ch := range m.channels {
 		ch.tick(now)
 	}
@@ -186,13 +187,13 @@ func (m *Memory) Channels() int { return len(m.channels) }
 // TickChannel advances a single channel controller by one global cycle.
 // The event-driven kernel uses it to tick only channels with work;
 // ticking an idle channel is a no-op, so over-ticking is always safe.
-func (m *Memory) TickChannel(ch int, now int64) { m.channels[ch].tick(now) }
+func (m *Memory) TickChannel(ch int, now clock.Global) { m.channels[ch].tick(now) }
 
 // ChannelNextEventAfter returns the earliest future cycle at which
 // channel ch needs ticking (see the device-wide NextEventAfter for the
 // contract: queued commands are cycle-by-cycle, completions and refresh
 // deadlines are absolute bounds).
-func (m *Memory) ChannelNextEventAfter(ch int, now int64) int64 {
+func (m *Memory) ChannelNextEventAfter(ch int, now clock.Global) clock.Global {
 	return m.channels[ch].nextEventAfter(now)
 }
 
@@ -204,8 +205,8 @@ func (m *Memory) Busy() bool { return m.inflight > 0 }
 // or in-flight work has refresh deadlines that bound how far the system
 // may fast-forward. With no work and no deadlines it returns a
 // far-future sentinel.
-func (m *Memory) NextEventAfter(now int64) int64 {
-	next := int64(1) << 62
+func (m *Memory) NextEventAfter(now clock.Global) clock.Global {
+	var next clock.Global = clock.FarFuture
 	for _, ch := range m.channels {
 		e := ch.nextEventAfter(now)
 		if e <= now+1 {
@@ -222,7 +223,7 @@ func (m *Memory) NextEventAfter(now int64) int64 {
 // past any completion or refresh deadline, so a skipped window contains
 // no channel state change and there is no bookkeeping to catch up. It
 // exists to complete the NextEventAfter/SkipTo fast-forward protocol.
-func (m *Memory) SkipTo(now int64) {}
+func (m *Memory) SkipTo(now clock.Global) {}
 
 // Stats aggregates counters across channels.
 type Stats struct {

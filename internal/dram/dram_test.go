@@ -3,6 +3,7 @@ package dram
 import (
 	"testing"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/mem"
 )
 
@@ -11,7 +12,7 @@ type testMemory struct {
 	t   *testing.T
 	m   *Memory
 	ids mem.IDAllocator
-	now int64
+	now clock.Global
 }
 
 func newTestMemory(t *testing.T, cfg Config) *testMemory {
@@ -24,14 +25,14 @@ func newTestMemory(t *testing.T, cfg Config) *testMemory {
 }
 
 // request builds a block request whose completion records its cycle.
-func (tm *testMemory) request(core int, addr uint64, kind mem.Kind, doneAt *int64) *mem.Request {
+func (tm *testMemory) request(core int, addr uint64, kind mem.Kind, doneAt *clock.Global) *mem.Request {
 	return &mem.Request{
 		ID:   tm.ids.Next(),
 		Core: core,
 		Addr: addr,
 		Size: 64,
 		Kind: kind,
-		Done: func(now int64, _ *mem.Request) {
+		Done: func(now clock.Global, _ *mem.Request) {
 			if doneAt != nil {
 				*doneAt = now
 			}
@@ -41,8 +42,8 @@ func (tm *testMemory) request(core int, addr uint64, kind mem.Kind, doneAt *int6
 
 // tickUntilIdle advances the memory until no work remains, returning
 // the cycle it went idle. It fails the test after limit cycles.
-func (tm *testMemory) tickUntilIdle(limit int64) int64 {
-	for i := int64(0); i < limit; i++ {
+func (tm *testMemory) tickUntilIdle(limit clock.Global) clock.Global {
+	for i := clock.Global(0); i < limit; i++ {
 		tm.m.Tick(tm.now)
 		tm.now++
 		if !tm.m.Busy() {
@@ -56,14 +57,14 @@ func (tm *testMemory) tickUntilIdle(limit int64) int64 {
 func TestSingleReadLatency(t *testing.T) {
 	cfg := HBM2(1)
 	tm := newTestMemory(t, cfg)
-	var doneAt int64 = -1
+	var doneAt clock.Global = -1
 	if !tm.m.Enqueue(0, tm.request(0, 0, mem.Read, &doneAt)) {
 		t.Fatal("enqueue refused")
 	}
 	tm.tickUntilIdle(1000)
 	// Cold read: activate (tRCD) + read (tCL) + burst (BL2).
 	tmg := cfg.Timing
-	wantMin := int64(tmg.RCD + tmg.CL + tmg.BL2)
+	wantMin := clock.Global(tmg.RCD + tmg.CL + tmg.BL2)
 	if doneAt < wantMin || doneAt > wantMin+4 {
 		t.Errorf("read completed at %d, want about %d", doneAt, wantMin)
 	}
@@ -73,7 +74,7 @@ func TestRowHitFasterThanConflict(t *testing.T) {
 	cfg := HBM2(1)
 	// Same row twice, then a different row in the same bank.
 	tm := newTestMemory(t, cfg)
-	var t1, t2 int64
+	var t1, t2 clock.Global
 	tm.m.Enqueue(0, tm.request(0, 0, mem.Read, &t1))
 	tm.m.Enqueue(0, tm.request(0, 64, mem.Read, &t2))
 	tm.tickUntilIdle(1000)
@@ -94,7 +95,7 @@ func TestRowHitFasterThanConflict(t *testing.T) {
 			break
 		}
 	}
-	var c1, c2 int64
+	var c1, c2 clock.Global
 	tm2.m.Enqueue(0, tm2.request(0, base, mem.Read, &c1))
 	tm2.m.Enqueue(0, tm2.request(0, conflictAddr, mem.Read, &c2))
 	tm2.tickUntilIdle(1000)
@@ -111,7 +112,7 @@ func TestRowHitFasterThanConflict(t *testing.T) {
 
 func TestWriteCompletes(t *testing.T) {
 	tm := newTestMemory(t, HBM2(1))
-	var doneAt int64 = -1
+	var doneAt clock.Global = -1
 	tm.m.Enqueue(0, tm.request(0, 128, mem.Write, &doneAt))
 	tm.tickUntilIdle(1000)
 	if doneAt < 0 {
@@ -154,11 +155,11 @@ func TestStreamAchievesNearPeakBandwidth(t *testing.T) {
 	const n = 512
 	completed := 0
 	issued := 0
-	var lastDone int64
+	var lastDone clock.Global
 	for tm.now < 100000 && completed < n {
 		for issued < n && tm.m.Enqueue(tm.now, &mem.Request{
 			ID: tm.ids.Next(), Core: 0, Addr: uint64(issued * 64), Size: 64, Kind: mem.Read,
-			Done: func(now int64, _ *mem.Request) { completed++; lastDone = now },
+			Done: func(now clock.Global, _ *mem.Request) { completed++; lastDone = now },
 		}) {
 			issued++
 		}
@@ -170,7 +171,7 @@ func TestStreamAchievesNearPeakBandwidth(t *testing.T) {
 	}
 	// Peak moves one block per BL2 cycles; allow 25% overhead for
 	// activates, refresh, and ramp-up.
-	ideal := int64(n * cfg.Timing.BL2)
+	ideal := clock.Global(n * cfg.Timing.BL2)
 	if lastDone > ideal*5/4 {
 		t.Errorf("stream took %d cycles, peak would be %d (efficiency %.0f%%)",
 			lastDone, ideal, 100*float64(ideal)/float64(lastDone))
@@ -180,7 +181,7 @@ func TestStreamAchievesNearPeakBandwidth(t *testing.T) {
 func TestChannelPartitionIsolation(t *testing.T) {
 	// Core 0 on channel 0 and core 1 on channel 1 must not interact:
 	// core 0's stream finishes in the same time with or without core 1.
-	run := func(withCo bool) int64 {
+	run := func(withCo bool) clock.Global {
 		cfg := HBM2(2)
 		tm := newTestMemory(t, cfg)
 		if err := tm.m.SetCoreChannels(0, []int{0}); err != nil {
@@ -190,13 +191,13 @@ func TestChannelPartitionIsolation(t *testing.T) {
 			t.Fatal(err)
 		}
 		const n = 200
-		var last0 int64
+		var last0 clock.Global
 		done0 := 0
 		issued0, issued1 := 0, 0
 		for tm.now < 100000 && done0 < n {
 			for issued0 < n && tm.m.Enqueue(tm.now, &mem.Request{
 				ID: tm.ids.Next(), Core: 0, Addr: uint64(issued0 * 64), Size: 64, Kind: mem.Read,
-				Done: func(now int64, _ *mem.Request) { done0++; last0 = now },
+				Done: func(now clock.Global, _ *mem.Request) { done0++; last0 = now },
 			}) {
 				issued0++
 			}
@@ -224,11 +225,11 @@ func TestChannelPartitionIsolation(t *testing.T) {
 
 func TestSharedChannelContention(t *testing.T) {
 	// Two cores on the same channel must slow each other down.
-	run := func(withCo bool) int64 {
+	run := func(withCo bool) clock.Global {
 		cfg := HBM2(1)
 		tm := newTestMemory(t, cfg)
 		const n = 200
-		var last0 int64
+		var last0 clock.Global
 		done0 := 0
 		issued0, issued1 := 0, 0
 		for tm.now < 200000 && done0 < n {
@@ -243,7 +244,7 @@ func TestSharedChannelContention(t *testing.T) {
 			}
 			if issued0 < n && tm.m.Enqueue(tm.now, &mem.Request{
 				ID: tm.ids.Next(), Core: 0, Addr: uint64(issued0 * 64), Size: 64, Kind: mem.Read,
-				Done: func(now int64, _ *mem.Request) { done0++; last0 = now },
+				Done: func(now clock.Global, _ *mem.Request) { done0++; last0 = now },
 			}) {
 				issued0++
 			}
@@ -266,7 +267,7 @@ func TestRefreshHappens(t *testing.T) {
 	// Keep a trickle of traffic so the controller keeps ticking past
 	// several tREFI windows.
 	issued := 0
-	for tm.now < int64(cfg.Timing.REFI*3+1000) {
+	for tm.now < clock.Global(cfg.Timing.REFI*3+1000) {
 		if tm.now%97 == 0 {
 			if tm.m.Enqueue(tm.now, tm.request(0, uint64(issued*64), mem.Read, nil)) {
 				issued++
@@ -290,7 +291,7 @@ func TestRefreshNotStarvedBySaturatingStream(t *testing.T) {
 	// overdue by a full interval").
 	cfg := HBM2(1)
 	tm := newTestMemory(t, cfg)
-	horizon := int64(cfg.Timing.REFI) * 4
+	horizon := clock.Global(cfg.Timing.REFI) * 4
 	issued := 0
 	for tm.now < horizon {
 		for tm.m.Enqueue(tm.now, tm.request(0, uint64(issued*64), mem.Read, nil)) {
@@ -309,7 +310,7 @@ func TestRefreshNotStarvedBySaturatingStream(t *testing.T) {
 func TestSkipWindowBoundedByRefresh(t *testing.T) {
 	cfg := HBM2(1)
 	tm := newTestMemory(t, cfg)
-	refi := int64(cfg.Timing.REFI)
+	refi := clock.Global(cfg.Timing.REFI)
 	// SkipTo performs no bookkeeping: refreshes happen by ticking at
 	// the deadline NextEventAfter reports, never by crediting, so
 	// skipped and ticked executions stay bit-identical.
@@ -330,7 +331,7 @@ func TestNextEventAfter(t *testing.T) {
 	tm := newTestMemory(t, cfg)
 	// An idle device's next event is its first refresh deadline: a
 	// fast-forward must never jump a refresh.
-	if e := tm.m.NextEventAfter(0); e != int64(cfg.Timing.REFI) {
+	if e := tm.m.NextEventAfter(0); e != clock.Global(cfg.Timing.REFI) {
 		t.Errorf("idle next event = %d, want refresh deadline %d", e, cfg.Timing.REFI)
 	}
 	tm.m.Enqueue(0, tm.request(0, 0, mem.Read, nil))
@@ -344,7 +345,7 @@ func TestConflictingRequestIsNotStarved(t *testing.T) {
 	// complete promptly: idle command slots (bus-limited off-cycles)
 	// prepare the oldest request's bank, and the starvation cap bounds
 	// the worst case. This holds with and without the cap enabled.
-	latency := func(cap int) int64 {
+	latency := func(cap int) clock.Global {
 		cfg := HBM2(1)
 		cfg.StarvationCap = cap
 		cfg.QueueDepth = 64
@@ -358,7 +359,7 @@ func TestConflictingRequestIsNotStarved(t *testing.T) {
 				break
 			}
 		}
-		var victimDone int64 = -1
+		var victimDone clock.Global = -1
 		// Two phase-shifted streams in different banks guarantee a
 		// row-hit CAS is available every cycle, even when one stream
 		// crosses a row boundary — the scenario where pure FR-FCFS
@@ -401,11 +402,11 @@ func TestConflictingRequestIsNotStarved(t *testing.T) {
 }
 
 func TestPTPriorityShortensWalkReadLatency(t *testing.T) {
-	latency := func(ptPriority bool) int64 {
+	latency := func(ptPriority bool) clock.Global {
 		cfg := HBM2(1)
 		cfg.PTPriority = ptPriority
 		tm := newTestMemory(t, cfg)
-		var ptDone int64 = -1
+		var ptDone clock.Global = -1
 		issued := 0
 		// Fill the queue with data, then a PT read behind it.
 		for i := 0; i < 16; i++ {
@@ -450,7 +451,7 @@ func TestFCFSPreservesArrivalOrder(t *testing.T) {
 		// Alternate rows to create conflicts FR-FCFS would reorder.
 		addr := uint64(i%2) * uint64(cfg.RowBytes) * 16
 		r := tm.request(0, addr+uint64(i*64), mem.Read, nil)
-		r.Done = func(int64, *mem.Request) { order = append(order, id) }
+		r.Done = func(clock.Global, *mem.Request) { order = append(order, id) }
 		tm.m.Enqueue(0, r)
 	}
 	tm.tickUntilIdle(10000)
@@ -464,7 +465,7 @@ func TestFCFSPreservesArrivalOrder(t *testing.T) {
 func TestTransferHookObservesBytesAndCore(t *testing.T) {
 	tm := newTestMemory(t, HBM2(1))
 	var hookCore, hookBytes int
-	tm.m.OnTransfer = func(now int64, core int, bytes int, class mem.Class) {
+	tm.m.OnTransfer = func(now clock.Global, core int, bytes int, class mem.Class) {
 		hookCore, hookBytes = core, bytes
 	}
 	tm.m.Enqueue(0, tm.request(3, 0, mem.Read, nil))

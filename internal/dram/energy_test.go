@@ -54,11 +54,11 @@ func TestEnergyFromRealRun(t *testing.T) {
 		tm.m.Enqueue(0, tm.request(0, uint64(i*64), mem.Read, nil))
 	}
 	end := tm.tickUntilIdle(10000)
-	e := tm.m.Stats().Energy(DefaultHBM2Energy(), end)
+	e := tm.m.Stats().Energy(DefaultHBM2Energy(), end.Int64())
 	if e.ReadPJ <= 0 || e.ActivatePJ <= 0 || e.BackgroundPJ <= 0 {
 		t.Errorf("run energy: %+v", e)
 	}
-	perBit := tm.m.Stats().EnergyPerBit(DefaultHBM2Energy(), end)
+	perBit := tm.m.Stats().EnergyPerBit(DefaultHBM2Energy(), end.Int64())
 	// HBM2 is a few pJ/bit at high utilization; allow a wide band but
 	// catch unit mistakes.
 	if perBit < 1 || perBit > 100 {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/mem"
 )
 
@@ -14,8 +15,8 @@ type completionLog struct {
 	events [][2]int64
 }
 
-func (l *completionLog) done(now int64, r *mem.Request) {
-	l.events = append(l.events, [2]int64{now, int64(r.ID)})
+func (l *completionLog) done(now clock.Global, r *mem.Request) {
+	l.events = append(l.events, [2]int64{now.Int64(), int64(r.ID)})
 }
 
 // TestChannelWakeContract is the dram half of the event kernel's wake
@@ -35,9 +36,9 @@ func TestChannelWakeContract(t *testing.T) {
 			ref := MustNew(cfg)
 			wake := MustNew(cfg)
 
-			const far = int64(1) << 62
-			armed := make([]int64, cfg.Channels)
-			wake.OnEnqueue = func(now int64, ch int) {
+			const far = clock.Global(clock.FarFuture)
+			armed := make([]clock.Global, cfg.Channels)
+			wake.OnEnqueue = func(now clock.Global, ch int) {
 				if now+1 < armed[ch] {
 					armed[ch] = now + 1
 				}
@@ -53,7 +54,7 @@ func TestChannelWakeContract(t *testing.T) {
 			}
 
 			const cycles = 40_000
-			for now := int64(0); now < cycles || ref.Busy() || wake.Busy(); now++ {
+			for now := clock.Global(0); now < cycles || ref.Busy() || wake.Busy(); now++ {
 				ref.Tick(now)
 				for ch := 0; ch < cfg.Channels; ch++ {
 					if armed[ch] > now {

@@ -173,9 +173,12 @@ func TestBandwidthTimelineExperiment(t *testing.T) {
 	}
 }
 
-func TestDefaultOptions(t *testing.T) {
-	o := DefaultOptions()
-	if o.Scale != workloads.ScaleTiny || o.QuadSample <= 0 {
-		t.Errorf("defaults: %+v", o)
+func TestRunnerDefaults(t *testing.T) {
+	r := NewRunner()
+	if r.Scale() != workloads.ScaleTiny {
+		t.Errorf("default scale: %v", r.Scale())
+	}
+	if r.Workers() <= 0 {
+		t.Errorf("default workers: %d", r.Workers())
 	}
 }

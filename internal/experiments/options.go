@@ -89,26 +89,3 @@ func WithSeed(seed int64) Option {
 func WithKernel(k sim.Kernel) Option {
 	return func(r *Runner) { r.opts.Kernel = k }
 }
-
-// WithNoEventSkip forces every simulation to tick cycle-by-cycle (see
-// sim.Config.NoEventSkip); results are identical either way.
-//
-// Deprecated: use WithKernel(sim.KernelTick) to select the tick kernel;
-// NoEventSkip additionally disables its fast-forward.
-func WithNoEventSkip(on bool) Option {
-	return func(r *Runner) { r.opts.NoEventSkip = on }
-}
-
-// WithOptions applies a whole Options struct at once, overwriting every
-// option-controlled field set before it.
-//
-// Deprecated: it exists so Options-struct call sites keep working;
-// new code should compose the individual With* options.
-func WithOptions(o Options) Option {
-	return func(r *Runner) {
-		r.opts = o
-		if o.Progress != nil {
-			WithProgress(o.Progress)(r)
-		}
-	}
-}

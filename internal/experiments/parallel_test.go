@@ -22,12 +22,10 @@ func parallelTestMixes() [][2]string {
 }
 
 // runMixes executes the mixes on a runner with the given options and
-// returns the full Results in enumeration order. It constructs the
-// runner through the deprecated Options shim on purpose, so the legacy
-// construction path stays covered.
-func runMixes(t *testing.T, opts Options) []sim.Result {
+// returns the full Results in enumeration order.
+func runMixes(t *testing.T, opts ...Option) []sim.Result {
 	t.Helper()
-	r := NewRunner(WithOptions(opts))
+	r := NewRunner(opts...)
 	mixes := parallelTestMixes()
 	out := make([]sim.Result, len(mixes))
 	err := r.ForEach(len(mixes), func(i int) error {
@@ -46,33 +44,26 @@ func runMixes(t *testing.T, opts Options) []sim.Result {
 
 // TestParallelMatchesSerial is the determinism contract of the worker
 // pool: a strictly serial runner, a 4-worker runner, and a 4-worker
-// runner with event skipping disabled all produce bit-identical Results
-// for the same mixes.
+// runner on the tick kernel all produce bit-identical Results for the
+// same mixes.
 func TestParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("several full simulations")
 	}
-	base := Options{Scale: workloads.ScaleTiny, Seed: 1}
+	base := []Option{WithScale(workloads.ScaleTiny), WithSeed(1)}
 
-	serialOpts := base
-	serialOpts.Workers = 1
-	serial := runMixes(t, serialOpts)
+	serial := runMixes(t, append(base, WithWorkers(1))...)
 
-	parOpts := base
-	parOpts.Workers = 4
-	par := runMixes(t, parOpts)
+	par := runMixes(t, append(base, WithWorkers(4))...)
 
-	noskipOpts := base
-	noskipOpts.Workers = 4
-	noskipOpts.NoEventSkip = true
-	noskip := runMixes(t, noskipOpts)
+	tick := runMixes(t, append(base, WithWorkers(4), WithKernel(sim.KernelTick))...)
 
 	for i, mix := range parallelTestMixes() {
 		if !reflect.DeepEqual(serial[i], par[i]) {
 			t.Errorf("mix %v: parallel result differs from serial", mix)
 		}
-		if !reflect.DeepEqual(serial[i], noskip[i]) {
-			t.Errorf("mix %v: no-event-skip result differs from serial", mix)
+		if !reflect.DeepEqual(serial[i], tick[i]) {
+			t.Errorf("mix %v: tick-kernel result differs from serial", mix)
 		}
 	}
 }

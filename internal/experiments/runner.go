@@ -8,7 +8,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -19,55 +18,17 @@ import (
 	"mnpusim/internal/workloads"
 )
 
-// Options configures an experiment run.
-//
-// Deprecated: construct runners with NewRunner and the functional
-// With* options; apply a legacy Options struct with WithOptions.
-type Options struct {
-	Scale workloads.Scale
-	// QuadSample caps the number of quad-core mixes evaluated (0 means
-	// all 330). The full sweep is exact but slow; sampling takes every
-	// k-th mix of the deterministic enumeration.
+// config holds the option-controlled runner state; each field is
+// documented on its With* option in options.go.
+type config struct {
+	Scale      workloads.Scale
 	QuadSample int
-	// MapSample caps the number of eight-workload sets evaluated in
-	// the mapping study (0 means all 6435). Scoring uses the measured
-	// pair table, so the full sweep is cheap; this mainly bounds
-	// output size.
-	MapSample int
-	// Seed drives the predictor's random-network training.
-	Seed int64
-	// Progress, if non-nil, receives one line per completed simulation.
-	// Output is serialized; under the worker pool the completion order
-	// (but never the content) may vary between runs.
-	Progress io.Writer
-	// Workers bounds how many simulations run concurrently. 0 means
-	// GOMAXPROCS; 1 runs strictly serially on the calling goroutine.
-	// Every experiment's results are deterministic and identical for
-	// any worker count — simulations are independent and results are
-	// assembled in enumeration order.
-	Workers int
-	// Kernel selects the simulation kernel every run uses (see
-	// sim.Config.Kernel); results are identical either way.
-	Kernel sim.Kernel
-	// NoEventSkip forces every simulation to tick cycle-by-cycle
-	// (see sim.Config.NoEventSkip); results are identical either way.
-	//
-	// Deprecated: use Kernel (sim.KernelTick keeps the loop this flag
-	// modifies; NoEventSkip additionally disables its fast-forward).
-	NoEventSkip bool
-	// Obs, if non-nil, receives the probe stream of every simulation the
-	// runner executes (see sim.Config.Obs). With Workers != 1 events
-	// from concurrent simulations interleave, so the sink must be safe
-	// for concurrent use (wrap with obs.Locked); results are unaffected.
-	Obs obs.Sink
-	// Metrics, if non-nil, accumulates every simulation's counters into
-	// one registry (obs.Registry is safe for concurrent use).
-	Metrics *obs.Registry
-}
-
-// DefaultOptions returns tiny-scale options suitable for benchmarks.
-func DefaultOptions() Options {
-	return Options{Scale: workloads.ScaleTiny, QuadSample: 40, Seed: 7}
+	MapSample  int
+	Seed       int64
+	Workers    int
+	Kernel     sim.Kernel
+	Obs        obs.Sink
+	Metrics    *obs.Registry
 }
 
 // memoCell is one singleflight cache slot: the first caller computes,
@@ -109,7 +70,7 @@ func (mm *memoMap[V]) do(key string, fn func() (V, error)) (V, error) {
 // concurrent use; independent simulations run on a bounded worker pool
 // sized by Options.Workers.
 type Runner struct {
-	opts  Options
+	opts  config
 	names []string
 
 	// ctx cancels the runner: ForEach stops scheduling and in-flight
@@ -149,8 +110,9 @@ func NewRunner(opts ...Option) *Runner {
 	return r
 }
 
-// Options returns the runner's options.
-func (r *Runner) Options() Options { return r.opts }
+// Scale returns the system scale the runner's workloads and hardware
+// presets are built at.
+func (r *Runner) Scale() workloads.Scale { return r.opts.Scale }
 
 // Workers returns the effective worker-pool size.
 func (r *Runner) Workers() int {
@@ -183,9 +145,6 @@ func (r *Runner) logf(format string, args ...any) {
 func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
 	if r.opts.Kernel != sim.KernelDefault {
 		cfg.Kernel = r.opts.Kernel
-	}
-	if r.opts.NoEventSkip {
-		cfg.NoEventSkip = true
 	}
 	if r.opts.Obs != nil {
 		cfg.Obs = obs.Tee(cfg.Obs, r.opts.Obs)

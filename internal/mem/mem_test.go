@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+
+	"mnpusim/internal/clock"
 )
 
 func TestKindAndClassStrings(t *testing.T) {
@@ -25,7 +27,7 @@ func TestRequestString(t *testing.T) {
 
 func TestCompleteInvokesCallbackOnce(t *testing.T) {
 	n := 0
-	r := &Request{Done: func(now int64, rr *Request) {
+	r := &Request{Done: func(now clock.Global, rr *Request) {
 		n++
 		if now != 42 {
 			t.Errorf("callback now = %d, want 42", now)

@@ -10,7 +10,11 @@
 // the paper's +DW / +DWT configurations.
 package mmu
 
-import "fmt"
+import (
+	"fmt"
+
+	"mnpusim/internal/clock"
+)
 
 // PageSize is a supported translation granule. The paper evaluates 4 KB
 // (4-level walk), 64 KB (3-level), and 1 MB (2-level), based on ARM64
@@ -205,10 +209,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// EffectiveWalkLatency resolves the per-level walk cost.
-func (c Config) EffectiveWalkLatency() int64 {
+// EffectiveWalkLatency resolves the per-level walk cost, a duration on
+// the global clock.
+func (c Config) EffectiveWalkLatency() clock.Global {
 	if c.WalkLatencyPerLevel > 0 {
-		return int64(c.WalkLatencyPerLevel)
+		return clock.Global(c.WalkLatencyPerLevel)
 	}
 	return 50
 }

@@ -3,6 +3,7 @@ package mmu
 import (
 	"fmt"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/obs"
@@ -12,7 +13,7 @@ import (
 // *dram.Memory satisfies it.
 type Backend interface {
 	CanAccept(core int, addr uint64) bool
-	Enqueue(now int64, r *mem.Request) bool
+	Enqueue(now clock.Global, r *mem.Request) bool
 }
 
 // CoreStats aggregates per-core translation counters.
@@ -65,7 +66,7 @@ type MMU struct {
 	rrNext int
 
 	// Per-cycle TLB port accounting.
-	portCycle int64
+	portCycle clock.Global
 	portUsed  []int
 
 	// obs, if non-nil, receives structured probe events (TLB hit/miss,
@@ -149,7 +150,7 @@ func (m *MMU) Stats(core int) CoreStats { return m.stats[core] }
 // pending-walk limit reached for a new page); the caller retries later.
 //
 //lint:allow wakecontract audited stimulus seam: under the event kernel every core submits through sim.wakeSubmitter, which re-arms the MMU at the next global cycle on success
-func (m *MMU) Submit(now int64, r *mem.Request) bool {
+func (m *MMU) Submit(now clock.Global, r *mem.Request) bool {
 	core := r.Core
 	if m.cfg.Disabled {
 		r.Addr = m.tables[core].Translate(r.VAddr)
@@ -218,7 +219,7 @@ func (m *MMU) Submit(now int64, r *mem.Request) bool {
 // Tick advances the MMU by one global cycle: dispatch queued walks to
 // free walkers, progress active walks, and drain translated requests
 // into the backend.
-func (m *MMU) Tick(now int64) {
+func (m *MMU) Tick(now clock.Global) {
 	if !m.cfg.Disabled {
 		m.dispatchWalks(now)
 		m.progressWalks(now)
@@ -229,7 +230,7 @@ func (m *MMU) Tick(now int64) {
 // dispatchWalks grants walkers to queued walks in arrival order,
 // skipping cores that cannot take a walker right now (they keep their
 // queue position).
-func (m *MMU) dispatchWalks(now int64) {
+func (m *MMU) dispatchWalks(now clock.Global) {
 	if len(m.walkFIFO) == 0 {
 		return
 	}
@@ -268,7 +269,7 @@ func (m *MMU) dispatchWalks(now int64) {
 		ppn, ptes := m.tables[wr.core].Walk(wr.vpn)
 		job := &walkJob{core: wr.core, vpn: wr.vpn, ppn: ppn, pteAddrs: ptes, startedAt: now, owner: owner}
 		if m.cfg.WalkMemory == FixedWalkLatency {
-			job.readyAt = now + int64(len(ptes))*m.cfg.EffectiveWalkLatency()
+			job.readyAt = now + clock.Global(len(ptes))*m.cfg.EffectiveWalkLatency()
 		}
 		m.active = append(m.active, job)
 		if m.obs != nil {
@@ -289,7 +290,7 @@ func (m *MMU) freeWalkers() int {
 // completes walks whose deadline has passed; under DRAMBackedWalks it
 // issues the next dependent PTE read for every walker that is not
 // waiting on DRAM.
-func (m *MMU) progressWalks(now int64) {
+func (m *MMU) progressWalks(now clock.Global) {
 	out := m.active[:0]
 	for _, job := range m.active {
 		if m.cfg.WalkMemory == FixedWalkLatency {
@@ -322,7 +323,7 @@ func (m *MMU) progressWalks(now int64) {
 			Size:  8,
 			Kind:  mem.Read,
 			Class: mem.PageTable,
-			Done: func(int64, *mem.Request) {
+			Done: func(clock.Global, *mem.Request) {
 				j.waiting = false
 				j.level++
 			},
@@ -335,8 +336,8 @@ func (m *MMU) progressWalks(now int64) {
 	m.active = out
 }
 
-func (m *MMU) completeWalk(now int64, job *walkJob) {
-	lat := now - job.startedAt
+func (m *MMU) completeWalk(now clock.Global, job *walkJob) {
+	lat := (now - job.startedAt).Int64()
 	st := &m.stats[job.core]
 	st.Walks++
 	st.WalkCycles += lat
@@ -385,7 +386,7 @@ const drainWindow = 32
 // system frees exactly one slot every k cycles and k is a multiple of
 // the core count, per-cycle rotation would hand every slot to the same
 // core forever (a parity lock a deterministic simulator cannot escape).
-func (m *MMU) drainIssueQueues(now int64) {
+func (m *MMU) drainIssueQueues(now clock.Global) {
 	n := m.cfg.Cores
 	blocked := make([]bool, n)
 	for {
@@ -410,7 +411,7 @@ func (m *MMU) drainIssueQueues(now int64) {
 
 // drainOne admits the oldest admissible request (within drainWindow) of
 // core's issue queue into the backend.
-func (m *MMU) drainOne(now int64, core int) bool {
+func (m *MMU) drainOne(now clock.Global, core int) bool {
 	q := &m.issueQ[core]
 	limit := min(q.Len(), drainWindow)
 	for i := 0; i < limit; i++ {
@@ -428,7 +429,7 @@ func (m *MMU) drainOne(now int64, core int) bool {
 // cycle-by-cycle (now+1); fixed-latency walks sleep until their
 // deadline; walks waiting on a DRAM PTE read are woken by the memory
 // completion, which the DRAM's own NextEventAfter bounds.
-func (m *MMU) NextEventAfter(now int64) int64 {
+func (m *MMU) NextEventAfter(now clock.Global) clock.Global {
 	if len(m.walkFIFO) > 0 {
 		return now + 1
 	}
@@ -437,7 +438,7 @@ func (m *MMU) NextEventAfter(now int64) int64 {
 			return now + 1
 		}
 	}
-	next := int64(1) << 62
+	var next clock.Global = clock.FarFuture
 	for _, job := range m.active {
 		if m.cfg.WalkMemory == FixedWalkLatency {
 			if job.readyAt <= now {
@@ -459,7 +460,7 @@ func (m *MMU) NextEventAfter(now int64) int64 {
 // accounting is keyed to the absolute cycle of the first Submit, and
 // every deadline (walk readyAt) is absolute. It exists to complete the
 // NextEventAfter/SkipTo fast-forward protocol.
-func (m *MMU) SkipTo(now int64) {}
+func (m *MMU) SkipTo(now clock.Global) {}
 
 // Busy reports whether the MMU holds any pending work.
 func (m *MMU) Busy() bool {

@@ -3,15 +3,16 @@ package mmu
 import (
 	"testing"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/mem"
 )
 
 // fakeBackend completes every request after a fixed delay, optionally
 // refusing admission to exercise backpressure.
 type fakeBackend struct {
-	delay   int64
+	delay   clock.Global
 	pending []struct {
-		at int64
+		at clock.Global
 		r  *mem.Request
 	}
 	accepted []*mem.Request
@@ -20,19 +21,19 @@ type fakeBackend struct {
 
 func (f *fakeBackend) CanAccept(core int, addr uint64) bool { return !f.refuse }
 
-func (f *fakeBackend) Enqueue(now int64, r *mem.Request) bool {
+func (f *fakeBackend) Enqueue(now clock.Global, r *mem.Request) bool {
 	if f.refuse {
 		return false
 	}
 	f.accepted = append(f.accepted, r)
 	f.pending = append(f.pending, struct {
-		at int64
+		at clock.Global
 		r  *mem.Request
 	}{now + f.delay, r})
 	return true
 }
 
-func (f *fakeBackend) tick(now int64) {
+func (f *fakeBackend) tick(now clock.Global) {
 	out := f.pending[:0]
 	for _, p := range f.pending {
 		if p.at <= now {
@@ -71,10 +72,10 @@ func newTestMMU(t *testing.T, cfg Config, backend Backend) *MMU {
 	return m
 }
 
-func dataReq(core int, va uint64, done *int64) *mem.Request {
+func dataReq(core int, va uint64, done *clock.Global) *mem.Request {
 	return &mem.Request{
 		Core: core, VAddr: va, Size: 64, Kind: mem.Read, Class: mem.Data,
-		Done: func(now int64, _ *mem.Request) {
+		Done: func(now clock.Global, _ *mem.Request) {
 			if done != nil {
 				*done = now
 			}
@@ -83,9 +84,9 @@ func dataReq(core int, va uint64, done *int64) *mem.Request {
 }
 
 // runMMU drives the MMU and backend until the predicate holds.
-func runMMU(t *testing.T, m *MMU, b *fakeBackend, limit int64, until func() bool) int64 {
+func runMMU(t *testing.T, m *MMU, b *fakeBackend, limit clock.Global, until func() bool) clock.Global {
 	t.Helper()
-	for now := int64(0); now < limit; now++ {
+	for now := clock.Global(0); now < limit; now++ {
 		b.tick(now)
 		m.Tick(now)
 		if until() {
@@ -152,7 +153,7 @@ func TestEffectiveWalkerBounds(t *testing.T) {
 func TestMissWalksThenHits(t *testing.T) {
 	b := &fakeBackend{delay: 5}
 	m := newTestMMU(t, testMMUConfig(1), b)
-	var done int64 = -1
+	var done clock.Global = -1
 	if !m.Submit(0, dataReq(0, 0x1000, &done)) {
 		t.Fatal("submit refused")
 	}
@@ -186,7 +187,7 @@ func TestCoalescedMissesShareOneWalk(t *testing.T) {
 	b := &fakeBackend{delay: 3}
 	m := newTestMMU(t, testMMUConfig(1), b)
 	completed := 0
-	count := func(int64, *mem.Request) { completed++ }
+	count := func(clock.Global, *mem.Request) { completed++ }
 	for i := 0; i < 4; i++ {
 		r := &mem.Request{Core: 0, VAddr: uint64(0x2000 + i*64), Size: 64, Kind: mem.Read, Done: count}
 		if !m.Submit(0, r) {
@@ -255,7 +256,7 @@ func TestDisabledModeForwardsImmediately(t *testing.T) {
 	cfg.Disabled = true
 	b := &fakeBackend{delay: 2}
 	m := newTestMMU(t, cfg, b)
-	var done int64 = -1
+	var done clock.Global = -1
 	if !m.Submit(0, dataReq(0, 0x5000, &done)) {
 		t.Fatal("submit refused")
 	}
@@ -278,7 +279,7 @@ func TestWalkerBandwidthLimitsThroughput(t *testing.T) {
 	completed := 0
 	for i := 0; i < 8; i++ {
 		r := dataReq(0, uint64(0x100000+i*4096), nil)
-		r.Done = func(int64, *mem.Request) { completed++ }
+		r.Done = func(clock.Global, *mem.Request) { completed++ }
 		if !m.Submit(0, r) {
 			t.Fatalf("submit %d refused", i)
 		}
@@ -297,7 +298,7 @@ func TestDRAMBackedWalkIssuesPTEReads(t *testing.T) {
 	cfg.WalkMemory = DRAMBackedWalks
 	b := &fakeBackend{delay: 4}
 	m := newTestMMU(t, cfg, b)
-	var done int64 = -1
+	var done clock.Global = -1
 	m.Submit(0, dataReq(0, 0x1000, &done))
 	runMMU(t, m, b, 10000, func() bool { return done >= 0 })
 	ptReads := 0
@@ -319,7 +320,7 @@ func TestDRAMBackedWalkLevelsAreSequential(t *testing.T) {
 	cfg.WalkMemory = DRAMBackedWalks
 	b := &fakeBackend{delay: 7}
 	m := newTestMMU(t, cfg, b)
-	var done int64 = -1
+	var done clock.Global = -1
 	m.Submit(0, dataReq(0, 0x1000, &done))
 	end := runMMU(t, m, b, 10000, func() bool { return done >= 0 })
 	// Four dependent reads at >= 7 cycles each.
@@ -346,9 +347,9 @@ func TestSharedTLBAcrossCores(t *testing.T) {
 func TestBackpressurePreservesRequests(t *testing.T) {
 	b := &fakeBackend{delay: 1, refuse: true}
 	m := newTestMMU(t, testMMUConfig(1), b)
-	var done int64 = -1
+	var done clock.Global = -1
 	m.Submit(0, dataReq(0, 0x1000, &done))
-	for now := int64(0); now < 300; now++ {
+	for now := clock.Global(0); now < 300; now++ {
 		b.tick(now)
 		m.Tick(now)
 	}
@@ -367,7 +368,7 @@ func TestRequestTranslationSetsPhysicalAddr(t *testing.T) {
 	m := newTestMMU(t, testMMUConfig(1), b)
 	var got *mem.Request
 	r := &mem.Request{Core: 0, VAddr: 0x1234, Size: 64, Kind: mem.Read,
-		Done: func(_ int64, rr *mem.Request) { got = rr }}
+		Done: func(_ clock.Global, rr *mem.Request) { got = rr }}
 	m.Submit(0, r)
 	runMMU(t, m, b, 10000, func() bool { return got != nil })
 	if got.Addr&0xFFF != 0x234 {
@@ -394,7 +395,7 @@ func TestDWSStealingEndToEnd(t *testing.T) {
 	// One translation-hungry core and one idle core: under DWS the
 	// busy core borrows the idle core's walkers and finishes faster
 	// than with static home walkers only.
-	run := func(policy WalkerSharePolicy) int64 {
+	run := func(policy WalkerSharePolicy) clock.Global {
 		cfg := testMMUConfig(2)
 		cfg.WalkerPolicy = policy
 		cfg.TLBPortsPerCycle = 16
@@ -403,7 +404,7 @@ func TestDWSStealingEndToEnd(t *testing.T) {
 		completed := 0
 		for i := 0; i < 8; i++ {
 			r := dataReq(0, uint64(0x100000+i*4096), nil)
-			r.Done = func(int64, *mem.Request) { completed++ }
+			r.Done = func(clock.Global, *mem.Request) { completed++ }
 			if !m.Submit(0, r) {
 				t.Fatalf("submit %d refused", i)
 			}
@@ -431,7 +432,7 @@ func TestDWSStealingProtectsOwnerBursts(t *testing.T) {
 		for i := 0; i < 6; i++ {
 			c := core
 			r := dataReq(core, uint64(0x100000+i*4096), nil)
-			r.Done = func(int64, *mem.Request) { done[c]++ }
+			r.Done = func(clock.Global, *mem.Request) { done[c]++ }
 			if !m.Submit(0, r) {
 				t.Fatalf("submit refused")
 			}
@@ -450,14 +451,14 @@ func TestDWSStealingProtectsOwnerBursts(t *testing.T) {
 // the periodic-service pattern that can parity-lock a per-cycle
 // round-robin arbiter.
 type slotBackend struct {
-	period   int64
-	lastAt   int64
+	period   clock.Global
+	lastAt   clock.Global
 	admitted map[int]int
 }
 
 func (s *slotBackend) CanAccept(core int, addr uint64) bool { return true }
 
-func (s *slotBackend) Enqueue(now int64, r *mem.Request) bool {
+func (s *slotBackend) Enqueue(now clock.Global, r *mem.Request) bool {
 	if now-s.lastAt < s.period {
 		return false
 	}
@@ -478,7 +479,7 @@ func TestDrainIsGrantFairUnderPeriodicSlots(t *testing.T) {
 		m.Submit(0, dataReq(0, uint64(i*64), nil))
 		m.Submit(0, dataReq(1, uint64(i*64), nil))
 	}
-	for now := int64(0); now < 400; now++ {
+	for now := clock.Global(0); now < 400; now++ {
 		m.Tick(now)
 	}
 	a, c := b.admitted[0], b.admitted[1]

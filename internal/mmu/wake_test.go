@@ -6,12 +6,13 @@ import (
 	"reflect"
 	"testing"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/mem"
 )
 
 // issueEvent is one translated request arriving at the backend.
 type issueEvent struct {
-	Cycle int64
+	Cycle clock.Global
 	Core  int
 	VAddr uint64
 	Addr  uint64
@@ -25,7 +26,7 @@ type recordingBackend struct {
 
 func (b *recordingBackend) CanAccept(core int, addr uint64) bool { return true }
 
-func (b *recordingBackend) Enqueue(now int64, r *mem.Request) bool {
+func (b *recordingBackend) Enqueue(now clock.Global, r *mem.Request) bool {
 	b.events = append(b.events, issueEvent{Cycle: now, Core: r.Core, VAddr: r.VAddr, Addr: r.Addr})
 	return true
 }
@@ -48,11 +49,11 @@ func TestMMUWakeContract(t *testing.T) {
 			ref := newTestMMU(t, cfg, &refBack)
 			wake := newTestMMU(t, cfg, &wakeBack)
 
-			const far = int64(1) << 62
-			armed := int64(0)
+			const far = clock.Global(clock.FarFuture)
+			armed := clock.Global(0)
 
 			const cycles = 30_000
-			for now := int64(0); now < cycles || ref.Busy() || wake.Busy(); now++ {
+			for now := clock.Global(0); now < cycles || ref.Busy() || wake.Busy(); now++ {
 				ref.Tick(now)
 				if armed <= now {
 					wake.Tick(now)

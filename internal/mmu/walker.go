@@ -1,6 +1,9 @@
 package mmu
 
-import "mnpusim/internal/invariant"
+import (
+	"mnpusim/internal/clock"
+	"mnpusim/internal/invariant"
+)
 
 // walkJob tracks one in-flight page-table walk. The walker issues one
 // PTE read per level, serially — level i+1's node address depends on the
@@ -13,9 +16,9 @@ type walkJob struct {
 	pteAddrs  []uint64
 	level     int // next level to issue (DRAM-backed mode)
 	waiting   bool
-	startedAt int64
+	startedAt clock.Global
 	// readyAt is the completion cycle under FixedWalkLatency.
-	readyAt int64
+	readyAt clock.Global
 	// owner is the home core of the walker servicing this job (equals
 	// core except under DWS stealing).
 	owner int
@@ -25,7 +28,7 @@ type walkJob struct {
 type walkRequest struct {
 	core int
 	vpn  uint64
-	at   int64
+	at   clock.Global
 }
 
 // walkerPool manages the shared or partitioned page-table walkers.

@@ -13,7 +13,7 @@ import (
 // Submitter accepts virtually addressed requests from the DMA engine;
 // *mmu.MMU satisfies it.
 type Submitter interface {
-	Submit(now int64, r *mem.Request) bool
+	Submit(now clock.Global, r *mem.Request) bool
 }
 
 // Stats aggregates a core's execution counters. Cycle counts are in the
@@ -58,7 +58,7 @@ type Core struct {
 	mmu   Submitter
 	ids   *mem.IDAllocator
 
-	localDone int64
+	localDone clock.Local
 
 	// Load pipeline. loadedThrough is the last fully loaded tile.
 	loadTile      int
@@ -69,7 +69,7 @@ type Core struct {
 
 	// Compute pipeline.
 	computeTile int
-	computeRem  int64
+	computeRem  clock.Local
 	computeInit bool
 
 	// Store pipeline: emitters for completed tiles, drained in order.
@@ -82,7 +82,7 @@ type Core struct {
 
 	// OnIssue, if non-nil, observes every request the DMA issues
 	// (before translation), on the global clock.
-	OnIssue func(now int64, r *mem.Request)
+	OnIssue func(now clock.Global, r *mem.Request)
 
 	// Obs, if non-nil, receives structured probe events (tile start and
 	// finish, SPM double-buffer swaps, DMA issue/complete, iteration
@@ -91,7 +91,7 @@ type Core struct {
 	// driver ticks a delayed core with now-start, so event timestamps add
 	// the start back. Observation never alters execution.
 	Obs            obs.Sink
-	ObsCycleOffset int64
+	ObsCycleOffset clock.Global
 
 	stats Stats
 }
@@ -137,7 +137,7 @@ func (c *Core) FinishedFirstIteration() bool { return c.finishedFirst }
 // Tick advances the core to global cycle now: it processes the local
 // cycles that elapsed since the previous tick, advancing compute and
 // issuing DMA requests.
-func (c *Core) Tick(now int64) {
+func (c *Core) Tick(now clock.Global) {
 	targetLocal := c.dom.LocalFloor(now + 1)
 	elapsed := targetLocal - c.localDone
 	if invariant.Enabled {
@@ -151,26 +151,29 @@ func (c *Core) Tick(now int64) {
 	c.advanceCompute(elapsed)
 	c.issueDMA(now, elapsed)
 	c.localDone = targetLocal
-	c.stats.LocalCycles = c.localDone
+	c.stats.LocalCycles = c.localDone.Int64()
 	c.checkIterationEnd(now)
 }
 
 // obsGlobal maps a core-local cycle onto the true global timeline.
-func (c *Core) obsGlobal(localCycle int64) int64 {
+func (c *Core) obsGlobal(localCycle clock.Local) clock.Global {
 	return c.dom.ToGlobal(localCycle) + c.ObsCycleOffset
 }
 
 // advanceCompute spends up to elapsed local cycles on the systolic
 // array, possibly completing several small tiles.
-func (c *Core) advanceCompute(elapsed int64) {
+func (c *Core) advanceCompute(elapsed clock.Local) {
 	rem := elapsed
 	for rem > 0 {
 		if c.computeTile >= len(c.sched.Tasks) || c.loadedThrough < c.computeTile {
-			c.stats.LoadStallCycles += rem
+			c.stats.LoadStallCycles += rem.Int64()
 			return
 		}
 		if !c.computeInit {
-			c.computeRem = c.sched.Tasks[c.computeTile].ComputeCycles
+			// The schedule's tile costs are plain int64 durations; this is
+			// where they enter the typed local-clock domain.
+			//lint:allow cycletypes tile.Task.ComputeCycles is a validated local-cycle duration from the cost model
+			c.computeRem = clock.Local(c.sched.Tasks[c.computeTile].ComputeCycles)
 			c.computeInit = true
 			if c.Obs != nil {
 				c.Obs.Emit(obs.Event{Cycle: c.obsGlobal(c.localDone + (elapsed - rem)), Kind: obs.KindTileStart,
@@ -180,7 +183,7 @@ func (c *Core) advanceCompute(elapsed int64) {
 		step := min(rem, c.computeRem)
 		c.computeRem -= step
 		rem -= step
-		c.stats.ComputeBusyCycles += step
+		c.stats.ComputeBusyCycles += step.Int64()
 		if c.computeRem == 0 {
 			c.completeTile(elapsed - rem)
 		}
@@ -189,11 +192,11 @@ func (c *Core) advanceCompute(elapsed int64) {
 
 // completeTile finishes the current compute tile at local offset `at`
 // within this tick.
-func (c *Core) completeTile(at int64) {
+func (c *Core) completeTile(at clock.Local) {
 	t := &c.sched.Tasks[c.computeTile]
 	if !c.finishedFirst {
 		c.stats.FirstIterMACs += t.MACs
-		c.stats.LayerEndCycles[t.Layer] = c.localDone + at
+		c.stats.LayerEndCycles[t.Layer] = (c.localDone + at).Int64()
 	}
 	if len(t.Stores) > 0 {
 		c.storeQueue = append(c.storeQueue, newEmitter(t.Stores, c.arch.BlockBytes))
@@ -208,9 +211,9 @@ func (c *Core) completeTile(at int64) {
 
 // issueDMA hands up to elapsed*DMAIssuePerCycle requests to the MMU,
 // loads first (they gate compute), stores opportunistically.
-func (c *Core) issueDMA(now int64, elapsed int64) {
+func (c *Core) issueDMA(now clock.Global, elapsed clock.Local) {
 	c.advanceLoadWindow(now)
-	allow := elapsed * int64(c.arch.DMAIssuePerCycle)
+	allow := elapsed.Int64() * int64(c.arch.DMAIssuePerCycle)
 	for allow > 0 && c.inflight < c.arch.DMAMaxInflight {
 		if c.pendingReq == nil {
 			c.pendingReq = c.nextRequest()
@@ -289,7 +292,7 @@ func (c *Core) buildRequest(addr uint64, kind mem.Kind, tileIdx int) *mem.Reques
 	if tileIdx >= 0 {
 		r.Layer = c.sched.Tasks[tileIdx].Layer
 	}
-	r.Done = func(done int64, _ *mem.Request) {
+	r.Done = func(done clock.Global, _ *mem.Request) {
 		c.inflight--
 		if kind == mem.Read {
 			c.loadInflight--
@@ -309,7 +312,7 @@ func (c *Core) buildRequest(addr uint64, kind mem.Kind, tileIdx int) *mem.Reques
 // advanceLoadWindow marks the current load tile complete when all its
 // requests returned, and opens the next tile if the double-buffer window
 // (computeTile+1) allows.
-func (c *Core) advanceLoadWindow(now int64) {
+func (c *Core) advanceLoadWindow(now clock.Global) {
 	for c.loadTile < len(c.sched.Tasks) &&
 		c.loadTile <= c.loadWindow() &&
 		c.loadEmit.done() &&
@@ -341,7 +344,7 @@ func (c *Core) advanceLoadWindow(now int64) {
 // checkIterationEnd detects the end of one full inference (all tiles
 // computed, all stores drained) and restarts the schedule so the core
 // keeps generating co-runner contention.
-func (c *Core) checkIterationEnd(now int64) {
+func (c *Core) checkIterationEnd(now clock.Global) {
 	if c.computeTile < len(c.sched.Tasks) ||
 		len(c.storeQueue) > 0 || c.storeInflight > 0 ||
 		c.loadInflight > 0 || c.pendingReq != nil {
@@ -354,7 +357,7 @@ func (c *Core) checkIterationEnd(now int64) {
 	}
 	if !c.finishedFirst {
 		c.finishedFirst = true
-		c.stats.FirstIterCycles = c.localDone
+		c.stats.FirstIterCycles = c.localDone.Int64()
 	}
 	c.computeTile = 0
 	c.computeInit = false
@@ -393,7 +396,7 @@ func (c *Core) HasIssuableWork() bool {
 // needs ticking: immediately if it can issue requests, at compute
 // completion if it is purely computing, or far in the future if it only
 // waits on memory responses.
-func (c *Core) NextEventAfter(now int64) int64 {
+func (c *Core) NextEventAfter(now clock.Global) clock.Global {
 	if c.HasIssuableWork() {
 		return now + 1
 	}
@@ -412,7 +415,7 @@ func (c *Core) NextEventAfter(now int64) int64 {
 		return c.dom.ToGlobal(c.localDone+c.computeRem) - 1
 	}
 	if c.inflight > 0 {
-		return 1 << 62 // memory callbacks will create work
+		return clock.FarFuture // memory callbacks will create work
 	}
 	return now + 1 // iteration restart
 }
@@ -424,7 +427,7 @@ func (c *Core) NextEventAfter(now int64) int64 {
 // core's NextEventAfter, which makes both properties hold: the local
 // target LocalFloor(now) is strictly before the pending completion, and
 // HasIssuableWork was false with no memory callback in the window.
-func (c *Core) SkipTo(now int64) {
+func (c *Core) SkipTo(now clock.Global) {
 	targetLocal := c.dom.LocalFloor(now)
 	elapsed := targetLocal - c.localDone
 	if elapsed <= 0 {
@@ -441,7 +444,7 @@ func (c *Core) SkipTo(now int64) {
 			c.id, tileBefore, now)
 	}
 	c.localDone = targetLocal
-	c.stats.LocalCycles = c.localDone
+	c.stats.LocalCycles = c.localDone.Int64()
 }
 
 // DebugState summarizes the pipeline state for diagnostics.

@@ -127,34 +127,34 @@ func TestQuickEmitterCoverage(t *testing.T) {
 // recordingSubmitter accepts requests and completes them after a fixed
 // delay when ticked; it records issue times for overlap checks.
 type recordingSubmitter struct {
-	delay   int64
+	delay   clock.Global
 	pending []struct {
-		at int64
+		at clock.Global
 		r  *mem.Request
 	}
 	issues []struct {
-		at   int64
+		at   clock.Global
 		kind mem.Kind
 	}
 	refuse bool
 }
 
-func (s *recordingSubmitter) Submit(now int64, r *mem.Request) bool {
+func (s *recordingSubmitter) Submit(now clock.Global, r *mem.Request) bool {
 	if s.refuse {
 		return false
 	}
 	s.issues = append(s.issues, struct {
-		at   int64
+		at   clock.Global
 		kind mem.Kind
 	}{now, r.Kind})
 	s.pending = append(s.pending, struct {
-		at int64
+		at clock.Global
 		r  *mem.Request
 	}{now + s.delay, r})
 	return true
 }
 
-func (s *recordingSubmitter) tick(now int64) {
+func (s *recordingSubmitter) tick(now clock.Global) {
 	out := s.pending[:0]
 	for _, p := range s.pending {
 		if p.at <= now {
@@ -201,9 +201,9 @@ func newTestCore(t *testing.T, sub Submitter) (*Core, ArchConfig) {
 
 // runCore drives a core and its submitter until the first iteration
 // completes.
-func runCore(t *testing.T, c *Core, s *recordingSubmitter, limit int64) int64 {
+func runCore(t *testing.T, c *Core, s *recordingSubmitter, limit clock.Global) clock.Global {
 	t.Helper()
-	for now := int64(0); now < limit; now++ {
+	for now := clock.Global(0); now < limit; now++ {
 		s.tick(now)
 		c.Tick(now)
 		if c.FinishedFirstIteration() {
@@ -249,7 +249,7 @@ func TestCoreLoopsAfterFirstIteration(t *testing.T) {
 	end := runCore(t, c, s, 1_000_000)
 	first := c.Stats().FirstIterCycles
 	// Run for another full iteration's worth of cycles.
-	for now := end + 1; now < end+2*first+1000; now++ {
+	for now := end + 1; now < end+2*clock.Global(first)+1000; now++ {
 		s.tick(now)
 		c.Tick(now)
 	}
@@ -284,7 +284,7 @@ func TestDoubleBufferingOverlapsLoadAndCompute(t *testing.T) {
 func TestCoreRespectsSubmitBackpressure(t *testing.T) {
 	s := &recordingSubmitter{delay: 1, refuse: true}
 	c, _ := newTestCore(t, s)
-	for now := int64(0); now < 1000; now++ {
+	for now := clock.Global(0); now < 1000; now++ {
 		s.tick(now)
 		c.Tick(now)
 	}
@@ -296,7 +296,7 @@ func TestCoreRespectsSubmitBackpressure(t *testing.T) {
 	}
 	// Un-refuse: execution proceeds, and no request was lost.
 	s.refuse = false
-	for now := int64(1000); now < 2_000_000 && !c.FinishedFirstIteration(); now++ {
+	for now := clock.Global(1000); now < 2_000_000 && !c.FinishedFirstIteration(); now++ {
 		s.tick(now)
 		c.Tick(now)
 	}
@@ -309,7 +309,7 @@ func TestCoreDMAIssueRateBounded(t *testing.T) {
 	s := &recordingSubmitter{delay: 3}
 	c, arch := newTestCore(t, s)
 	runCore(t, c, s, 1_000_000)
-	perCycle := map[int64]int{}
+	perCycle := map[clock.Global]int{}
 	for _, is := range s.issues {
 		perCycle[is.at]++
 	}
@@ -324,7 +324,7 @@ func TestCoreNextEventAfterComputePhase(t *testing.T) {
 	s := &recordingSubmitter{delay: 1}
 	c, _ := newTestCore(t, s)
 	// Drive until the core is computing with nothing to issue.
-	for now := int64(0); now < 100000; now++ {
+	for now := clock.Global(0); now < 100000; now++ {
 		s.tick(now)
 		c.Tick(now)
 		if !c.HasIssuableWork() && len(s.pending) == 0 && !c.FinishedFirstIteration() {
@@ -349,7 +349,7 @@ func TestNewCoreRejectsEmptySchedule(t *testing.T) {
 func TestSlowCoreClockStretchesLatency(t *testing.T) {
 	// The same schedule on a half-speed core takes about twice as many
 	// global cycles when compute-bound.
-	run := func(freq clock.Hz) int64 {
+	run := func(freq clock.Hz) clock.Global {
 		s := &recordingSubmitter{delay: 1}
 		arch := TinyCore()
 		arch.FreqHz = freq
@@ -358,7 +358,7 @@ func TestSlowCoreClockStretchesLatency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for now := int64(0); now < 10_000_000; now++ {
+		for now := clock.Global(0); now < 10_000_000; now++ {
 			s.tick(now)
 			c.Tick(now)
 			if c.FinishedFirstIteration() {

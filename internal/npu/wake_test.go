@@ -15,13 +15,13 @@ import (
 // cycle — the test-side analogue of dram.Memory.OnComplete.
 type wakingSubmitter struct {
 	*recordingSubmitter
-	arm func(at int64)
+	arm func(at clock.Global)
 }
 
-func (s *wakingSubmitter) Submit(now int64, r *mem.Request) bool {
+func (s *wakingSubmitter) Submit(now clock.Global, r *mem.Request) bool {
 	inner := r.Done
 	arm := s.arm
-	r.Done = func(done int64, rr *mem.Request) {
+	r.Done = func(done clock.Global, rr *mem.Request) {
 		if inner != nil {
 			inner(done, rr)
 		}
@@ -43,7 +43,7 @@ func TestCoreWakeContract(t *testing.T) {
 	cases := []struct {
 		name  string
 		freq  clock.Hz
-		delay int64
+		delay clock.Global
 	}{
 		{"1to1-d10", clock.GHz, 10},
 		{"1to1-d37", clock.GHz, 37},
@@ -63,11 +63,11 @@ func TestCoreWakeContract(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			const far = int64(1) << 62
-			armed, last := int64(0), int64(-1)
+			const far = clock.Global(clock.FarFuture)
+			armed, last := clock.Global(0), clock.Global(-1)
 			wakeSub := &wakingSubmitter{
 				recordingSubmitter: &recordingSubmitter{delay: tc.delay},
-				arm: func(at int64) {
+				arm: func(at clock.Global) {
 					if at < armed {
 						armed = at
 					}
@@ -79,8 +79,8 @@ func TestCoreWakeContract(t *testing.T) {
 			}
 
 			const limit = 2_000_000
-			refFinish, wakeFinish := int64(-1), int64(-1)
-			for now := int64(0); now < limit && (refFinish < 0 || wakeFinish < 0); now++ {
+			refFinish, wakeFinish := clock.Global(-1), clock.Global(-1)
+			for now := clock.Global(0); now < limit && (refFinish < 0 || wakeFinish < 0); now++ {
 				refSub.tick(now)
 				if refFinish < 0 {
 					ref.Tick(now)
@@ -110,7 +110,7 @@ func TestCoreWakeContract(t *testing.T) {
 			}
 
 			if refFinish < 0 || wakeFinish < 0 {
-				t.Fatalf("no finish in %d cycles (ref=%d wake=%d)", int64(limit), refFinish, wakeFinish)
+				t.Fatalf("no finish in %d cycles (ref=%d wake=%d)", clock.Global(limit), refFinish, wakeFinish)
 			}
 			if refFinish != wakeFinish {
 				t.Fatalf("finish cycles diverged: ref=%d wake=%d", refFinish, wakeFinish)
@@ -137,9 +137,9 @@ func TestCoreWakeContractRandomizedDelay(t *testing.T) {
 			sched := buildSchedule(t, arch, multiTileNet())
 			dom := clock.NewDomain(arch.FreqHz, clock.GHz)
 
-			mkDelays := func() func() int64 {
+			mkDelays := func() func() clock.Global {
 				rng := rand.New(rand.NewSource(seed))
-				return func() int64 { return 1 + int64(rng.Intn(96)) }
+				return func() clock.Global { return 1 + clock.Global(rng.Intn(96)) }
 			}
 			refSub := &variableSubmitter{next: mkDelays()}
 			ref, err := NewCore(0, arch, sched, dom, refSub, &mem.IDAllocator{})
@@ -147,9 +147,9 @@ func TestCoreWakeContractRandomizedDelay(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			const far = int64(1) << 62
-			armed, last := int64(0), int64(-1)
-			wakeSub := &variableSubmitter{next: mkDelays(), arm: func(at int64) {
+			const far = clock.Global(clock.FarFuture)
+			armed, last := clock.Global(0), clock.Global(-1)
+			wakeSub := &variableSubmitter{next: mkDelays(), arm: func(at clock.Global) {
 				if at < armed {
 					armed = at
 				}
@@ -160,8 +160,8 @@ func TestCoreWakeContractRandomizedDelay(t *testing.T) {
 			}
 
 			const limit = 2_000_000
-			refFinish, wakeFinish := int64(-1), int64(-1)
-			for now := int64(0); now < limit && (refFinish < 0 || wakeFinish < 0); now++ {
+			refFinish, wakeFinish := clock.Global(-1), clock.Global(-1)
+			for now := clock.Global(0); now < limit && (refFinish < 0 || wakeFinish < 0); now++ {
 				refSub.tick(now)
 				if refFinish < 0 {
 					ref.Tick(now)
@@ -206,28 +206,28 @@ func TestCoreWakeContractRandomizedDelay(t *testing.T) {
 // deterministic per-instance stream; with identical streams two
 // instances deliver identical completion schedules.
 type variableSubmitter struct {
-	next    func() int64
+	next    func() clock.Global
 	pending []struct {
-		at int64
+		at clock.Global
 		r  *mem.Request
 	}
 	issues []struct {
-		at   int64
+		at   clock.Global
 		kind mem.Kind
 	}
-	arm func(at int64)
+	arm func(at clock.Global)
 }
 
-func (s *variableSubmitter) Submit(now int64, r *mem.Request) bool {
+func (s *variableSubmitter) Submit(now clock.Global, r *mem.Request) bool {
 	s.issues = append(s.issues, struct {
-		at   int64
+		at   clock.Global
 		kind mem.Kind
 	}{now, r.Kind})
 	at := now + s.next()
 	if s.arm != nil {
 		inner := r.Done
 		arm := s.arm
-		r.Done = func(done int64, rr *mem.Request) {
+		r.Done = func(done clock.Global, rr *mem.Request) {
 			if inner != nil {
 				inner(done, rr)
 			}
@@ -235,13 +235,13 @@ func (s *variableSubmitter) Submit(now int64, r *mem.Request) bool {
 		}
 	}
 	s.pending = append(s.pending, struct {
-		at int64
+		at clock.Global
 		r  *mem.Request
 	}{at, r})
 	return true
 }
 
-func (s *variableSubmitter) tick(now int64) {
+func (s *variableSubmitter) tick(now clock.Global) {
 	out := s.pending[:0]
 	for _, p := range s.pending {
 		if p.at <= now {

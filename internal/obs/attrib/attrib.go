@@ -195,22 +195,22 @@ func (r Report) Validate() error {
 // cycles), plus a display label (the workload name).
 type CoreClock struct {
 	Dom   clock.Domain
-	Start int64
+	Start clock.Global
 	Label string
 }
 
 // coreState is the per-core accumulator.
 type coreState struct {
 	dom   clock.Domain
-	start int64
+	start clock.Global
 	label string
 
 	// lastLocal is the boundary up to which local cycles are attributed:
 	// cycles [0, lastLocal) are already charged.
-	lastLocal int64
+	lastLocal clock.Local
 	buckets   [NumBuckets]int64
 	done      bool
-	total     int64
+	total     clock.Local
 
 	// Occupancy state (see the package comment).
 	computing   bool
@@ -264,25 +264,25 @@ func (s *coreState) bucket() Bucket {
 // state, where local(g) = LocalFloor(g-start) maps the global event
 // cycle back onto the core's local axis (the exact inverse of the
 // probe-site timestamp conversion). Boundaries are clamped monotonic.
-func (s *coreState) advance(g int64) {
+func (s *coreState) advance(g clock.Global) {
 	lb := s.dom.LocalFloor(g - s.start)
 	if lb <= s.lastLocal {
 		return
 	}
-	s.buckets[s.bucket()] += lb - s.lastLocal
+	s.buckets[s.bucket()] += (lb - s.lastLocal).Int64()
 	s.lastLocal = lb
 }
 
 // finalize closes the window at the core's measured first-inference
 // length. g is the global cycle of the phase event, emitted in the same
 // tick that set FirstIterCycles = LocalFloor(g-start+1).
-func (s *coreState) finalize(g int64) {
+func (s *coreState) finalize(g clock.Global) {
 	total := s.dom.LocalFloor(g - s.start + 1)
 	if total < s.lastLocal {
 		total = s.lastLocal
 	}
 	if total > s.lastLocal {
-		s.buckets[s.bucket()] += total - s.lastLocal
+		s.buckets[s.bucket()] += (total - s.lastLocal).Int64()
 		s.lastLocal = total
 	}
 	s.total = total
@@ -293,7 +293,7 @@ func (s *coreState) finalize(g int64) {
 			invariant.Check(v >= 0, "attrib: negative bucket %d", v)
 			sum += v
 		}
-		invariant.Check(sum == s.total,
+		invariant.Check(sum == s.total.Int64(),
 			"attrib: buckets sum to %d, window is %d local cycles", sum, s.total)
 	}
 }
@@ -386,7 +386,7 @@ func (e *Engine) Report() Report {
 		out.Cores[i] = CoreBreakdown{
 			Core:        i,
 			Net:         s.label,
-			TotalCycles: total,
+			TotalCycles: total.Int64(),
 			Compute:     s.buckets[BucketCompute],
 			DRAMQueue:   s.buckets[BucketDRAMQueue],
 			RowConflict: s.buckets[BucketRowConflict],

@@ -9,11 +9,11 @@ import (
 )
 
 // ev is a compact event constructor for synthetic streams.
-func ev(kind obs.Kind, cycle int64, core int32, a, b int64) obs.Event {
+func ev(kind obs.Kind, cycle clock.Global, core int32, a, b int64) obs.Event {
 	return obs.Event{Cycle: cycle, Kind: kind, Core: core, A: a, B: b}
 }
 
-func phase(cycle int64, core int32) obs.Event {
+func phase(cycle clock.Global, core int32) obs.Event {
 	return obs.Event{Cycle: cycle, Kind: obs.KindPhase, Core: core, Str: obs.PhaseFirstInference}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"mnpusim/internal/clock"
 )
 
 // Track layout of the Chrome trace export. Each simulated component
@@ -164,7 +166,7 @@ func (t *ChromeTrace) ensureSimTracks() {
 // simulation stops, at the final cycle, so the exported trace always
 // has balanced spans. Iteration is sorted so identical runs produce
 // byte-identical traces.
-func (t *ChromeTrace) closeOpenSpans(ts int64) {
+func (t *ChromeTrace) closeOpenSpans(ts clock.Global) {
 	var cores []int32
 	for core, depth := range t.openTiles {
 		if depth > 0 {
@@ -205,12 +207,12 @@ func (t *ChromeTrace) closeOpenSpans(ts int64) {
 }
 
 // instant writes a thread-scoped instant event.
-func (t *ChromeTrace) instant(name string, pid, tid int, ts int64) {
+func (t *ChromeTrace) instant(name string, pid, tid int, ts clock.Global) {
 	t.raw(`{"ph":"i","s":"t","name":%q,"pid":%d,"tid":%d,"ts":%d}`, name, pid, tid, ts)
 }
 
 // counter writes a counter sample. Counters are keyed by (pid, name).
-func (t *ChromeTrace) counter(name string, pid int, ts, value int64) {
+func (t *ChromeTrace) counter(name string, pid int, ts clock.Global, value int64) {
 	t.raw(`{"ph":"C","name":%q,"pid":%d,"ts":%d,"args":{"v":%d}}`, name, pid, ts, value)
 }
 

@@ -23,7 +23,11 @@
 // tracks share one timeline.
 package obs
 
-import "sync"
+import (
+	"sync"
+
+	"mnpusim/internal/clock"
+)
 
 // Kind is the type of a probe event. The payload fields A and B are
 // kind-specific; see the comment on each constant.
@@ -151,7 +155,7 @@ func (k Kind) String() string {
 // an event allocates nothing beyond what the consuming sink does.
 type Event struct {
 	// Cycle is the global (DRAM-clock) cycle of the event.
-	Cycle int64
+	Cycle clock.Global
 	Kind  Kind
 	// Core is the originating core index, or -1 for system events.
 	Core int32

@@ -23,7 +23,7 @@ type jobProgress struct {
 
 // Emit implements obs.Sink.
 func (p *jobProgress) Emit(e obs.Event) {
-	p.cycle.Store(e.Cycle)
+	p.cycle.Store(e.Cycle.Int64())
 	switch e.Kind {
 	case obs.KindSkipWindow:
 		p.skips.Add(1)

@@ -65,10 +65,11 @@ func checkAttributionExact(t *testing.T, cfg Config) {
 	}
 }
 
-// TestAttributionIdenticalWithAndWithoutEventSkip pins the local-cycle
-// partition against the fast-forward layer: skipped windows suppress no
-// probe events, so the breakdown must be identical cycle for cycle.
-func TestAttributionIdenticalWithAndWithoutEventSkip(t *testing.T) {
+// TestAttributionIdenticalAcrossKernels pins the local-cycle partition
+// against the simulation driver: neither the tick kernel's fast-forward
+// nor the event kernel's selective waking suppresses a probe event, so
+// the breakdown must be identical cycle for cycle.
+func TestAttributionIdenticalAcrossKernels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full simulations")
 	}
@@ -76,9 +77,9 @@ func TestAttributionIdenticalWithAndWithoutEventSkip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(noSkip bool) any {
+	run := func(k Kernel) any {
 		c := cfg
-		c.NoEventSkip = noSkip
+		c.Kernel = k
 		eng := NewAttribution(c)
 		c.Obs = eng
 		if _, err := Run(c); err != nil {
@@ -86,9 +87,9 @@ func TestAttributionIdenticalWithAndWithoutEventSkip(t *testing.T) {
 		}
 		return eng.Report()
 	}
-	skip, plain := run(false), run(true)
-	if !reflect.DeepEqual(skip, plain) {
-		t.Errorf("event skipping changed attribution:\nskip:   %+v\nnoskip: %+v", skip, plain)
+	ticked, evented := run(KernelTick), run(KernelEvent)
+	if !reflect.DeepEqual(ticked, evented) {
+		t.Errorf("kernel changed attribution:\ntick:  %+v\nevent: %+v", ticked, evented)
 	}
 }
 

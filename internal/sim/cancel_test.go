@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
@@ -48,7 +49,7 @@ func TestRunContextMidRunCancel(t *testing.T) {
 			cfg := tinyDual(t)
 			cfg.Kernel = k
 			var once sync.Once
-			cfg.OnIssue = func(now int64, r *mem.Request) { once.Do(cancel) }
+			cfg.OnIssue = func(now clock.Global, r *mem.Request) { once.Do(cancel) }
 
 			start := time.Now()
 			_, err := sim.RunContext(ctx, cfg)
@@ -64,21 +65,6 @@ func TestRunContextMidRunCancel(t *testing.T) {
 				t.Errorf("cancelled run took %v", d)
 			}
 		})
-	}
-}
-
-// TestRunContextMidRunCancelNoEventSkip exercises the plain-tick poll
-// path (loop iteration counter) rather than the skip-window boundary.
-func TestRunContextMidRunCancelNoEventSkip(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	cfg := tinyDual(t)
-	cfg.NoEventSkip = true
-	var once sync.Once
-	cfg.OnIssue = func(now int64, r *mem.Request) { once.Do(cancel) }
-	_, err := sim.RunContext(ctx, cfg)
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}
 }
 
@@ -101,7 +87,7 @@ func TestRunContextNoGoroutineLeak(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		cfg := tinyDual(t)
 		var once sync.Once
-		cfg.OnIssue = func(now int64, r *mem.Request) { once.Do(cancel) }
+		cfg.OnIssue = func(now clock.Global, r *mem.Request) { once.Do(cancel) }
 		if _, err := sim.RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
 			t.Fatalf("run %d: %v", i, err)
 		}

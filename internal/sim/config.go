@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/dram"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/mmu"
@@ -45,16 +46,6 @@ type Config struct {
 	// the kernel.
 	Kernel Kernel
 
-	// NoEventSkip forces the tick kernel's main loop to tick every
-	// global cycle instead of fast-forwarding across windows with no
-	// state changes. Results are bit-identical either way.
-	//
-	// Deprecated: setting NoEventSkip selects the tick kernel when
-	// Kernel is unset (a config that opted out of fast-forwarding gets
-	// the loop it asked for); under an explicit KernelEvent it is
-	// ignored. Use Kernel instead.
-	NoEventSkip bool
-
 	// DRAMBackedWalks times page-table walks as real DRAM PTE reads
 	// instead of the default NeuMMU-style fixed latency (see
 	// mmu.WalkMemoryModel); used by the walk-model ablation.
@@ -81,10 +72,10 @@ type Config struct {
 
 	// StartCycles optionally delays each core's execution initiation
 	// (misc_config). Nil starts all cores at cycle 0.
-	StartCycles []int64
+	StartCycles []clock.Global
 
 	// MaxGlobalCycles aborts runaway simulations.
-	MaxGlobalCycles int64
+	MaxGlobalCycles clock.Global
 
 	// Obs, if non-nil, receives every structured probe event the run
 	// emits (see internal/obs): tile and DMA activity, TLB/walker
@@ -110,7 +101,7 @@ type Config struct {
 	OnTransfer dram.TransferFunc `json:"-"`
 	// OnIssue, if non-nil, observes every DMA request issue (the
 	// request burstiness of Fig. 2b).
-	OnIssue func(now int64, r *mem.Request) `json:"-"`
+	OnIssue func(now clock.Global, r *mem.Request) `json:"-"`
 	// OnLoopStats, if non-nil, receives the main loop's bookkeeping when
 	// the run completes: ticked loop iterations, fast-forward jumps, and
 	// total cycles crossed by those jumps. iters + skippedCycles equals

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/dram"
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/model"
@@ -14,11 +15,13 @@ import (
 
 // canonicalConfig mirrors the Config fields that determine the Result.
 // Observation hooks (Obs, Metrics, OnTransfer, OnIssue, OnLoopStats) are
-// excluded because observation never alters execution, and NoEventSkip
-// is excluded because results are bit-identical with skipping on or off
-// — two configs differing only in those fields share one cache slot.
-// Field order is fixed: encoding/json emits struct fields in declaration
-// order, so the canonical bytes are deterministic.
+// excluded because observation never alters execution, and the Kernel
+// selector is excluded because results are bit-identical under either
+// loop — two configs differing only in those fields share one cache
+// slot. Field order is fixed: encoding/json emits struct fields in
+// declaration order, so the canonical bytes are deterministic. Cycle
+// fields are stored as raw int64 so the canonical bytes are identical
+// to the pre-typed-clock encoding.
 type canonicalConfig struct {
 	Arch                []npu.ArchConfig
 	Nets                []model.Network
@@ -67,13 +70,26 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		WalkerMax:           c.WalkerMax,
 		DWSWalkerStealing:   c.DWSWalkerStealing,
 		PhysBytesPerCore:    c.PhysBytesPerCore,
-		StartCycles:         c.StartCycles,
-		MaxGlobalCycles:     c.MaxGlobalCycles,
+		StartCycles:         rawCycles(c.StartCycles),
+		MaxGlobalCycles:     c.MaxGlobalCycles.Int64(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: canonicalize config: %w", err)
 	}
 	return b, nil
+}
+
+// rawCycles strips the clock typing for canonical encoding, preserving
+// nil so the canonical JSON distinguishes "unset" from "all zero".
+func rawCycles(cs []clock.Global) []int64 {
+	if cs == nil {
+		return nil
+	}
+	raw := make([]int64, len(cs))
+	for i, c := range cs {
+		raw[i] = c.Int64()
+	}
+	return raw
 }
 
 // Fingerprint returns the content address of the config: the hex SHA-256

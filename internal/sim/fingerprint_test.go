@@ -43,12 +43,12 @@ func TestFingerprintStableAndDiscriminating(t *testing.T) {
 		}
 	}
 
-	// Hooks and NoEventSkip never affect results, so they must not
-	// affect the key either: those configs share one cache slot.
+	// Hooks and the kernel selector never affect results, so they must
+	// not affect the key either: those configs share one cache slot.
 	hooked := tinyDual(t)
 	hooked.Metrics = obs.NewRegistry()
 	hooked.OnLoopStats = func(int64, int64, int64) {}
-	hooked.NoEventSkip = true
+	hooked.Kernel = sim.KernelTick
 	got, err := hooked.Fingerprint()
 	if err != nil {
 		t.Fatal(err)

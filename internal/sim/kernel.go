@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/dram"
 	"mnpusim/internal/invariant"
 	"mnpusim/internal/mem"
@@ -16,8 +17,7 @@ import (
 type Kernel string
 
 const (
-	// KernelDefault resolves to KernelEvent, unless the deprecated
-	// NoEventSkip flag is set, which selects the tick path it modifies.
+	// KernelDefault resolves to KernelEvent.
 	KernelDefault Kernel = ""
 	// KernelTick is the legacy driver: every component ticks on every
 	// global cycle, with optional fast-forward across quiet windows.
@@ -48,15 +48,10 @@ func (k Kernel) Validate() error {
 }
 
 // effectiveKernel resolves the configured kernel: an explicit choice
-// wins; otherwise the deprecated NoEventSkip flag selects the tick
-// kernel it parameterizes, and everything else defaults to the event
-// kernel.
+// wins; everything else defaults to the event kernel.
 func (c Config) effectiveKernel() Kernel {
 	if c.Kernel != KernelDefault {
 		return c.Kernel
-	}
-	if c.NoEventSkip {
-		return KernelTick
 	}
 	return KernelEvent
 }
@@ -70,9 +65,9 @@ func (c Config) effectiveKernel() Kernel {
 // local clock and stall accounting) across a window the contract proved
 // quiet; it is a no-op for channels and the MMU.
 type component interface {
-	tick(now int64)
-	skipTo(now int64)
-	next(now int64) int64
+	tick(now clock.Global)
+	skipTo(now clock.Global)
+	next(now clock.Global) clock.Global
 }
 
 type channelComp struct {
@@ -80,32 +75,34 @@ type channelComp struct {
 	ch int
 }
 
-func (c channelComp) tick(now int64)       { c.m.TickChannel(c.ch, now) }
-func (c channelComp) skipTo(now int64)     {}
-func (c channelComp) next(now int64) int64 { return c.m.ChannelNextEventAfter(c.ch, now) }
+func (c channelComp) tick(now clock.Global)   { c.m.TickChannel(c.ch, now) }
+func (c channelComp) skipTo(now clock.Global) {}
+func (c channelComp) next(now clock.Global) clock.Global {
+	return c.m.ChannelNextEventAfter(c.ch, now)
+}
 
 type mmuComp struct{ u *mmu.MMU }
 
-func (c mmuComp) tick(now int64)       { c.u.Tick(now) }
-func (c mmuComp) skipTo(now int64)     {}
-func (c mmuComp) next(now int64) int64 { return c.u.NextEventAfter(now) }
+func (c mmuComp) tick(now clock.Global)              { c.u.Tick(now) }
+func (c mmuComp) skipTo(now clock.Global)            {}
+func (c mmuComp) next(now clock.Global) clock.Global { return c.u.NextEventAfter(now) }
 
 // coreComp shifts the global clock onto the core's delayed timeline
 // (StartCycles), mirroring the tick loop's now-starts[i] convention.
 type coreComp struct {
 	c     *npu.Core
-	start int64
+	start clock.Global
 }
 
-func (c coreComp) tick(now int64) { c.c.Tick(now - c.start) }
+func (c coreComp) tick(now clock.Global) { c.c.Tick(now - c.start) }
 
-func (c coreComp) skipTo(now int64) {
+func (c coreComp) skipTo(now clock.Global) {
 	if now > c.start {
 		c.c.SkipTo(now - c.start)
 	}
 }
 
-func (c coreComp) next(now int64) int64 {
+func (c coreComp) next(now clock.Global) clock.Global {
 	if now < c.start {
 		return c.start
 	}
@@ -124,10 +121,10 @@ type wakeSubmitter struct {
 	mmu   *mmu.MMU
 	ek    *eventKernel
 	mmuID int
-	start int64 // the owning core's start offset: now arrives core-local
+	start clock.Global // the owning core's start offset: now arrives core-local
 }
 
-func (w *wakeSubmitter) Submit(now int64, r *mem.Request) bool {
+func (w *wakeSubmitter) Submit(now clock.Global, r *mem.Request) bool {
 	ok := w.mmu.Submit(now, r)
 	if ok {
 		w.ek.wake(w.mmuID, w.mmu.NextEventAfter(now+w.start))
@@ -140,7 +137,7 @@ func (w *wakeSubmitter) Submit(now int64, r *mem.Request) bool {
 // (channels, then MMU, then cores), so draining the heap at one cycle
 // reproduces the tick loop's ordering exactly.
 type wakeEntry struct {
-	at int64
+	at clock.Global
 	id int
 }
 
@@ -161,11 +158,11 @@ func entryLess(a, b wakeEntry) bool {
 // it just pushes the new entry and lets the old one go stale.
 type eventKernel struct {
 	comps []component
-	armed []int64 // cycle of the valid heap entry; farFuture = none
-	last  []int64 // last cycle the component ticked
-	hot   []bool  // due at the next processed cycle; no heap entry
+	armed []clock.Global // cycle of the valid heap entry; farFuture = none
+	last  []clock.Global // last cycle the component ticked
+	hot   []bool         // due at the next processed cycle; no heap entry
 	nhot  int
-	cur   int64 // cycle currently being drained; wakes at cur join hot
+	cur   clock.Global // cycle currently being drained; wakes at cur join hot
 	heap  []wakeEntry
 
 	pops int64 // total heap pops, stale included (the kernel's cost unit)
@@ -173,8 +170,8 @@ type eventKernel struct {
 
 func newEventKernel(n int) *eventKernel {
 	k := &eventKernel{
-		armed: make([]int64, n),
-		last:  make([]int64, n),
+		armed: make([]clock.Global, n),
+		last:  make([]clock.Global, n),
 		hot:   make([]bool, n),
 		cur:   -1,
 		heap:  make([]wakeEntry, 0, 4*n),
@@ -230,7 +227,7 @@ func (k *eventKernel) pop() wakeEntry {
 // earliest possible cycle, so a wake for it is always redundant; a wake
 // landing on the cycle currently being drained joins the hot set (the
 // within-cycle seam ordering guarantees the target has not ticked yet).
-func (k *eventKernel) wake(id int, at int64) {
+func (k *eventKernel) wake(id int, at clock.Global) {
 	if k.hot[id] || at >= k.armed[id] {
 		return
 	}
@@ -253,7 +250,7 @@ func (k *eventKernel) wake(id int, at int64) {
 }
 
 // arm registers component id's self-reported horizon after its tick.
-func (k *eventKernel) arm(id int, at int64) {
+func (k *eventKernel) arm(id int, at clock.Global) {
 	if invariant.Enabled {
 		invariant.Check(at > k.last[id],
 			"sim: component %d horizon %d not after its tick at %d", id, at, k.last[id])
@@ -266,7 +263,7 @@ func (k *eventKernel) arm(id int, at int64) {
 
 // nextCycle discards stale entries and returns the cycle of the
 // earliest live one; ok is false when the heap holds no live entries.
-func (k *eventKernel) nextCycle() (at int64, ok bool) {
+func (k *eventKernel) nextCycle() (at clock.Global, ok bool) {
 	for len(k.heap) > 0 {
 		top := k.heap[0]
 		if top.at == k.armed[top.id] {
@@ -280,7 +277,7 @@ func (k *eventKernel) nextCycle() (at int64, ok bool) {
 // absorb moves every live heap entry at cycle t into the hot set, so
 // the drain scan visits heap-armed and hot components in one id-ordered
 // pass.
-func (k *eventKernel) absorb(t int64) {
+func (k *eventKernel) absorb(t clock.Global) {
 	for len(k.heap) > 0 {
 		top := k.heap[0]
 		if top.at != k.armed[top.id] {
@@ -307,7 +304,7 @@ func (k *eventKernel) absorb(t int64) {
 // the components armed there, so idle hardware costs nothing. The probe
 // stream (including skip windows and loop-iteration counts) and the
 // final Result are byte-identical to runTick's by construction.
-func (s *system) runEvent(ctx context.Context, ek *eventKernel) (int64, error) {
+func (s *system) runEvent(ctx context.Context, ek *eventKernel) (clock.Global, error) {
 	cfg := s.cfg
 	chs := s.memory.Channels()
 	mmuID := chs
@@ -333,9 +330,9 @@ func (s *system) runEvent(ctx context.Context, ek *eventKernel) (int64, error) {
 	}
 
 	done := ctx.Done()
-	prev := int64(-1)
+	var prev clock.Global = -1
 	for !s.allDone() {
-		var t int64
+		var t clock.Global
 		if ek.nhot > 0 {
 			// Something is due on the very next cycle; no heap entry can
 			// beat it (every entry is strictly after prev).
@@ -365,9 +362,9 @@ func (s *system) runEvent(ctx context.Context, ek *eventKernel) (int64, error) {
 		}
 		if t > prev+1 && prev >= 0 {
 			s.loopSkips++
-			s.loopSkipped += t - prev - 1
+			s.loopSkipped += (t - prev - 1).Int64()
 			if s.sink != nil {
-				s.sink.Emit(obs.Event{Cycle: prev, Kind: obs.KindSkipWindow, Core: -1, A: t - prev - 1})
+				s.sink.Emit(obs.Event{Cycle: prev, Kind: obs.KindSkipWindow, Core: -1, A: (t - prev - 1).Int64()})
 			}
 		}
 		s.loopIters++

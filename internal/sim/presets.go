@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"mnpusim/internal/clock"
 	"mnpusim/internal/dram"
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/model"
@@ -36,7 +37,7 @@ type SystemParams struct {
 	// page-size experiments (Figs 15-16).
 	PageLadder      [3]mmu.PageSize
 	PhysBytes       uint64
-	MaxGlobalCycles int64
+	MaxGlobalCycles clock.Global
 }
 
 // DRAMFor builds the total DRAM device for a system of n cores.

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"mnpusim/internal/clock"
 	"mnpusim/internal/dram"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/model"
@@ -83,7 +84,7 @@ func TestConfigValidation(t *testing.T) {
 		{"empty partition set", func(c *Config) { c.ChannelPartition = [][]int{{0}, {}} }},
 		{"partition channel range", func(c *Config) { c.ChannelPartition = [][]int{{0}, {99}} }},
 		{"zero phys", func(c *Config) { c.PhysBytesPerCore = 0 }},
-		{"start cycles length", func(c *Config) { c.StartCycles = []int64{1} }},
+		{"start cycles length", func(c *Config) { c.StartCycles = []clock.Global{1} }},
 	}
 	for _, m := range mutations {
 		cfg := NewConfig(workloads.ScaleTiny, ShareDWT, smallNet("a"), smallNet("b"))
@@ -225,7 +226,7 @@ func TestLargerPagesReduceWalks(t *testing.T) {
 func TestStartCyclesDelayExecution(t *testing.T) {
 	cfg := NewConfig(workloads.ScaleTiny, ShareDWT, smallNet("a"), smallNet("b"))
 	base := mustRun(t, cfg)
-	cfg.StartCycles = []int64{0, 50_000}
+	cfg.StartCycles = []clock.Global{0, 50_000}
 	delayed := mustRun(t, cfg)
 	if delayed.GlobalCycles < base.GlobalCycles+40_000 {
 		t.Errorf("start delay not applied: %d vs %d", delayed.GlobalCycles, base.GlobalCycles)
@@ -251,8 +252,8 @@ func TestWalkerPartitionBoundsApply(t *testing.T) {
 func TestTransferAndIssueHooks(t *testing.T) {
 	cfg := NewConfig(workloads.ScaleTiny, ShareDWT, smallNet("a"))
 	var transfers, issues int
-	cfg.OnTransfer = func(now int64, core int, bytes int, class mem.Class) { transfers++ }
-	cfg.OnIssue = func(now int64, r *mem.Request) { issues++ }
+	cfg.OnTransfer = func(now clock.Global, core int, bytes int, class mem.Class) { transfers++ }
+	cfg.OnIssue = func(now clock.Global, r *mem.Request) { issues++ }
 	r := mustRun(t, cfg)
 	if transfers == 0 || issues == 0 {
 		t.Errorf("hooks not invoked: transfers=%d issues=%d", transfers, issues)

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"reflect"
 	"testing"
 
 	"mnpusim/internal/clock"
@@ -43,36 +42,10 @@ func skipConfigs(t *testing.T) map[string]Config {
 	out["no-translation"] = notr
 
 	stagger := mustCfg(ShareDWT, "ncf", "res")
-	stagger.StartCycles = []int64{0, 5000}
+	stagger.StartCycles = []clock.Global{0, 5000}
 	out["staggered-start"] = stagger
 
 	return out
-}
-
-// TestEventSkipMatchesNoSkip proves the fast-forward layer is invisible:
-// for every configuration, the event-skipping run and the tick-every-
-// cycle run produce bit-identical Results.
-func TestEventSkipMatchesNoSkip(t *testing.T) {
-	if testing.Short() {
-		t.Skip("several full simulations")
-	}
-	for name, cfg := range skipConfigs(t) {
-		t.Run(name, func(t *testing.T) {
-			skipped, err := Run(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			plain := cfg
-			plain.NoEventSkip = true
-			ticked, err := Run(plain)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(skipped, ticked) {
-				t.Errorf("event skipping changed the result:\nskip:   %+v\nnoskip: %+v", skipped, ticked)
-			}
-		})
-	}
 }
 
 // TestSkipShortensWallClockWork asserts the skip layer actually skips:
@@ -110,11 +83,11 @@ func TestCoreNextEventMatchesTickCompletion(t *testing.T) {
 		{"odd", 700 * clock.MHz, clock.GHz},
 	} {
 		d := clock.NewDomain(ratio.local, ratio.global)
-		for L := int64(1); L < 200; L++ {
+		for L := clock.Local(1); L < 200; L++ {
 			// Completion at local cycle L fires during the first global
 			// tick T whose window covers L: LocalFloor(T+1) >= L.
-			want := int64(-1)
-			for T := int64(0); T < 1000; T++ {
+			want := clock.Global(-1)
+			for T := clock.Global(0); T < 1000; T++ {
 				if d.LocalFloor(T+1) >= L {
 					want = T
 					break

@@ -57,7 +57,8 @@ func (r Result) DRAMEnergy(p dram.EnergyParams) dram.EnergyBreakdown {
 	return r.DRAM.Energy(p, r.GlobalCycles)
 }
 
-const farFuture = int64(1) << 62
+// farFuture is the "no pending event" horizon on the global clock.
+const farFuture clock.Global = clock.FarFuture
 
 // cancelCheckMask throttles how often both kernels poll the context's
 // done channel: every 64 processed cycles (tick-kernel iterations or
@@ -83,7 +84,7 @@ type system struct {
 	memory *dram.Memory
 	unit   *mmu.MMU
 	cores  []*npu.Core
-	starts []int64
+	starts []clock.Global
 	sink   obs.Sink
 
 	// finished tracks which cores already emitted their first-inference
@@ -114,7 +115,7 @@ func (s *system) allDone() bool {
 // phaseScan emits a first-inference phase event for every core that
 // newly finished during cycle now; both kernels call it after every
 // processed cycle so the phase stream is identical.
-func (s *system) phaseScan(now int64) {
+func (s *system) phaseScan(now clock.Global) {
 	if s.sink == nil {
 		return
 	}
@@ -126,7 +127,7 @@ func (s *system) phaseScan(now int64) {
 	}
 }
 
-func (s *system) cancelled(ctx context.Context, at int64) error {
+func (s *system) cancelled(ctx context.Context, at clock.Global) error {
 	return fmt.Errorf("sim: run cancelled at cycle %d: %w", at, ctx.Err())
 }
 
@@ -184,7 +185,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 	starts := cfg.StartCycles
 	if starts == nil {
-		starts = make([]int64, n)
+		starts = make([]clock.Global, n)
 	}
 
 	// The event kernel is created before the cores so its wake function
@@ -204,8 +205,8 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		// horizon after every cycle) would skip straight to it. More
 		// work can only move the horizon earlier, so wake()'s
 		// earlier-only rule applies cleanly.
-		memory.OnEnqueue = func(now int64, ch int) { ek.wake(ch, memory.ChannelNextEventAfter(ch, now)) }
-		memory.OnComplete = func(done int64, r *mem.Request) {
+		memory.OnEnqueue = func(now clock.Global, ch int) { ek.wake(ch, memory.ChannelNextEventAfter(ch, now)) }
+		memory.OnComplete = func(done clock.Global, r *mem.Request) {
 			if r.Class == mem.PageTable {
 				ek.wake(chs, done)
 			} else if r.Core >= 0 && r.Core < n {
@@ -250,7 +251,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	// Per-core transfer accounting (plus the caller's hook).
 	dataBytes := make([]int64, n)
 	ptBytes := make([]int64, n)
-	memory.OnTransfer = func(now int64, core int, bytes int, class mem.Class) {
+	memory.OnTransfer = func(now clock.Global, core int, bytes int, class mem.Class) {
 		if core >= 0 && core < n {
 			if class == mem.PageTable {
 				ptBytes[core] += int64(bytes)
@@ -280,7 +281,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		sys.finished = make([]bool, n)
 	}
 
-	var now int64
+	var now clock.Global
 	if kern == KernelTick {
 		now, err = sys.runTick(ctx)
 	} else {
@@ -291,7 +292,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	if sink != nil {
-		sink.Emit(obs.Event{Cycle: now, Kind: obs.KindRunEnd, Core: -1, A: now, B: sys.loopIters})
+		sink.Emit(obs.Event{Cycle: now, Kind: obs.KindRunEnd, Core: -1, A: now.Int64(), B: sys.loopIters})
 	}
 	if reg != nil {
 		// Kernel cost counters, written directly (not via the probe
@@ -311,7 +312,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 	res := Result{
 		Cores:        make([]CoreResult, n),
-		GlobalCycles: now,
+		GlobalCycles: now.Int64(),
 		DRAM:         memory.Stats(),
 		Sharing:      cfg.Sharing,
 	}
@@ -338,10 +339,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 }
 
 // runTick is the legacy tick-everything loop: every component ticks on
-// every global cycle, with an optional fast-forward across windows in
-// which no component can change state (disabled by the deprecated
-// NoEventSkip flag). It returns the final global cycle count.
-func (s *system) runTick(ctx context.Context) (int64, error) {
+// every global cycle, with a fast-forward across windows in which no
+// component can change state. It returns the final global cycle count.
+func (s *system) runTick(ctx context.Context) (clock.Global, error) {
 	cfg := s.cfg
 	chTicks := int64(s.memory.Channels())
 
@@ -349,8 +349,8 @@ func (s *system) runTick(ctx context.Context) (int64, error) {
 	// poll into a single branch.
 	done := ctx.Done()
 
-	now := int64(0)
-	prevNow := int64(-1)
+	var now clock.Global
+	var prevNow clock.Global = -1
 	for !s.allDone() {
 		if done != nil && s.loopIters&cancelCheckMask == 0 {
 			select {
@@ -379,10 +379,6 @@ func (s *system) runTick(ctx context.Context) (int64, error) {
 			s.compTicks++
 		}
 		s.phaseScan(now)
-		if cfg.NoEventSkip {
-			now++
-			continue
-		}
 		// Event skipping: every component reports the earliest cycle at
 		// which its state can change. The horizon must be computed after
 		// the ticks — a request submitted this cycle may have armed the
@@ -427,9 +423,9 @@ func (s *system) runTick(ctx context.Context) (int64, error) {
 			}
 		}
 		s.loopSkips++
-		s.loopSkipped += next - now - 1
+		s.loopSkipped += (next - now - 1).Int64()
 		if s.sink != nil {
-			s.sink.Emit(obs.Event{Cycle: now, Kind: obs.KindSkipWindow, Core: -1, A: next - now - 1})
+			s.sink.Emit(obs.Event{Cycle: now, Kind: obs.KindSkipWindow, Core: -1, A: (next - now - 1).Int64()})
 		}
 		s.memory.SkipTo(next)
 		s.unit.SkipTo(next)

@@ -43,7 +43,7 @@ func (r *RateRecorder) Record(cycle int64) { r.Add(cycle, 1) }
 // kinds are ignored.
 func (r *RateRecorder) Emit(e obs.Event) {
 	if e.Kind == obs.KindDMAIssue {
-		r.Add(e.Cycle, 1)
+		r.Add(e.Cycle.Int64(), 1)
 	}
 }
 
@@ -121,7 +121,7 @@ func NewBandwidthRecorder(cores int, window int64) (*BandwidthRecorder, error) {
 // event kinds are ignored.
 func (b *BandwidthRecorder) Emit(e obs.Event) {
 	if e.Kind == obs.KindTransfer {
-		b.Record(e.Cycle, int(e.Core), int(e.A), mem.Class(e.B))
+		b.Record(e.Cycle.Int64(), int(e.Core), int(e.A), mem.Class(e.B))
 	}
 }
 
