@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-json invariants attr-invariants check bench obs-smoke serve-smoke kernel-check kernel-ab
+.PHONY: build test race vet lint lint-json invariants attr-invariants check bench bench-check obs-smoke serve-smoke postmortem-smoke kernel-check kernel-ab
 
 build:
 	$(GO) build ./...
@@ -76,9 +76,15 @@ kernel-ab:
 	@echo "kernel A/B: outputs byte-identical"
 
 # Machine-readable wall-clock benchmark of the dual-core paper sweep
-# (serial vs worker pool, tick vs event kernel) -> BENCH_sweep.json.
+# (serial vs worker pool, tick vs event kernel, host-time breakdown)
+# -> BENCH_sweep.json.
 bench:
 	$(GO) run ./cmd/mnpubench -sweep-bench BENCH_sweep.json
+
+# Validate the committed benchmark record: non-empty, parses, plausible
+# measurement, zero determinism drift, host-time breakdowns present.
+bench-check:
+	$(GO) run ./cmd/mnpubench -check-bench BENCH_sweep.json
 
 # End-to-end observability smoke: run a tiny dual-core simulation with
 # the Chrome-trace exporter and counter registry on, then re-validate
@@ -95,3 +101,10 @@ obs-smoke:
 # and drain via SIGTERM (see scripts/serve_smoke.sh).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end post-mortem smoke, race + invariants enabled: kill a job
+# mid-run, fetch its flight-recorder dump over HTTP, validate it with
+# `mnputrace -mode postmortem`, and drive the anomaly watchdog through
+# a dump + CPU-profile capture (see scripts/postmortem_smoke.sh).
+postmortem-smoke:
+	sh scripts/postmortem_smoke.sh

@@ -101,6 +101,7 @@ func run(ctx context.Context, args []string) error {
 		workers    = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		kernelFlag = fs.String("kernel", "", "simulation kernel for every run: event (default) or tick; results identical")
 		sweepBench = fs.String("sweep-bench", "", "write a JSON wall-clock benchmark of the dual-core sweep to this file and exit")
+		checkBench = fs.String("check-bench", "", "validate a previously written -sweep-bench JSON file and exit")
 		obsCtr     = fs.String("obs-counters", "", "write the accumulated metric counters of every simulation as sorted 'name value' lines to this file, or - for stdout")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -130,6 +131,9 @@ func run(ctx context.Context, args []string) error {
 			fmt.Printf("  %-7s %s\n", e.name, e.about)
 		}
 		return nil
+	}
+	if *checkBench != "" {
+		return runCheckBench(*checkBench)
 	}
 	scale, err := config.ParseScale(*scaleFlag)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"mnpusim/internal/experiments"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/hostprof"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
@@ -68,16 +69,22 @@ type KernelProfile struct {
 	EventSeconds    float64 `json:"kernel_event_seconds"`
 	Speedup         float64 `json:"kernel_speedup"`
 	Identical       bool    `json:"identical"`
+	// Host wall-time breakdown of each leg, keyed by hostprof section
+	// (kernel_heap, tick_dram, tick_mmu, tick_core, obs, run): where the
+	// simulator's own time went, in nanoseconds.
+	TickHostNS  map[string]int64 `json:"kernel_tick_host_ns"`
+	EventHostNS map[string]int64 `json:"kernel_event_host_ns"`
 }
 
 // profileKernel runs one config under both kernels with a metrics
 // registry attached, comparing results and timing both.
 func profileKernel(name string, cfg sim.Config) (KernelProfile, error) {
 	p := KernelProfile{Config: name}
-	run := func(k sim.Kernel) (sim.Result, int64, int64, float64, error) {
+	run := func(k sim.Kernel) (sim.Result, int64, int64, float64, map[string]int64, error) {
 		c := cfg
 		c.Kernel = k
 		c.Metrics = obs.NewRegistry()
+		c.HostProf = hostprof.New()
 		if k == sim.KernelTick {
 			c.OnLoopStats = func(iters, skips, skipped int64) {
 				p.TickLoopIters, p.SkippedCycles = iters, skipped
@@ -86,21 +93,22 @@ func profileKernel(name string, cfg sim.Config) (KernelProfile, error) {
 		start := time.Now()
 		res, err := sim.Run(c)
 		if err != nil {
-			return sim.Result{}, 0, 0, 0, err
+			return sim.Result{}, 0, 0, 0, nil, err
 		}
 		secs := time.Since(start).Seconds()
 		ticks := c.Metrics.Counter("sim.component_ticks").Value()
 		pops := c.Metrics.Counter("sim.heap_pops").Value()
-		return res, ticks, pops, secs, nil
+		return res, ticks, pops, secs, c.HostProf.Breakdown(), nil
 	}
-	tickRes, tickTicks, _, tickSecs, err := run(sim.KernelTick)
+	tickRes, tickTicks, _, tickSecs, tickHost, err := run(sim.KernelTick)
 	if err != nil {
 		return p, err
 	}
-	evRes, evTicks, pops, evSecs, err := run(sim.KernelEvent)
+	evRes, evTicks, pops, evSecs, evHost, err := run(sim.KernelEvent)
 	if err != nil {
 		return p, err
 	}
+	p.TickHostNS, p.EventHostNS = tickHost, evHost
 	p.GlobalCycles = tickRes.GlobalCycles
 	if tickRes.GlobalCycles > 0 {
 		p.SkippedFraction = float64(p.SkippedCycles) / float64(tickRes.GlobalCycles)
@@ -159,6 +167,50 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// runCheckBench validates a previously written -sweep-bench record: the
+// file must be non-empty, parse as a SweepBench, and carry a plausible
+// measurement (sims ran, time elapsed, kernel profiles with host-time
+// breakdowns, zero determinism drift). CI runs this against the
+// committed BENCH_sweep.json so an empty or truncated artifact fails
+// the build instead of shipping silently.
+func runCheckBench(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%s: empty benchmark record", path)
+	}
+	var b SweepBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("%s: not a valid sweep-bench record: %w", path, err)
+	}
+	if b.SweepSims <= 0 || b.SerialSeconds <= 0 || b.ParallelSeconds <= 0 {
+		return fmt.Errorf("%s: implausible sweep measurement (sims=%d serial=%.3fs parallel=%.3fs)",
+			path, b.SweepSims, b.SerialSeconds, b.ParallelSeconds)
+	}
+	if b.ParallelGeomeanDrift != 0 || b.KernelGeomeanDrift != 0 {
+		return fmt.Errorf("%s: nonzero determinism drift (parallel=%g kernel=%g)",
+			path, b.ParallelGeomeanDrift, b.KernelGeomeanDrift)
+	}
+	if len(b.KernelProfile) == 0 {
+		return fmt.Errorf("%s: no kernel profiles recorded", path)
+	}
+	for _, kp := range b.KernelProfile {
+		if !kp.Identical {
+			return fmt.Errorf("%s: kernel A/B for %q diverged", path, kp.Config)
+		}
+		for leg, host := range map[string]map[string]int64{"tick": kp.TickHostNS, "event": kp.EventHostNS} {
+			if host["run"] <= 0 {
+				return fmt.Errorf("%s: %q %s leg missing host-time breakdown", path, kp.Config, leg)
+			}
+		}
+	}
+	fmt.Printf("check-bench: %s OK (%d sims, %d kernel profiles, scale=%s)\n",
+		path, b.SweepSims, len(b.KernelProfile), b.Scale)
+	return nil
 }
 
 // runSweepBench measures the sweep and writes the JSON record.

@@ -38,6 +38,7 @@ var scopes = map[string][]string{
 		"mnpusim/internal/sim", "mnpusim/internal/experiments",
 		"mnpusim/internal/dram", "mnpusim/internal/mmu",
 		"mnpusim/internal/report", "mnpusim/internal/config",
+		"mnpusim/internal/obs",
 	},
 	"cycletypes":  {"mnpusim/internal/", "mnpusim/cmd/"},
 	"clockdomain": {"mnpusim/internal/"},

@@ -9,7 +9,12 @@
 // the final stall-cycle attribution from GET /v1/jobs/{id}/events
 // (Server-Sent Events), cancel with DELETE /v1/jobs/{id};
 // GET /v1/workloads lists the built-in presets and GET /metrics exposes
-// the process's counter registry. Logs are structured (log/slog), keyed
+// the process's counter registry in Prometheus text exposition format.
+// Every job carries an always-on flight recorder: fetch its window with
+// GET /v1/jobs/{id}/dump (decode with mnputrace -mode postmortem), and
+// -watchdog arms a per-job anomaly watchdog that snapshots the dump
+// plus a CPU profile (GET /v1/jobs/{id}/profile) when a job lingers
+// near its deadline. Logs are structured (log/slog), keyed
 // by job ID; -log-level and -log-format select verbosity and text/json
 // encoding. -debug-addr optionally serves net/http/pprof and a
 // /debug/registry metrics dump on a second listener (off by default).
@@ -81,6 +86,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		logLevel     = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logFormat    = fs.String("log-format", "text", "log encoding: text or json")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and /debug/registry on this extra address (empty = off)")
+		wdFraction   = fs.Float64("watchdog", 0.75, "anomaly watchdog: capture a flight-recorder dump and CPU profile when a job reaches this fraction of its timeout still running (0 = off; needs a job timeout)")
+		wdProfile    = fs.Duration("watchdog-profile", 250*time.Millisecond, "CPU-profile capture duration when the watchdog fires")
+		ringCap      = fs.Int("recorder-ring", 0, "flight-recorder ring capacity per (core, channel) track, in events (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +114,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		DefaultKernel:     kernel,
 		Registry:          reg,
 		Logger:            logger,
+		WatchdogFraction:  *wdFraction,
+		WatchdogProfile:   *wdProfile,
+		RecorderRingCap:   *ringCap,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", *addr)

@@ -31,6 +31,7 @@ import (
 	"mnpusim/internal/config"
 	"mnpusim/internal/obs"
 	"mnpusim/internal/obs/attrib"
+	"mnpusim/internal/obs/hostprof"
 	"mnpusim/internal/report"
 	"mnpusim/internal/sim"
 )
@@ -59,6 +60,7 @@ func run(ctx context.Context, args []string) error {
 		jsonFlag      = fs.Bool("json", false, "write the result as canonical JSON to stdout instead of the text summary (byte-identical to the serving daemon's result endpoint)")
 		kernelFlag    = fs.String("kernel", "", "simulation kernel: event (default) or tick; results are byte-identical either way")
 		timeoutFlag   = fs.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
+		hostprofFlag  = fs.Bool("hostprof", false, "profile the simulator's own wall time (kernel scheduling vs component ticks vs obs) and print the breakdown to stderr; simulation results are byte-identical on or off")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: mnpusim -workloads a,b [-scale s] [-sharing l] [-out dir]")
@@ -124,6 +126,9 @@ func run(ctx context.Context, args []string) error {
 		attrEng = sim.NewAttribution(cfg)
 		cfg.Obs = obs.Tee(cfg.Obs, attrEng)
 	}
+	if *hostprofFlag {
+		cfg.HostProf = hostprof.New()
+	}
 
 	if *timeoutFlag > 0 {
 		var cancel context.CancelFunc
@@ -133,6 +138,13 @@ func run(ctx context.Context, args []string) error {
 	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.HostProf != nil {
+		// Stderr keeps -json stdout byte-pure; wall times vary run to run,
+		// the result bytes must not.
+		if err := cfg.HostProf.WriteBreakdown(os.Stderr); err != nil {
+			return err
+		}
 	}
 	if chrome != nil {
 		if err := chrome.Close(); err != nil {

@@ -14,10 +14,18 @@
 //
 //	mnputrace -mode rate -workload ncf -obs trace.json
 //	mnputrace -mode validate -in trace.json
+//
+// Postmortem mode renders a binary flight-recorder dump (captured by
+// the serve layer's anomaly watchdog or fetched on demand from
+// GET /v1/jobs/{id}/dump) into the same validated Chrome trace plus a
+// registry snapshot of the recorded window:
+//
+//	mnputrace -mode postmortem -in job.dump -obs window.json -obs-counters -
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +35,7 @@ import (
 	"mnpusim/internal/experiments"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/recorder"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/trace"
 )
@@ -41,7 +50,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mnputrace", flag.ContinueOnError)
 	var (
-		mode     = fs.String("mode", "rate", "trace mode: rate, bandwidth, log, or validate")
+		mode     = fs.String("mode", "rate", "trace mode: rate, bandwidth, log, validate, or postmortem")
 		workload = fs.String("workload", "ncf", "workload to trace")
 		co       = fs.String("co", "gpt2", "second workload (bandwidth mode)")
 		scaleF   = fs.String("scale", "tiny", "system scale")
@@ -58,6 +67,9 @@ func run(args []string) error {
 
 	if *mode == "validate" {
 		return validateTrace(*inF)
+	}
+	if *mode == "postmortem" {
+		return postmortem(*inF, *obsF, *obsCtr)
 	}
 
 	scale, err := config.ParseScale(*scaleF)
@@ -152,7 +164,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records\n", min(log.Lines(), *limit))
 	default:
-		return fmt.Errorf("unknown mode %q (want rate, bandwidth, log, or validate)", *mode)
+		return fmt.Errorf("unknown mode %q (want rate, bandwidth, log, validate, or postmortem)", *mode)
 	}
 
 	if chrome != nil {
@@ -187,6 +199,60 @@ func validateTrace(path string) error {
 		path, sum.Events, len(sum.ProcessNames), len(sum.ThreadNames))
 	for _, n := range sum.ProcessNames {
 		fmt.Printf("  process %s\n", n)
+	}
+	return nil
+}
+
+// postmortem decodes a flight-recorder dump, prints a window summary,
+// and optionally renders it as a Chrome trace (-obs, validated before
+// it hits disk) and a registry snapshot of the window (-obs-counters).
+func postmortem(inPath, obsPath, ctrPath string) error {
+	if inPath == "" {
+		return fmt.Errorf("postmortem mode needs -in job.dump")
+	}
+	data, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	d, err := recorder.Decode(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", inPath, err)
+	}
+
+	fmt.Printf("%s: flight-recorder dump (%d bytes)\n", inPath, len(data))
+	fmt.Printf("  reason:     %s\n", d.Reason)
+	fmt.Printf("  window:     %d events recorded, %d evicted, last cycle %d\n",
+		d.Events(), d.TotalDropped(), d.LastCycle.Int64())
+	fmt.Printf("  layout:     %d cores, %d channels, %d events/ring\n",
+		d.Cores, d.Channels, d.Cap)
+	for i, name := range d.CoreInfo {
+		if name != "" {
+			fmt.Printf("  core %d:     %s\n", i, name)
+		}
+	}
+
+	if obsPath != "" {
+		var buf bytes.Buffer
+		if err := d.WriteChromeTrace(&buf); err != nil {
+			return fmt.Errorf("rendering window: %w", err)
+		}
+		sum, err := obs.ValidateChromeTrace(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("rendered window failed validation: %w", err)
+		}
+		if err := os.WriteFile(obsPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  trace:      %s (valid: %d events, %d processes, %d tracks)\n",
+			obsPath, sum.Events, len(sum.ProcessNames), len(sum.ThreadNames))
+	}
+	if ctrPath != "" {
+		if err := writeCounters(ctrPath, d.Snapshot()); err != nil {
+			return err
+		}
+		if ctrPath != "-" {
+			fmt.Printf("  counters:   %s\n", ctrPath)
+		}
 	}
 	return nil
 }

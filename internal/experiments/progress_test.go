@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"mnpusim/internal/obs"
+)
+
+// TestGridProgressGauges: a metrics-attached runner publishes grid
+// totals, completions, and a settled ETA through ForEach; a bare runner
+// publishes nothing.
+func TestGridProgressGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRunner(WithMetrics(reg), WithWorkers(1))
+	if err := r.ForEach(5, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Value("experiments.grid_total"); got != 5 {
+		t.Errorf("experiments.grid_total = %d, want 5", got)
+	}
+	if got := snap.Value("experiments.grid_done"); got != 5 {
+		t.Errorf("experiments.grid_done = %d, want 5", got)
+	}
+	if got := snap.Value("experiments.grid_eta_ms"); got != 0 {
+		t.Errorf("experiments.grid_eta_ms = %d after completion, want 0", got)
+	}
+
+	// A second grid accumulates the counters.
+	if err := r.ForEach(3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Value("experiments.grid_total"); got != 8 {
+		t.Errorf("experiments.grid_total after second grid = %d, want 8", got)
+	}
+
+	// The worker-pool path counts every completion too (the ETA gauge is
+	// best-effort telemetry there, so only the counters are asserted).
+	preg := obs.NewRegistry()
+	pr := NewRunner(WithMetrics(preg), WithWorkers(4))
+	if err := pr.ForEach(9, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	psnap := preg.Snapshot()
+	if got := psnap.Value("experiments.grid_total"); got != 9 {
+		t.Errorf("parallel experiments.grid_total = %d, want 9", got)
+	}
+	if got := psnap.Value("experiments.grid_done"); got != 9 {
+		t.Errorf("parallel experiments.grid_done = %d, want 9", got)
+	}
+
+	// Without a registry the grid path is inert.
+	bare := NewRunner(WithWorkers(1))
+	if err := bare.ForEach(2, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"mnpusim/internal/metrics"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/hostprof"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
@@ -167,6 +168,56 @@ func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
 	return sim.RunContext(r.ctx, cfg)
 }
 
+// gridProgress publishes one ForEach grid's live progress into the
+// runner's metrics registry: experiments.grid_total and
+// experiments.grid_done count scheduled and completed grid items across
+// the run, and experiments.grid_eta_ms estimates the current grid's
+// remaining wall time from its host-clock throughput so an operator
+// watching /metrics sees how far along a long sweep is. Host time flows
+// only into these observability metrics, never into simulation state —
+// the reads go through hostprof.Now, the sanctioned wall-clock
+// boundary.
+type gridProgress struct {
+	total *obs.Counter
+	done  *obs.Counter
+	eta   *obs.Gauge
+	n     int64
+	did   atomic.Int64
+	start int64 // hostprof.Now at grid start
+}
+
+// newGrid starts progress accounting for an n-item grid; nil (a no-op)
+// when the runner has no metrics registry.
+func (r *Runner) newGrid(n int) *gridProgress {
+	if r.opts.Metrics == nil || n <= 0 {
+		return nil
+	}
+	g := &gridProgress{
+		total: r.opts.Metrics.Counter("experiments.grid_total"),
+		done:  r.opts.Metrics.Counter("experiments.grid_done"),
+		eta:   r.opts.Metrics.Gauge("experiments.grid_eta_ms"),
+		n:     int64(n),
+		start: hostprof.Now(),
+	}
+	g.total.Add(int64(n))
+	return g
+}
+
+// step records one completed grid item and refreshes the ETA gauge.
+func (g *gridProgress) step() {
+	if g == nil {
+		return
+	}
+	g.done.Inc()
+	did := g.did.Add(1)
+	if rem := g.n - did; rem > 0 {
+		elapsed := hostprof.Now() - g.start
+		g.eta.Set(elapsed / did * rem / 1_000_000)
+	} else {
+		g.eta.Set(0)
+	}
+}
+
 // ForEach runs fn(0) .. fn(n-1) on the worker pool and returns the
 // lowest-index error, if any. Each fn typically performs one
 // simulation and writes its result into an index-addressed slot, so
@@ -178,6 +229,7 @@ func (r *Runner) run(cfg sim.Config) (sim.Result, error) {
 // scheduling new items: unscheduled slots fail with the context's
 // error, and the lowest-index rule still picks the first failure.
 func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	g := r.newGrid(n)
 	if r.Workers() <= 1 {
 		for i := 0; i < n; i++ {
 			if err := r.ctx.Err(); err != nil {
@@ -186,6 +238,7 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 			if err := fn(i); err != nil {
 				return err
 			}
+			g.step()
 		}
 		return nil
 	}
@@ -198,6 +251,7 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 			defer wg.Done()
 			for i := range idx {
 				errs[i] = fn(i)
+				g.step()
 			}
 		}()
 	}

@@ -1,0 +1,128 @@
+package hostprof
+
+import (
+	"strings"
+	"testing"
+
+	"mnpusim/internal/obs"
+)
+
+func TestNilProfilerIsNoOp(t *testing.T) {
+	var p *Profiler
+	p.Add(SecRun, 10)
+	if got := p.NS(SecRun); got != 0 {
+		t.Fatalf("nil profiler NS = %d, want 0", got)
+	}
+	if got := p.AddSince(SecRun, 42); got != 42 {
+		t.Fatalf("nil profiler AddSince returned %d, want start back", got)
+	}
+	p.Publish(obs.NewRegistry()) // must not panic
+	if s := p.WrapSink(obs.Func(func(obs.Event) {})); s == nil {
+		t.Fatal("nil profiler WrapSink dropped the sink")
+	}
+}
+
+func TestAddAndPublish(t *testing.T) {
+	p := New()
+	p.Add(SecKernelHeap, 100)
+	p.Add(SecKernelHeap, 50)
+	p.Add(SecTickCore, 7)
+	p.Add(SecRun, 1000)
+
+	if got := p.NS(SecKernelHeap); got != 150 {
+		t.Fatalf("kernel_heap ns = %d, want 150", got)
+	}
+
+	reg := obs.NewRegistry()
+	p.Publish(reg)
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		"sim.host_ns.component.kernel_heap": 150,
+		"sim.host_ns.component.tick_core":   7,
+		"sim.host_ns.component.tick_dram":   0,
+		"sim.host_ns.component.tick_mmu":    0,
+		"sim.host_ns.component.obs":         0,
+		"sim.host_ns.component.run":         1000,
+	}
+	for name, want := range checks {
+		if got := snap.Value(name); got != want {
+			t.Fatalf("metric %s = %v, want %v", name, got, want)
+		}
+	}
+	if len(snap) != len(checks) {
+		t.Fatalf("snapshot has %d metrics, want %d", len(snap), len(checks))
+	}
+}
+
+func TestAddSinceLadders(t *testing.T) {
+	p := New()
+	start := Now()
+	mid := p.AddSince(SecKernelHeap, start)
+	if mid < start {
+		t.Fatalf("AddSince returned %d < start %d (clock went backwards?)", mid, start)
+	}
+	end := p.AddSince(SecTickDRAM, mid)
+	if end < mid {
+		t.Fatalf("second AddSince returned %d < %d", end, mid)
+	}
+	if p.NS(SecKernelHeap) < 0 || p.NS(SecTickDRAM) < 0 {
+		t.Fatal("negative section time")
+	}
+}
+
+func TestNowIsMonotonic(t *testing.T) {
+	prev := Now()
+	for i := 0; i < 1000; i++ {
+		now := Now()
+		if now < prev {
+			t.Fatalf("Now went backwards: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestWrapSinkForwardsAndTimes(t *testing.T) {
+	p := New()
+	var got []obs.Event
+	s := p.WrapSink(obs.Func(func(e obs.Event) { got = append(got, e) }))
+	e := obs.Event{Kind: obs.KindTileStart, Core: 3, A: 9}
+	s.Emit(e)
+	s.Emit(e)
+	if len(got) != 2 || got[0] != e {
+		t.Fatalf("wrapped sink did not forward: got %v", got)
+	}
+	if p.NS(SecObs) < 0 {
+		t.Fatal("negative obs time")
+	}
+	// Wrapping nil must preserve the nil fast path.
+	if s := p.WrapSink(nil); s != nil {
+		t.Fatal("WrapSink(nil) should stay nil")
+	}
+}
+
+func TestWriteBreakdown(t *testing.T) {
+	p := New()
+	p.Add(SecRun, 200)
+	p.Add(SecTickCore, 100)
+	var sb strings.Builder
+	if err := p.WriteBreakdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"kernel_heap", "tick_dram", "tick_mmu", "tick_core", "obs", "run", "50.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSectionNamesComplete(t *testing.T) {
+	for _, s := range Sections() {
+		if s.String() == "" || s.String() == "unknown" {
+			t.Fatalf("section %d has no name", s)
+		}
+	}
+	if Section(200).String() != "unknown" {
+		t.Fatal("out-of-range section should stringify to unknown")
+	}
+}

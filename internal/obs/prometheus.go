@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format, version 0.0.4 — what a Prometheus scraper expects from a
+// /metrics endpoint.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// The registry's dotted metric names are not scrape-legal (Prometheus
+// names match [a-zA-Z_:][a-zA-Z0-9_:]*), so the exposition translates
+// them structurally instead of just mangling the dots:
+//
+//	npu.tiles_started.core0     -> npu_tiles_started{core="0"}
+//	dram.cas_reads.ch3          -> dram_cas_reads{ch="3"}
+//	mmu.walk_cycles.core0.le16  -> mmu_walk_cycles_bucket{core="0",le="16"}
+//	mmu.walk_cycles.core0.leinf -> mmu_walk_cycles_bucket{core="0",le="+Inf"}
+//	mmu.walk_cycles.core0.count -> mmu_walk_cycles_count{core="0"}
+//	sim.host_ns.component.obs   -> sim_host_ns{component="obs"}
+//	serve.jobs_submitted        -> serve_jobs_submitted
+//
+// Component indices become labels so one logical metric stays one
+// metric family across cores and channels, and histogram buckets land
+// on the _bucket/_count/_sum convention Prometheus histograms use.
+
+// promLabel is one label pair on a translated metric.
+type promLabel struct{ key, value string }
+
+// promLine is one translated sample, carrying the numeric bucket bound
+// separately so buckets sort numerically, not lexically.
+type promLine struct {
+	name   string
+	labels []promLabel
+	le     float64
+	hasLe  bool
+	value  int64
+}
+
+// groupKey orders lines so each metric family is contiguous (required
+// by the exposition format) and buckets within one series stay in
+// ascending bound order.
+func (l promLine) groupKey() string {
+	var sb strings.Builder
+	sb.WriteString(l.name)
+	for _, kv := range l.labels {
+		if kv.key == "le" {
+			continue
+		}
+		sb.WriteByte('\x00')
+		sb.WriteString(kv.key)
+		sb.WriteByte('=')
+		sb.WriteString(kv.value)
+	}
+	return sb.String()
+}
+
+// indexedSegment splits a "core0"/"ch3"-style segment into its prefix's
+// index; ok is false unless the suffix is one or more digits.
+func indexedSegment(seg, prefix string) (string, bool) {
+	if !strings.HasPrefix(seg, prefix) || len(seg) == len(prefix) {
+		return "", false
+	}
+	idx := seg[len(prefix):]
+	for i := 0; i < len(idx); i++ {
+		if idx[i] < '0' || idx[i] > '9' {
+			return "", false
+		}
+	}
+	return idx, true
+}
+
+// sanitizeMetricChars maps any character outside the Prometheus name
+// alphabet to '_'.
+func sanitizeMetricChars(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':' {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// translateMetric converts one dotted registry name to a Prometheus
+// family name plus labels.
+func translateMetric(name string) promLine {
+	segs := strings.Split(name, ".")
+	line := promLine{}
+	parts := make([]string, 0, len(segs))
+	for i := 0; i < len(segs); i++ {
+		seg := segs[i]
+		if seg == "component" && i+1 < len(segs) {
+			line.labels = append(line.labels, promLabel{"component", segs[i+1]})
+			i++
+			continue
+		}
+		if idx, ok := indexedSegment(seg, "core"); ok {
+			line.labels = append(line.labels, promLabel{"core", idx})
+			continue
+		}
+		if idx, ok := indexedSegment(seg, "ch"); ok {
+			line.labels = append(line.labels, promLabel{"ch", idx})
+			continue
+		}
+		if seg == "leinf" {
+			line.hasLe = true
+			line.le = math.Inf(1)
+			line.labels = append(line.labels, promLabel{"le", "+Inf"})
+			continue
+		}
+		if idx, ok := indexedSegment(seg, "le"); ok {
+			line.hasLe = true
+			line.le, _ = strconv.ParseFloat(idx, 64)
+			line.labels = append(line.labels, promLabel{"le", idx})
+			continue
+		}
+		parts = append(parts, sanitizeMetricChars(seg))
+	}
+	if line.hasLe {
+		parts = append(parts, "bucket")
+	}
+	line.name = strings.Join(parts, "_")
+	if line.name == "" || line.name[0] >= '0' && line.name[0] <= '9' {
+		line.name = "_" + line.name
+	}
+	return line
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4, untyped samples). The output is deterministic:
+// families are sorted by name, series by label values, histogram
+// buckets by ascending bound.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lines := make([]promLine, len(s))
+	for i, m := range s {
+		lines[i] = translateMetric(m.Name)
+		lines[i].value = m.Value
+	}
+	sort.SliceStable(lines, func(a, b int) bool {
+		if lines[a].name != lines[b].name {
+			return lines[a].name < lines[b].name
+		}
+		ka, kb := lines[a].groupKey(), lines[b].groupKey()
+		if ka != kb {
+			return ka < kb
+		}
+		return lines[a].le < lines[b].le
+	})
+	for _, l := range lines {
+		var sb strings.Builder
+		sb.WriteString(l.name)
+		if len(l.labels) > 0 {
+			sb.WriteByte('{')
+			for i, kv := range l.labels {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(kv.key)
+				sb.WriteString(`="`)
+				sb.WriteString(escapeLabelValue(kv.value))
+				sb.WriteByte('"')
+			}
+			sb.WriteByte('}')
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", sb.String(), l.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

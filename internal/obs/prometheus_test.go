@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mnpusim/internal/clock"
+)
+
+// promLineRE matches one legal exposition line: a metric name in the
+// Prometheus alphabet, an optional label set, and an integer value.
+var (
+	promNameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promLineRE  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (-?\d+)$`)
+)
+
+// fullRegistry builds a registry covering every metric name shape the
+// simulator produces: per-core and per-channel counters, histograms
+// with buckets, gauges with their .max shadow, host-profile component
+// counters, and the serve layer's plain counters.
+func fullRegistry() *Registry {
+	reg := NewRegistry()
+	sink := NewRegistrySink(reg)
+	events := []Event{
+		{Kind: KindRunStart, Core: -1, A: 2, Str: "+dwt"},
+		{Kind: KindTileStart, Core: 0, A: 1, B: 0},
+		{Kind: KindTileFinish, Core: 0, A: 1, B: 0},
+		{Kind: KindSPMSwap, Core: 1, A: 2},
+		{Kind: KindDMAIssue, Core: 0, A: 1},
+		{Kind: KindDMAComplete, Core: 0, A: 0},
+		{Kind: KindIterDone, Core: 1, A: 1},
+		{Kind: KindTLBHit, Core: 0},
+		{Kind: KindTLBMiss, Core: 0, A: 1},
+		{Kind: KindMSHRAlloc, Core: 0, A: 1},
+		{Kind: KindMSHRFree, Core: 0, A: 0},
+		{Kind: KindWalkStart, Core: 0, A: 0x40},
+		{Kind: KindWalkEnd, Core: 0, A: 0x40, B: 17},
+		{Kind: KindDRAMEnqueue, Core: 0, Unit: 0, A: 1},
+		{Kind: KindDRAMIssue, Core: 0, Unit: 0, A: 0, B: 0},
+		{Kind: KindDRAMIssue, Core: 0, Unit: 1, A: 0, B: 1},
+		{Kind: KindRowHit, Core: 0, Unit: 0},
+		{Kind: KindRowMiss, Core: 0, Unit: 1},
+		{Kind: KindRowConflict, Core: 0, Unit: 0},
+		{Kind: KindRefresh, Core: -1, Unit: 0, A: 160},
+		{Kind: KindTransfer, Core: 0, Unit: 0, A: 64},
+		{Kind: KindSkipWindow, Core: -1, A: 100},
+		{Kind: KindRunEnd, Core: -1, A: 1000, B: 50, Cycle: clock.Global(1000)},
+	}
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	for _, sec := range []string{"kernel_heap", "tick_dram", "tick_mmu", "tick_core", "obs", "run"} {
+		reg.Counter("sim.host_ns.component." + sec).Add(123)
+	}
+	reg.Counter("serve.jobs_submitted").Inc()
+	reg.Counter("serve.watchdog_fires").Inc()
+	reg.Counter("experiments.grid_total").Add(6)
+	reg.Gauge("experiments.grid_eta_ms").Set(1500)
+	reg.Gauge("serve.jobs_running").Set(2)
+	return reg
+}
+
+func TestWritePrometheusScrapeLegal(t *testing.T) {
+	var sb strings.Builder
+	if err := fullRegistry().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+	lastName := ""
+	seen := map[string]bool{}
+	for _, ln := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		m := promLineRE.FindStringSubmatch(ln)
+		if m == nil {
+			t.Fatalf("line not scrape-legal: %q", ln)
+		}
+		name := m[1]
+		if !promNameRE.MatchString(name) {
+			t.Fatalf("illegal metric name %q", name)
+		}
+		if strings.Contains(name, ".") {
+			t.Fatalf("dotted name leaked: %q", name)
+		}
+		// Families must be contiguous: once we move off a name it must
+		// not reappear.
+		if name != lastName {
+			if seen[name] {
+				t.Fatalf("metric family %q interleaved (reappeared after other families)", name)
+			}
+			seen[name] = true
+			lastName = name
+		}
+		if m[3] != "" {
+			for _, pair := range strings.Split(m[3], ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("malformed label %q in %q", pair, ln)
+				}
+				if !promLabelRE.MatchString(k) {
+					t.Fatalf("illegal label name %q in %q", k, ln)
+				}
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("unquoted label value %q in %q", v, ln)
+				}
+			}
+		}
+	}
+}
+
+func TestWritePrometheusTranslations(t *testing.T) {
+	var sb strings.Builder
+	if err := fullRegistry().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`npu_tiles_started{core="0"} 1`,
+		`dram_cas_reads{ch="0"} 1`,
+		`dram_cas_writes{ch="1"} 1`,
+		`mmu_walk_cycles_bucket{core="0",le="+Inf"} 1`,
+		`mmu_walk_cycles_count{core="0"} 1`,
+		`mmu_walk_cycles_sum{core="0"} 17`,
+		`sim_host_ns{component="obs"} 123`,
+		`sim_host_ns{component="kernel_heap"} 123`,
+		"serve_jobs_submitted 1",
+		"experiments_grid_eta_ms 1500",
+		"experiments_grid_eta_ms_max 1500",
+		"sim_runs 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusBucketOrderNumeric(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("mmu.walk_cycles.core0", DefaultLatencyBounds())
+	h.Observe(5)
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	nBuckets := 0
+	for _, ln := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(ln, "mmu_walk_cycles_bucket{") {
+			continue
+		}
+		nBuckets++
+		i := strings.Index(ln, `le="`)
+		if i < 0 {
+			t.Fatalf("bucket without le label: %q", ln)
+		}
+		v := ln[i+4:]
+		v = v[:strings.IndexByte(v, '"')]
+		var bound float64
+		if v == "+Inf" {
+			bound = 1e308
+		} else {
+			var err error
+			bound, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("bad bound %q: %v", v, err)
+			}
+		}
+		if bound <= prev {
+			t.Fatalf("buckets out of numeric order: %v after %v", bound, prev)
+		}
+		prev = bound
+	}
+	if nBuckets < 2 {
+		t.Fatalf("expected multiple buckets, got %d", nBuckets)
+	}
+}

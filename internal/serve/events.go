@@ -11,6 +11,10 @@ import (
 	"mnpusim/internal/obs"
 )
 
+// sseRetryMS is the reconnect backoff hint sent at the head of every
+// event stream.
+const sseRetryMS = 1000
+
 // jobProgress accumulates a running job's live counters. The simulation
 // goroutine writes it through the job's probe sink; SSE streams read it
 // concurrently, so every field is atomic.
@@ -89,10 +93,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// Reconnect hint: EventSource clients back off this many ms before
+	// redialing, instead of their (often aggressive) default.
+	if _, err := fmt.Fprintf(w, "retry: %d\n\n", sseRetryMS); err != nil {
+		return
+	}
+	fl.Flush()
+
 	// Payloads are single-line JSON (json.Marshal emits no newlines), so
-	// one data: line carries the exact bytes.
+	// one data: line carries the exact bytes. Event ids come from the
+	// job's own counter, so a client that reconnects sees ids continue
+	// to climb (its Last-Event-ID is never reissued) and can tell
+	// replayed state from stale duplicates.
 	send := func(name string, payload []byte) bool {
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, payload); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
+			job.eventSeq.Add(1), name, payload); err != nil {
 			return false
 		}
 		fl.Flush()

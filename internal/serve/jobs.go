@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mnpusim/internal/config"
+	"mnpusim/internal/obs/recorder"
 	"mnpusim/internal/sim"
 )
 
@@ -132,6 +134,10 @@ type Job struct {
 	// teed probe sink.
 	progress jobProgress
 
+	// eventSeq numbers the job's SSE events; it lives on the job, not
+	// the stream, so ids stay monotonic across client reconnects.
+	eventSeq atomic.Int64
+
 	mu       sync.Mutex
 	status   Status
 	cached   bool
@@ -140,6 +146,16 @@ type Job struct {
 	attr     []byte // canonical JSON of the attrib.Report, nil if unavailable
 	done     chan struct{}
 	doneOnce sync.Once
+
+	// recorder is the job's always-on flight recorder, attached by the
+	// worker and teed behind the probe stream. dump holds the first
+	// anomaly window captured from it (watchdog fire, cancellation,
+	// timeout, error, or panic); profile holds the watchdog's CPU
+	// profile.
+	recorder   *recorder.Recorder
+	dump       []byte
+	dumpReason string
+	profile    []byte
 }
 
 // JobView is the JSON representation of a job's current state.
@@ -215,6 +231,72 @@ func (j *Job) markRunning() bool {
 	}
 	j.status = StatusRunning
 	return true
+}
+
+// setRecorder attaches the flight recorder when the worker picks the
+// job up.
+func (j *Job) setRecorder(r *recorder.Recorder) {
+	j.mu.Lock()
+	j.recorder = r
+	j.mu.Unlock()
+}
+
+// captureDump stores the recorder's current window under reason. Only
+// the first capture wins — a watchdog dump taken mid-run is not
+// overwritten by the cancellation or timeout dump that follows it — and
+// it reports whether this call did the capturing.
+func (j *Job) captureDump(reason string) bool {
+	j.mu.Lock()
+	rec := j.recorder
+	captured := j.dump != nil
+	j.mu.Unlock()
+	if rec == nil || captured {
+		return false
+	}
+	// Serialize outside the job lock: DumpBytes takes the recorder's own
+	// mutex against the still-emitting simulation goroutine.
+	b := rec.DumpBytes(reason)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dump != nil {
+		return false
+	}
+	j.dump, j.dumpReason = b, reason
+	return true
+}
+
+// Dump returns the captured anomaly dump, if any.
+func (j *Job) Dump() (data []byte, reason string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dump, j.dumpReason, j.dump != nil
+}
+
+// LiveDump serializes the recorder's current window on demand; ok is
+// false when no recorder was ever attached (queued or cache-served
+// jobs).
+func (j *Job) LiveDump(reason string) ([]byte, bool) {
+	j.mu.Lock()
+	rec := j.recorder
+	j.mu.Unlock()
+	if rec == nil {
+		return nil, false
+	}
+	return rec.DumpBytes(reason), true
+}
+
+// setProfile stores the watchdog's CPU profile.
+func (j *Job) setProfile(b []byte) {
+	j.mu.Lock()
+	j.profile = b
+	j.mu.Unlock()
+}
+
+// Profile returns the watchdog's CPU profile, if one was captured.
+func (j *Job) Profile() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.profile, j.profile != nil
 }
 
 // finish moves the job to a terminal state exactly once.

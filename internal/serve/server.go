@@ -12,18 +12,24 @@
 //	                            attribution inlined when done
 //	GET    /v1/jobs/{id}/result raw canonical result JSON (bytes equal
 //	                            to `mnpusim -json` for the same config)
-//	GET    /v1/jobs/{id}/events SSE stream: progress and registry
+//	GET    /v1/jobs/{id}/events SSE stream (with id: fields and a
+//	                            retry: hint): progress and registry
 //	                            snapshots while running, then an
 //	                            attribution event and one terminal
 //	                            event whose payload byte-matches the
 //	                            result endpoint
+//	GET    /v1/jobs/{id}/dump   flight-recorder window (binary MNPUFR1;
+//	                            decode with mnputrace -mode postmortem)
+//	GET    /v1/jobs/{id}/profile CPU profile captured on watchdog fire
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/workloads        built-in workloads, scales, sharing levels
 //	GET    /v1/healthz          liveness and queue occupancy
-//	GET    /metrics             registry snapshot as sorted text lines
+//	GET    /metrics             registry in the Prometheus text
+//	                            exposition format
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -31,10 +37,12 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/recorder"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
@@ -71,6 +79,19 @@ type Config struct {
 	// Nil discards it.
 	Logger *slog.Logger
 
+	// WatchdogFraction arms a per-job anomaly watchdog at this fraction
+	// of the job's timeout (e.g. 0.5 fires halfway to the deadline): a
+	// job still running then gets its flight-recorder window dumped and
+	// a CPU profile captured, before the timeout kills it. Zero
+	// disables the watchdog; jobs without a timeout are never watched.
+	WatchdogFraction float64
+	// WatchdogProfile is the CPU-profile capture duration on watchdog
+	// fire. Zero means 250ms.
+	WatchdogProfile time.Duration
+	// RecorderRingCap sizes each per-job flight-recorder ring, in
+	// events. Zero means recorder.DefaultRingCap.
+	RecorderRingCap int
+
 	// snapshotEvery emits one registry-snapshot SSE event per this many
 	// progress ticks; New defaults it to 4.
 	snapshotEvery int
@@ -102,7 +123,7 @@ type Server struct {
 	cache *resultCache
 
 	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *obs.Counter
-	cacheHits, simulations                             *obs.Counter
+	cacheHits, simulations, watchdogFires              *obs.Counter
 	queueDepth, running                                *obs.Gauge
 }
 
@@ -150,6 +171,7 @@ func New(cfg Config) *Server {
 		jobsCancelled: reg.Counter("serve.jobs_cancelled"),
 		cacheHits:     reg.Counter("serve.cache_hits"),
 		simulations:   reg.Counter("serve.simulations"),
+		watchdogFires: reg.Counter("serve.watchdog_fires"),
 		queueDepth:    reg.Gauge("serve.queue_depth"),
 		running:       reg.Gauge("serve.running"),
 	}
@@ -302,9 +324,12 @@ func (s *Server) worker() {
 
 // runJob executes one job under its context and timeout, classifying
 // the outcome and feeding the result cache. Every run carries a
-// stall-cycle attribution engine and the job's progress sink on its
-// probe stream; neither perturbs the result bytes (the obs layer's
-// determinism contract, proven in internal/sim).
+// stall-cycle attribution engine, the job's progress sink, and an
+// always-on flight recorder on its probe stream; none perturbs the
+// result bytes (the obs layer's determinism contract, proven in
+// internal/sim). Anomalous exits — cancellation, timeout, simulation
+// error, or an invariant-trip panic — capture the recorder's final
+// window as the job's post-mortem dump.
 func (s *Server) runJob(job *Job) {
 	if !job.markRunning() {
 		return // cancelled while queued
@@ -325,12 +350,25 @@ func (s *Server) runJob(job *Job) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = s.reg
 	}
+	rec := recorder.New(cfg.Cores(), cfg.DRAM.Channels, s.cfg.RecorderRingCap)
+	job.setRecorder(rec)
 	attr := sim.NewAttribution(cfg)
-	cfg.Obs = obs.Tee(cfg.Obs, attr, &job.progress)
+	cfg.Obs = obs.Tee(cfg.Obs, attr, &job.progress, rec)
+
+	// The anomaly watchdog: a job that reaches this fraction of its
+	// deadline still running is already an interesting run; capture its
+	// window and host CPU profile while it is still alive.
+	if s.cfg.WatchdogFraction > 0 && job.timeout > 0 {
+		wd := time.AfterFunc(
+			time.Duration(float64(job.timeout)*s.cfg.WatchdogFraction),
+			func() { s.watchdogFire(job) })
+		defer wd.Stop()
+	}
+
 	s.simulations.Inc()
 	s.log.Info("job running", "job", job.ID, "cores", cfg.Cores())
 	start := time.Now()
-	res, err := s.simulate(ctx, cfg)
+	res, err := s.runSimulation(ctx, job, cfg)
 	elapsed := time.Since(start)
 	switch {
 	case err == nil:
@@ -353,18 +391,75 @@ func (s *Server) runJob(job *Job) {
 		s.jobsDone.Inc()
 		s.log.Info("job done", "job", job.ID, "elapsed", elapsed, "global_cycles", res.GlobalCycles)
 	case errors.Is(err, context.Canceled):
+		job.captureDump("cancelled")
 		job.finish(StatusCancelled, nil, nil, err.Error())
 		s.jobsCancelled.Inc()
 		s.log.Info("job cancelled", "job", job.ID, "elapsed", elapsed)
 	case errors.Is(err, context.DeadlineExceeded):
+		job.captureDump("timeout")
 		job.finish(StatusFailed, nil, nil, fmt.Sprintf("job timeout (%s): %v", job.timeout, err))
 		s.jobsFailed.Inc()
 		s.log.Warn("job timed out", "job", job.ID, "timeout", job.timeout)
 	default:
+		job.captureDump("error: " + err.Error())
 		job.finish(StatusFailed, nil, nil, err.Error())
 		s.jobsFailed.Inc()
 		s.log.Warn("job failed", "job", job.ID, "err", err)
 	}
+}
+
+// runSimulation invokes the simulation seam with the job's ID as a
+// pprof label (so watchdog CPU profiles attribute samples to jobs) and
+// converts a panic — an invariant trip under -tags=invariants is one —
+// into an error after capturing the flight-recorder window.
+func (s *Server) runSimulation(ctx context.Context, job *Job, cfg sim.Config) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			job.captureDump(fmt.Sprintf("panic: %v", p))
+			err = fmt.Errorf("serve: simulation panic: %v", p)
+			s.log.Error("simulation panicked", "job", job.ID, "panic", p)
+		}
+	}()
+	pprof.Do(ctx, pprof.Labels("job", job.ID), func(ctx context.Context) {
+		res, err = s.simulate(ctx, cfg)
+	})
+	return res, err
+}
+
+// cpuProfMu serializes watchdog CPU captures: StartCPUProfile is
+// process-global and errors if a profile is already being taken.
+var cpuProfMu sync.Mutex
+
+// watchdogFire runs on the watchdog timer's goroutine when a job hits
+// its deadline fraction still running.
+func (s *Server) watchdogFire(job *Job) {
+	if job.Status() != StatusRunning {
+		return
+	}
+	if !job.captureDump("watchdog") {
+		return
+	}
+	s.watchdogFires.Inc()
+	s.log.Warn("watchdog fired", "job", job.ID,
+		"fraction", s.cfg.WatchdogFraction, "timeout", job.timeout)
+
+	dur := s.cfg.WatchdogProfile
+	if dur <= 0 {
+		dur = 250 * time.Millisecond
+	}
+	cpuProfMu.Lock()
+	defer cpuProfMu.Unlock()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Another profiler owns the CPU (e.g. the operator attached one);
+		// the dump alone still tells the post-mortem story.
+		s.log.Warn("watchdog cpu profile unavailable", "job", job.ID, "err", err)
+		return
+	}
+	time.Sleep(dur)
+	pprof.StopCPUProfile()
+	job.setProfile(buf.Bytes())
+	s.log.Info("watchdog cpu profile captured", "job", job.ID, "bytes", buf.Len(), "dur", dur)
 }
 
 // Shutdown stops accepting jobs and drains the queue: already-accepted
@@ -439,6 +534,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/dump", s.handleDump)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -545,6 +642,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.reg.Snapshot().WriteText(w)
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = s.reg.Snapshot().WritePrometheus(w)
+}
+
+// handleDump is GET /v1/jobs/{id}/dump: the job's flight-recorder
+// window as a binary MNPUFR1 dump (decode with mnputrace -mode
+// postmortem). An anomaly-captured dump (watchdog, cancellation,
+// timeout, error, panic) is served as stored; otherwise the recorder's
+// live window is serialized on demand.
+func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "no such job %q", r.PathValue("id")))
+		return
+	}
+	b, reason, ok := job.Dump()
+	if !ok {
+		if b, ok = job.LiveDump("on-demand"); !ok {
+			writeError(w, errf(http.StatusConflict,
+				"job %s has no flight-recorder window (never ran: %s)", job.ID, job.Status()))
+			return
+		}
+		reason = "on-demand"
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Dump-Reason", reason)
+	_, _ = w.Write(b)
+}
+
+// handleProfile is GET /v1/jobs/{id}/profile: the pprof CPU profile the
+// watchdog captured when it fired.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "no such job %q", r.PathValue("id")))
+		return
+	}
+	b, ok := job.Profile()
+	if !ok {
+		writeError(w, errf(http.StatusConflict, "job %s has no CPU profile (watchdog never fired)", job.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(b)
 }

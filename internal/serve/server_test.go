@@ -415,11 +415,14 @@ func TestWorkloadsAndMetricsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got := resp.Header.Get("Content-Type"); got != obs.PrometheusContentType {
+		t.Errorf("metrics Content-Type = %q, want %q", got, obs.PrometheusContentType)
+	}
 	buf := new(bytes.Buffer)
 	_, _ = buf.ReadFrom(resp.Body)
 	resp.Body.Close()
-	for _, want := range []string{"serve.jobs_submitted 1", "serve.jobs_done 1", "serve.simulations 1"} {
-		if !strings.Contains(buf.String(), want) {
+	for _, want := range []string{"serve_jobs_submitted 1", "serve_jobs_done 1", "serve_simulations 1"} {
+		if !strings.Contains(buf.String(), want+"\n") {
 			t.Errorf("metrics missing %q:\n%s", want, buf.String())
 		}
 	}

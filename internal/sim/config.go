@@ -10,6 +10,7 @@ import (
 	"mnpusim/internal/model"
 	"mnpusim/internal/npu"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/hostprof"
 )
 
 // Config fully describes one simulation: N cores, their workloads, the
@@ -95,6 +96,16 @@ type Config struct {
 	// metric names). The registry accumulates: runs sharing one registry
 	// sum their counts.
 	Metrics *obs.Registry `json:"-"`
+
+	// HostProf, if non-nil, accumulates a wall-time breakdown of the
+	// simulator itself (kernel scheduling vs per-component tick time vs
+	// probe-sink overhead) and publishes it into Metrics as
+	// sim.host_ns.component.* counters at run end. Host time is
+	// observation only: results are byte-identical with it on or off,
+	// but the published counters are wall-clock and therefore vary run
+	// to run — which is why they appear only on explicit opt-in rather
+	// than whenever Metrics is set.
+	HostProf *hostprof.Profiler `json:"-"`
 
 	// OnTransfer, if non-nil, observes completed DRAM bursts (the
 	// bandwidth timeline of Fig. 12).

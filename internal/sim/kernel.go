@@ -11,6 +11,7 @@ import (
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/npu"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/hostprof"
 )
 
 // Kernel selects the simulation driver (see Config.Kernel).
@@ -306,6 +307,7 @@ func (k *eventKernel) absorb(t clock.Global) {
 // final Result are byte-identical to runTick's by construction.
 func (s *system) runEvent(ctx context.Context, ek *eventKernel) (clock.Global, error) {
 	cfg := s.cfg
+	hp := cfg.HostProf
 	chs := s.memory.Channels()
 	mmuID := chs
 	comps := make([]component, 0, chs+1+len(s.cores))
@@ -329,9 +331,30 @@ func (s *system) runEvent(ctx context.Context, ek *eventKernel) (clock.Global, e
 		ek.arm(mmuID+1+i, s.starts[i])
 	}
 
+	// secFor classes a component id for the host-time ladder; ids follow
+	// the within-cycle order (channels, MMU, cores).
+	secFor := func(id int) hostprof.Section {
+		switch {
+		case id < mmuID:
+			return hostprof.SecTickDRAM
+		case id == mmuID:
+			return hostprof.SecTickMMU
+		default:
+			return hostprof.SecTickCore
+		}
+	}
+
 	done := ctx.Done()
 	var prev clock.Global = -1
 	for !s.allDone() {
+		// Host-time ladder: one clock read per section boundary, none
+		// when no profiler is attached. Scheduling (heap pops, the absorb
+		// scan, horizon re-arming below) is SecKernelHeap; each tick is
+		// its component's section.
+		var hpT int64
+		if hp != nil {
+			hpT = hostprof.Now()
+		}
 		var t clock.Global
 		if ek.nhot > 0 {
 			// Something is due on the very next cycle; no heap entry can
@@ -346,6 +369,9 @@ func (s *system) runEvent(ctx context.Context, ek *eventKernel) (clock.Global, e
 		}
 		ek.absorb(t)
 		ek.cur = t
+		if hp != nil {
+			hp.AddSince(hostprof.SecKernelHeap, hpT)
+		}
 		if done != nil && s.loopIters&cancelCheckMask == 0 {
 			select {
 			case <-done:
@@ -373,6 +399,9 @@ func (s *system) runEvent(ctx context.Context, ek *eventKernel) (clock.Global, e
 				continue
 			}
 			c := ek.comps[id]
+			if hp != nil {
+				hpT = hostprof.Now()
+			}
 			if ek.last[id] < t-1 {
 				// The component slept through (last, t): catch its
 				// bookkeeping up across the provably quiet gap before
@@ -383,12 +412,18 @@ func (s *system) runEvent(ctx context.Context, ek *eventKernel) (clock.Global, e
 			c.tick(t)
 			ek.last[id] = t
 			s.compTicks++
+			if hp != nil {
+				hpT = hp.AddSince(secFor(id), hpT)
+			}
 			if next := c.next(t); next == t+1 {
 				// Due again immediately: stay hot, skip the heap.
 			} else {
 				ek.hot[id] = false
 				ek.nhot--
 				ek.arm(id, next)
+			}
+			if hp != nil {
+				hp.AddSince(hostprof.SecKernelHeap, hpT)
 			}
 		}
 		s.phaseScan(t)

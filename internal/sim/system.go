@@ -11,6 +11,7 @@ import (
 	"mnpusim/internal/mmu"
 	"mnpusim/internal/npu"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/hostprof"
 	"mnpusim/internal/tile"
 )
 
@@ -180,6 +181,10 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if reg != nil {
 		sink = obs.Tee(sink, obs.NewRegistrySink(reg))
 	}
+	// The profiler times the whole sink chain (caller's sink + registry
+	// fold) at the emission boundary; with no profiler the sink passes
+	// through unwrapped, preserving the nil fast path.
+	sink = cfg.HostProf.WrapSink(sink)
 	memory.SetObs(sink)
 	unit.SetObs(sink)
 
@@ -281,11 +286,18 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		sys.finished = make([]bool, n)
 	}
 
+	var hpRun int64
+	if cfg.HostProf != nil {
+		hpRun = hostprof.Now()
+	}
 	var now clock.Global
 	if kern == KernelTick {
 		now, err = sys.runTick(ctx)
 	} else {
 		now, err = sys.runEvent(ctx, ek)
+	}
+	if cfg.HostProf != nil {
+		cfg.HostProf.Add(hostprof.SecRun, hostprof.Now()-hpRun)
 	}
 	if err != nil {
 		return Result{}, err
@@ -302,6 +314,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		if ek != nil {
 			reg.Counter("sim.heap_pops").Add(ek.pops)
 		}
+		cfg.HostProf.Publish(reg)
 	}
 	if cfg.OnLoopStats != nil {
 		// Deprecated shim: the loop bookkeeping now flows through the
@@ -344,6 +357,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 func (s *system) runTick(ctx context.Context) (clock.Global, error) {
 	cfg := s.cfg
 	chTicks := int64(s.memory.Channels())
+	hp := cfg.HostProf
 
 	// done is nil for context.Background(), turning every cancellation
 	// poll into a single branch.
@@ -368,8 +382,20 @@ func (s *system) runTick(ctx context.Context) (clock.Global, error) {
 		if cfg.MaxGlobalCycles > 0 && now > cfg.MaxGlobalCycles {
 			return 0, fmt.Errorf("sim: exceeded MaxGlobalCycles=%d (deadlock or runaway config)", cfg.MaxGlobalCycles)
 		}
+		// Host-time ladder: one clock read per section boundary, and none
+		// at all when no profiler is attached.
+		var hpT int64
+		if hp != nil {
+			hpT = hostprof.Now()
+		}
 		s.memory.Tick(now)
+		if hp != nil {
+			hpT = hp.AddSince(hostprof.SecTickDRAM, hpT)
+		}
 		s.unit.Tick(now)
+		if hp != nil {
+			hpT = hp.AddSince(hostprof.SecTickMMU, hpT)
+		}
 		s.compTicks += chTicks + 1
 		for i, c := range s.cores {
 			if now < s.starts[i] {
@@ -377,6 +403,9 @@ func (s *system) runTick(ctx context.Context) (clock.Global, error) {
 			}
 			c.Tick(now - s.starts[i])
 			s.compTicks++
+		}
+		if hp != nil {
+			hpT = hp.AddSince(hostprof.SecTickCore, hpT)
 		}
 		s.phaseScan(now)
 		// Event skipping: every component reports the earliest cycle at
@@ -405,6 +434,9 @@ func (s *system) runTick(ctx context.Context) (clock.Global, error) {
 			}
 		}
 		if next <= now+1 {
+			if hp != nil {
+				hp.AddSince(hostprof.SecKernelHeap, hpT)
+			}
 			now++
 			continue
 		}
@@ -433,6 +465,9 @@ func (s *system) runTick(ctx context.Context) (clock.Global, error) {
 			if now >= s.starts[i] {
 				c.SkipTo(next - s.starts[i])
 			}
+		}
+		if hp != nil {
+			hp.AddSince(hostprof.SecKernelHeap, hpT)
 		}
 		now = next
 	}

@@ -101,8 +101,8 @@ curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" >"$TMP/job2.json"
 grep -q '"cached":true' "$TMP/job2.json" ||
 	fail "resubmission not served from cache: $(cat "$TMP/job2.json")"
 curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
-grep -q '^serve.simulations 1$' "$TMP/metrics.txt" ||
-	fail "expected exactly 1 simulation, got: $(grep '^serve\.' "$TMP/metrics.txt" | tr '\n' ' ')"
+grep -q '^serve_simulations 1$' "$TMP/metrics.txt" ||
+	fail "expected exactly 1 simulation, got: $(grep '^serve_' "$TMP/metrics.txt" | tr '\n' ' ')"
 
 echo "serve-smoke: cancelling an in-flight heavier job"
 curl -fsS -X POST -d '{"workloads":["ncf","gpt2"],"scale":"small","sharing":"+dwt"}' \
