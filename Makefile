@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-json invariants attr-invariants check bench bench-check obs-smoke serve-smoke postmortem-smoke kernel-check kernel-ab
+.PHONY: build test race vet lint lint-json invariants attr-invariants check bench bench-check obs-smoke serve-smoke fleet-smoke serve-bench postmortem-smoke kernel-check kernel-ab
 
 build:
 	$(GO) build ./...
@@ -101,6 +101,21 @@ obs-smoke:
 # and drain via SIGTERM (see scripts/serve_smoke.sh).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end fleet smoke: boot THREE daemons sharing a persistent
+# cache directory and a consistent-hash ring, run a sampled quad sweep
+# through POST /v1/sweeps, verify cross-daemon routing and shared-cache
+# dedup (one simulation per distinct unit fleet-wide), kill a member
+# mid-sweep and require the sweep to complete anyway, then drain the
+# survivors (see scripts/fleet_smoke.sh).
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
+# Serving-layer load benchmark: boot a daemon, replay a dual-core grid
+# 25x through cmd/mnpuload, and record latency percentiles, throughput,
+# and the cache-hit rate (must be >= 0.9) -> BENCH_serve.json.
+serve-bench:
+	sh scripts/serve_bench.sh BENCH_serve.json
 
 # End-to-end post-mortem smoke, race + invariants enabled: kill a job
 # mid-run, fetch its flight-recorder dump over HTTP, validate it with

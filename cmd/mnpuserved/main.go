@@ -18,6 +18,14 @@
 // by job ID; -log-level and -log-format select verbosity and text/json
 // encoding. -debug-addr optionally serves net/http/pprof and a
 // /debug/registry metrics dump on a second listener (off by default).
+// POST /v1/sweeps expands and runs a whole experiment grid
+// server-side (poll GET /v1/sweeps/{id} for the aggregated result).
+// -cache-dir persists the result cache on disk — one crash-safely
+// written file per configuration fingerprint, warmed on restart and
+// shareable between daemons — and -peers/-self form a consistent-hash
+// fleet that routes each configuration to one owner and forwards
+// misrouted submissions (GET /v1/fleet introspects the ring; see
+// API.md for the full endpoint reference).
 // On SIGINT/SIGTERM the daemon stops accepting jobs, drains in-flight
 // work (bounded by -drain-timeout, after which remaining jobs are
 // cancelled), keeps status GETs answering throughout the drain, then
@@ -36,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -89,6 +98,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		wdFraction   = fs.Float64("watchdog", 0.75, "anomaly watchdog: capture a flight-recorder dump and CPU profile when a job reaches this fraction of its timeout still running (0 = off; needs a job timeout)")
 		wdProfile    = fs.Duration("watchdog-profile", 250*time.Millisecond, "CPU-profile capture duration when the watchdog fires")
 		ringCap      = fs.Int("recorder-ring", 0, "flight-recorder ring capacity per (core, channel) track, in events (0 = default)")
+		cacheDir     = fs.String("cache-dir", "", "persistent result-cache directory (empty = memory only); instances sharing one directory share results")
+		peersFlag    = fs.String("peers", "", "comma-separated fleet member base URLs (including this daemon's); enables consistent-hash job routing")
+		selfFlag     = fs.String("self", "", "this daemon's base URL within -peers (default http://<addr>)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,8 +117,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// Listen before building the server so the default -self URL can
+	// name the actually bound address (":0" resolves to a real port).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, strings.TrimRight(p, "/"))
+			}
+		}
+	}
+	self := strings.TrimRight(*selfFlag, "/")
+	if self == "" && len(peers) > 0 {
+		self = "http://" + ln.Addr().String()
+	}
+
 	reg := obs.NewRegistry()
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		DefaultJobTimeout: *jobTimeout,
@@ -117,13 +150,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		WatchdogFraction:  *wdFraction,
 		WatchdogProfile:   *wdProfile,
 		RecorderRingCap:   *ringCap,
+		CacheDir:          *cacheDir,
+		Peers:             peers,
+		Self:              self,
 	})
-	hs := &http.Server{Handler: srv.Handler()}
-	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers)
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers,
+		"cache_dir", *cacheDir, "fleet", len(peers))
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"strings"
 
 	"mnpusim/internal/metrics"
@@ -130,23 +132,46 @@ func DualCoreSharing(r *Runner) (SharingResult, error) {
 	return out, nil
 }
 
-// QuadMixes enumerates the 330 quad-core mixes, optionally sampled down
-// to at most sample mixes (every k-th of the deterministic order).
-func QuadMixes(names []string, sample int) [][]string {
-	sets := stats.Multisets(len(names), 4)
-	stride := 1
-	if sample > 0 && sample < len(sets) {
-		stride = len(sets) / sample
+// Mixes enumerates the M(len(names), cores) workload mixes in the
+// deterministic multiset order, optionally sampled. With seed 0 the
+// sample keeps every k-th mix (k = population/sample, the stride the
+// quad experiments have always used); a non-zero seed instead keeps a
+// seed-keyed random subset of exactly sample mixes, still in
+// enumeration order. The same (names, cores, sample, seed) always
+// yields the same list.
+func Mixes(names []string, cores, sample int, seed int64) [][]string {
+	sets := stats.Multisets(len(names), cores)
+	keep := make([]int, 0, len(sets))
+	switch {
+	case sample <= 0 || sample >= len(sets):
+		for i := range sets {
+			keep = append(keep, i)
+		}
+	case seed == 0:
+		stride := len(sets) / sample
+		for i := 0; i < len(sets); i += stride {
+			keep = append(keep, i)
+		}
+	default:
+		rng := rand.New(rand.NewSource(seed))
+		keep = append(keep, rng.Perm(len(sets))[:sample]...)
+		sort.Ints(keep)
 	}
-	var out [][]string
-	for i := 0; i < len(sets); i += stride {
-		mix := make([]string, 4)
+	out := make([][]string, 0, len(keep))
+	for _, i := range keep {
+		mix := make([]string, cores)
 		for k, idx := range sets[i] {
 			mix[k] = names[idx]
 		}
 		out = append(out, mix)
 	}
 	return out
+}
+
+// QuadMixes enumerates the 330 quad-core mixes, optionally sampled down
+// to at most sample mixes (every k-th of the deterministic order).
+func QuadMixes(names []string, sample int) [][]string {
+	return Mixes(names, 4, sample, 0)
 }
 
 // QuadCoreSharing runs Fig 5 (performance CDF) and Fig 7 (fairness

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mnpusim/internal/serve/api"
+)
+
+// apiError carries an HTTP status with a client-facing message; it is
+// rendered as the structured error envelope every /v1 endpoint shares
+// (api.ErrorEnvelope). The error code and retryability derive from the
+// status, so one constructor keeps the surface consistent.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError renders err as the structured envelope
+// {"error":{"code","message","retryable"}}. Non-apiError values map to
+// 500/internal.
+func writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = errf(http.StatusInternalServerError, "%v", err)
+	}
+	writeJSON(w, ae.code, api.ErrorEnvelope{Error: api.ErrorBody{
+		Code:      api.CodeForStatus(ae.code),
+		Message:   ae.msg,
+		Retryable: api.RetryableStatus(ae.code),
+	}})
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mnpusim/internal/obs"
+	"mnpusim/internal/serve/api"
 )
 
 // sseRetryMS is the reconnect backoff hint sent at the head of every
@@ -37,17 +38,8 @@ func (p *jobProgress) Emit(e obs.Event) {
 	}
 }
 
-// progressView is the SSE "progress" event payload.
-type progressView struct {
-	Status        Status `json:"status"`
-	Cycle         int64  `json:"cycle"`
-	Iterations    int64  `json:"iterations"`
-	SkipWindows   int64  `json:"skip_windows"`
-	SkippedCycles int64  `json:"skipped_cycles"`
-}
-
-func (p *jobProgress) view(st Status) progressView {
-	return progressView{
+func (p *jobProgress) view(st Status) api.JobProgress {
+	return api.JobProgress{
 		Status:        st,
 		Cycle:         p.cycle.Load(),
 		Iterations:    p.iters.Load(),

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"time"
+
+	"mnpusim/internal/serve/api"
+	"mnpusim/internal/serve/client"
+)
+
+// ringVnodes is the per-member virtual-node count of the hash ring.
+// Higher counts smooth the ownership shares; 64 keeps the worst member
+// within a few percent of 1/n for small fleets.
+const ringVnodes = 64
+
+// hashRing maps job keys to fleet members by consistent hashing: each
+// member contributes ringVnodes points (FNV-1a 64 of "url|i"), a key
+// is owned by the first point clockwise from its own hash, and every
+// member building the ring from the same peer list computes the same
+// owner for every key. Membership is static for a daemon's lifetime —
+// reconfiguring the fleet means restarting it (and because results are
+// content-addressed, a restart with a different list only costs cache
+// locality, never correctness).
+type hashRing struct {
+	self   string
+	peers  []string // as configured, order preserved
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// newHashRing validates the fleet config and builds the ring. A nil
+// ring (no peers, or self as the only peer) means solo operation.
+func newHashRing(peers []string, self string) (*hashRing, error) {
+	if len(peers) == 0 {
+		if self != "" {
+			return nil, fmt.Errorf("serve: Self set without Peers")
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, fmt.Errorf("serve: Peers set without Self")
+	}
+	found := false
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("serve: empty peer URL")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("serve: duplicate peer %q", p)
+		}
+		seen[p] = true
+		if p == self {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("serve: Self %q not in Peers %v", self, peers)
+	}
+	if len(peers) == 1 {
+		return nil, nil // a fleet of one routes nothing
+	}
+	r := &hashRing{self: self, peers: append([]string(nil), peers...)}
+	for _, p := range peers {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s|%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// ringHash hashes a ring label or job key to a point on the ring.
+// Raw FNV-1a leaves the near-identical vnode labels ("url|0", "url|1",
+// ...) correlated enough to skew arc ownership badly, so the output is
+// passed through a splitmix64-style finalizer to decorrelate the bits.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ownerOf returns the member owning key.
+func (r *hashRing) ownerOf(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise from the top of the ring
+	}
+	return r.points[i].peer
+}
+
+// shares returns each member's owned fraction of the ring's keyspace.
+func (r *hashRing) shares() map[string]float64 {
+	out := make(map[string]float64, len(r.peers))
+	const full = float64(1<<63) * 2 // 2^64 as a float
+	for i, p := range r.points {
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		arc := p.hash - prev // uint64 wraparound handles the top of the ring
+		out[p.peer] += float64(arc) / full
+	}
+	return out
+}
+
+// owner returns the peer URL that owns key, or "" when this daemon
+// does (or when no fleet is configured).
+func (s *Server) owner(key string) string {
+	if s.ring == nil {
+		return ""
+	}
+	if o := s.ring.ownerOf(key); o != s.cfg.Self {
+		return o
+	}
+	return ""
+}
+
+// fleetClient dials a peer for forwarded work. Forwarded stamps
+// client.ForwardedHeader on submissions so the recipient executes
+// locally instead of re-forwarding.
+func (s *Server) fleetClient(peer string) *client.Client {
+	c := client.New(peer)
+	c.Forwarded = s.cfg.Self
+	c.HTTP = &http.Client{Timeout: 10 * time.Second}
+	return c
+}
+
+// forwardJob relays a misrouted submission to its owner and returns
+// the owner's view with Peer set, so the submitter knows where to
+// poll. ok=false (owner unreachable or rejecting) tells the caller to
+// fall back to local execution.
+func (s *Server) forwardJob(ctx context.Context, owner string, spec JobSpec) (JobView, bool) {
+	view, err := s.fleetClient(owner).SubmitJob(ctx, spec)
+	if err != nil {
+		s.log.Warn("forward failed, running locally", "owner", owner, "err", err)
+		return JobView{}, false
+	}
+	s.forwarded.Inc()
+	view.Peer = owner
+	s.log.Info("job forwarded", "owner", owner, "job", view.ID, "key", view.Key)
+	return view, true
+}
+
+// handleFleet is GET /v1/fleet: static membership, a live health probe
+// of every peer, and each member's share of the hash ring.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		writeJSON(w, http.StatusOK, api.FleetView{
+			Self:         s.cfg.Self,
+			VirtualNodes: ringVnodes,
+			Peers: []api.PeerView{{
+				URL: s.cfg.Self, Self: true, Healthy: true,
+				Status: s.Stats().Status, OwnedShare: 1,
+			}},
+		})
+		return
+	}
+	shares := s.ring.shares()
+	view := api.FleetView{Self: s.cfg.Self, VirtualNodes: ringVnodes}
+	type probe struct {
+		i       int
+		healthy bool
+		status  string
+	}
+	results := make(chan probe, len(s.ring.peers))
+	for i, p := range s.ring.peers {
+		pv := api.PeerView{URL: p, OwnedShare: shares[p]}
+		if p == s.cfg.Self {
+			pv.Self, pv.Healthy, pv.Status = true, true, s.Stats().Status
+			view.Peers = append(view.Peers, pv)
+			continue
+		}
+		view.Peers = append(view.Peers, pv)
+		go func(i int, url string) {
+			st, err := s.fleetClient(url).Healthz(r.Context())
+			if err != nil {
+				results <- probe{i: i, status: "unreachable"}
+				return
+			}
+			results <- probe{i: i, healthy: true, status: st.Status}
+		}(i, p)
+	}
+	for n := len(s.ring.peers) - 1; n > 0; n-- {
+		pr := <-results
+		view.Peers[pr.i].Healthy = pr.healthy
+		view.Peers[pr.i].Status = pr.status
+	}
+	writeJSON(w, http.StatusOK, view)
+}

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mnpusim/internal/serve/client"
+	"mnpusim/internal/sim"
+)
+
+func TestHashRingValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		peers []string
+		self  string
+		ok    bool
+	}{
+		{"solo", nil, "", true},
+		{"single peer collapses to solo", []string{"http://a"}, "http://a", true},
+		{"fleet", []string{"http://a", "http://b"}, "http://a", true},
+		{"self without peers", nil, "http://a", false},
+		{"peers without self", []string{"http://a", "http://b"}, "", false},
+		{"self not a member", []string{"http://a", "http://b"}, "http://c", false},
+		{"duplicate peer", []string{"http://a", "http://a"}, "http://a", false},
+		{"empty peer", []string{"http://a", ""}, "http://a", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := newHashRing(tc.peers, tc.self)
+			if (err == nil) != tc.ok {
+				t.Fatalf("newHashRing(%v, %q) err = %v, want ok=%v", tc.peers, tc.self, err, tc.ok)
+			}
+			if tc.ok && len(tc.peers) < 2 && r != nil {
+				t.Error("expected nil ring for solo operation")
+			}
+		})
+	}
+}
+
+// TestHashRingDeterministicAndBalanced verifies every member computes
+// the same owner for a key (the property routing correctness rests on)
+// and that ownership spreads roughly evenly.
+func TestHashRingDeterministicAndBalanced(t *testing.T) {
+	peers := []string{"http://h1:8080", "http://h2:8080", "http://h3:8080"}
+	rings := make([]*hashRing, len(peers))
+	for i, self := range peers {
+		r, err := newHashRing(peers, self)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		key := string(rune('a'+i%26)) + "fingerprint" + string(rune('0'+i%10)) + string(rune('A'+(i/260)%26))
+		owner := rings[0].ownerOf(key)
+		for _, r := range rings[1:] {
+			if got := r.ownerOf(key); got != owner {
+				t.Fatalf("ring disagreement for %q: %s vs %s", key, owner, got)
+			}
+		}
+		counts[owner]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if math.Abs(share-1.0/3) > 0.15 {
+			t.Errorf("peer %s owns %.0f%% of keys; want roughly a third (counts %v)", p, share*100, counts)
+		}
+	}
+	// shares() should roughly agree with the empirical distribution.
+	for p, arc := range rings[0].shares() {
+		if math.Abs(arc-float64(counts[p])/keys) > 0.1 {
+			t.Errorf("peer %s arc share %.3f vs empirical %.3f", p, arc, float64(counts[p])/keys)
+		}
+	}
+}
+
+// fleetHarness stands up n serve instances over late-bound httptest
+// servers so every member knows the full peer list at construction.
+type fleetHarness struct {
+	servers []*Server
+	urls    []string
+	ts      []*httptest.Server
+}
+
+func newFleetHarness(t *testing.T, n int, cfg Config, kern func(context.Context, sim.Config) (sim.Result, error)) *fleetHarness {
+	t.Helper()
+	h := &fleetHarness{servers: make([]*Server, n), urls: make([]string, n), ts: make([]*httptest.Server, n)}
+	for i := 0; i < n; i++ {
+		i := i
+		h.ts[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if s := h.servers[i]; s != nil {
+				s.Handler().ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+		}))
+		h.urls[i] = h.ts[i].URL
+		t.Cleanup(h.ts[i].Close)
+	}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Peers = append([]string(nil), h.urls...)
+		c.Self = h.urls[i]
+		s, err := New(c)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if kern != nil {
+			s.simulate = kern
+		}
+		h.servers[i] = s
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		})
+	}
+	return h
+}
+
+// TestFleetForwardsToOwner verifies a job submitted to a non-owner is
+// transparently forwarded: the submitter's view carries the peer URL,
+// the owner runs the simulation, and the forwarded counter moves.
+func TestFleetForwardsToOwner(t *testing.T) {
+	ran := make([]int, 2)
+	h := newFleetHarness(t, 2, Config{Workers: 1}, nil)
+	for i, s := range h.servers {
+		i := i
+		s.simulate = func(ctx context.Context, c sim.Config) (sim.Result, error) {
+			ran[i]++
+			return fakeResult(7), nil
+		}
+	}
+
+	spec := ncfSpec()
+	cfg, key, err := resolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg
+	owner := h.servers[0].ring.ownerOf(key)
+	ownerIdx, otherIdx := 0, 1
+	if owner == h.urls[1] {
+		ownerIdx, otherIdx = 1, 0
+	}
+
+	ctx := context.Background()
+	cl := client.New(h.urls[otherIdx])
+	v, err := cl.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatalf("SubmitJob via non-owner: %v", err)
+	}
+	if v.Peer != h.urls[ownerIdx] {
+		t.Fatalf("view.Peer = %q, want owner %q", v.Peer, h.urls[ownerIdx])
+	}
+	final, err := cl.ForJob(v).WaitJob(ctx, v.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob on owner: %v", err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("job: %s (%s)", final.Status, final.Error)
+	}
+	if ran[ownerIdx] != 1 || ran[otherIdx] != 0 {
+		t.Errorf("simulations ran on wrong member: owner=%d other=%d", ran[ownerIdx], ran[otherIdx])
+	}
+	if got := h.servers[otherIdx].forwarded.Value(); got != 1 {
+		t.Errorf("non-owner forwarded counter = %d, want 1", got)
+	}
+
+	// Submitting to the owner directly must NOT forward.
+	v2, err := client.New(h.urls[ownerIdx]).SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Peer != "" {
+		t.Errorf("owner-direct submit forwarded to %q", v2.Peer)
+	}
+}
+
+// TestFleetEndpoint checks GET /v1/fleet introspection in solo and
+// fleet modes.
+func TestFleetEndpoint(t *testing.T) {
+	ctx := context.Background()
+	solo := newStubServer(t, Config{}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+	ts := httptest.NewServer(solo.Handler())
+	defer ts.Close()
+	fv, err := client.New(ts.URL).Fleet(ctx)
+	if err != nil {
+		t.Fatalf("solo fleet: %v", err)
+	}
+	if len(fv.Peers) != 1 || !fv.Peers[0].Self || fv.Peers[0].OwnedShare != 1 || !fv.Peers[0].Healthy {
+		t.Fatalf("solo fleet view: %+v", fv)
+	}
+
+	h := newFleetHarness(t, 3, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+	fv, err = client.New(h.urls[0]).Fleet(ctx)
+	if err != nil {
+		t.Fatalf("fleet view: %v", err)
+	}
+	if fv.Self != h.urls[0] || len(fv.Peers) != 3 || fv.VirtualNodes != ringVnodes {
+		t.Fatalf("fleet view: %+v", fv)
+	}
+	var share float64
+	for _, p := range fv.Peers {
+		if !p.Healthy {
+			t.Errorf("peer %s unhealthy: %s", p.URL, p.Status)
+		}
+		if p.Self != (p.URL == h.urls[0]) {
+			t.Errorf("peer %s self flag wrong", p.URL)
+		}
+		share += p.OwnedShare
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("ownership shares sum to %v, want 1", share)
+	}
+}
+
+// TestFleetSharedCache verifies two members over one --cache-dir serve
+// each other's results without re-simulating.
+func TestFleetSharedCache(t *testing.T) {
+	dir := t.TempDir()
+	sims := 0
+	h := newFleetHarness(t, 2, Config{Workers: 1, CacheDir: dir}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		sims++
+		return fakeResult(3), nil
+	})
+	ctx := context.Background()
+	spec := ncfSpec()
+
+	// Run once through member 0 (forwarding may land it anywhere — the
+	// result still ends up in the shared directory).
+	cA := client.New(h.urls[0])
+	vA, err := cA.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vA, err = cA.ForJob(vA).WaitJob(ctx, vA.ID, 5*time.Millisecond); err != nil || vA.Status != StatusDone {
+		t.Fatalf("first run: %v %+v", err, vA)
+	}
+	if sims != 1 {
+		t.Fatalf("simulations after first run = %d, want 1", sims)
+	}
+
+	// Ask the NON-owner to answer locally (forwarded header suppresses
+	// re-forwarding) — it must hit the shared disk cache instead of
+	// simulating.
+	_, key, err := resolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonOwner := 0
+	if h.servers[0].owner(key) == "" { // member 0 owns it
+		nonOwner = 1
+	}
+	cB := client.New(h.urls[nonOwner])
+	cB.Forwarded = h.urls[1-nonOwner]
+	vB, err := cB.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vB, err = cB.ForJob(vB).WaitJob(ctx, vB.ID, 5*time.Millisecond); err != nil || vB.Status != StatusDone {
+		t.Fatalf("non-owner run: %v %+v", err, vB)
+	}
+	if !vB.Cached {
+		t.Error("non-owner answer not marked cached")
+	}
+	if sims != 1 {
+		t.Errorf("simulations = %d after shared-cache replay, want still 1", sims)
+	}
+	if string(vA.Result) != string(vB.Result) {
+		t.Error("shared-cache result bytes differ")
+	}
+	if got := h.servers[nonOwner].diskCacheHits.Value(); got == 0 {
+		t.Error("non-owner recorded no disk cache hits")
+	}
+}
+
+// TestFleetSweepSurvivesMemberDeath kills a fleet member mid-sweep and
+// verifies the coordinator falls back to local execution and the sweep
+// still completes with a full aggregate.
+func TestFleetSweepSurvivesMemberDeath(t *testing.T) {
+	h := newFleetHarness(t, 2, Config{Workers: 2, SweepParallel: 2}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		time.Sleep(5 * time.Millisecond)
+		return dualResult(100, 200), nil
+	})
+	coord := h.servers[0]
+
+	sw, err := coord.StartSweep(SweepSpec{Cores: 2, Workloads: []string{"ncf", "gpt2", "alex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the peer once the sweep is moving.
+	time.Sleep(20 * time.Millisecond)
+	h.ts[1].Close()
+
+	waitSweep(t, sw)
+	v := sw.View(false)
+	if v.Status != StatusDone {
+		t.Fatalf("sweep after member death: %s (%s)", v.Status, v.Error)
+	}
+	wantUnits := 6*4 + 3 // M(3,2)=6 mixes x 4 levels + 3 ideals
+	if v.Done != wantUnits {
+		t.Fatalf("done units = %d, want %d", v.Done, wantUnits)
+	}
+	var res struct {
+		Mixes map[string][]json.RawMessage `json:"mixes"`
+	}
+	if err := json.Unmarshal(v.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	for lv, ms := range res.Mixes {
+		if len(ms) != 6 {
+			t.Errorf("level %s has %d mixes, want 6", lv, len(ms))
+		}
+	}
+}
+
+// TestFleetSweepMatchesSolo runs the same quad sweep through a 3-member
+// fleet and through a solo server, both on a deterministic
+// config-keyed stub, and requires byte-identical aggregates — fleet
+// topology (routing, forwarding, shared caching) must never leak into
+// results.
+func TestFleetSweepMatchesSolo(t *testing.T) {
+	kern := func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		// Deterministic per-config cycles so misrouted or re-run units
+		// would change the aggregate bytes.
+		res := sim.Result{Cores: make([]sim.CoreResult, len(c.Nets))}
+		for i, net := range c.Nets {
+			cycles := int64(1000 + 37*i)
+			for _, ch := range net.Name {
+				cycles += int64(ch)
+			}
+			res.Cores[i] = sim.CoreResult{Net: net.Name, Cycles: cycles}
+			if cycles > res.GlobalCycles {
+				res.GlobalCycles = cycles
+			}
+		}
+		return res, nil
+	}
+	spec := SweepSpec{Cores: 4, Workloads: []string{"ncf", "gpt2", "alex"}, Sample: 5, Seed: 3}
+
+	h := newFleetHarness(t, 3, Config{Workers: 2}, kern)
+	fsw, err := h.servers[0].StartSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSweep(t, fsw)
+	fv := fsw.View(false)
+	if fv.Status != StatusDone {
+		t.Fatalf("fleet sweep: %s (%s)", fv.Status, fv.Error)
+	}
+	if fv.Forwarded == 0 {
+		t.Error("fleet sweep forwarded no units — routing not exercised")
+	}
+
+	solo := newStubServer(t, Config{Workers: 2}, kern)
+	ssw, err := solo.StartSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSweep(t, ssw)
+	sv := ssw.View(false)
+	if sv.Status != StatusDone {
+		t.Fatalf("solo sweep: %s (%s)", sv.Status, sv.Error)
+	}
+	if string(fv.Result) != string(sv.Result) {
+		t.Errorf("fleet aggregate differs from solo aggregate:\n fleet: %s\n solo:  %s", fv.Result, sv.Result)
+	}
+}

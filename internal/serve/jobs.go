@@ -3,115 +3,41 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"mnpusim/internal/config"
 	"mnpusim/internal/obs/recorder"
+	"mnpusim/internal/serve/api"
 	"mnpusim/internal/sim"
 )
 
-// Status is a job's lifecycle state.
-type Status string
+// The wire types live in internal/serve/api — the single consumer-side
+// definition of the protocol. The server re-exports them so existing
+// serve.JobSpec / serve.Status call sites keep reading naturally.
+type (
+	// Status is a job's lifecycle state.
+	Status = api.Status
+	// JobSpec is the POST /v1/jobs request body.
+	JobSpec = api.JobSpec
+	// JobView is the JSON representation of a job's current state.
+	JobView = api.JobView
+)
 
 const (
 	// StatusQueued: accepted, waiting for a worker slot.
-	StatusQueued Status = "queued"
+	StatusQueued = api.StatusQueued
 	// StatusRunning: a worker is simulating it.
-	StatusRunning Status = "running"
+	StatusRunning = api.StatusRunning
 	// StatusDone: finished; the result is available.
-	StatusDone Status = "done"
+	StatusDone = api.StatusDone
 	// StatusFailed: the simulation returned an error (including a
 	// per-job deadline expiry).
-	StatusFailed Status = "failed"
+	StatusFailed = api.StatusFailed
 	// StatusCancelled: cancelled by the client or by shutdown before a
 	// result was produced.
-	StatusCancelled Status = "cancelled"
+	StatusCancelled = api.StatusCancelled
 )
-
-// Terminal reports whether the status is final.
-func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
-}
-
-// JobSpec is the POST /v1/jobs request body. A job is either a named
-// preset mix (Workloads + Scale + Sharing, the paper's §4.1.1 shape) or
-// a full raw configuration (Config), never both.
-type JobSpec struct {
-	// Workloads names one built-in benchmark per core, e.g.
-	// ["ncf","gpt2"] for a dual-core mix.
-	Workloads []string `json:"workloads,omitempty"`
-	// Scale is "tiny", "small", or "paper" (default "tiny").
-	Scale string `json:"scale,omitempty"`
-	// Sharing is "static", "+d", "+dw", or "+dwt" (default "+dwt").
-	Sharing string `json:"sharing,omitempty"`
-	// NoTranslation removes address translation (bandwidth isolation).
-	NoTranslation bool `json:"no_translation,omitempty"`
-
-	// Config, when set, is the raw simulation configuration. Only the
-	// data fields of sim.Config are meaningful over the wire; hook
-	// fields cannot be expressed in JSON.
-	Config *sim.Config `json:"config,omitempty"`
-
-	// Kernel selects the simulation kernel: "event" (the default) or
-	// "tick". Results are byte-identical either way; the job's content
-	// address and cached result do not depend on it.
-	Kernel string `json:"kernel,omitempty"`
-
-	// TimeoutMS bounds the simulation's run time in wall-clock
-	// milliseconds; 0 uses the server default. The timeout starts when
-	// a worker picks the job up, not while it queues.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
-// BuildConfig resolves the spec into a runnable configuration.
-func (s JobSpec) BuildConfig() (sim.Config, error) {
-	kernel, err := sim.ParseKernel(s.Kernel)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	if s.Config != nil {
-		if len(s.Workloads) > 0 || s.Scale != "" || s.Sharing != "" {
-			return sim.Config{}, fmt.Errorf("serve: spec has both a raw config and preset fields; use one")
-		}
-		cfg := *s.Config
-		if kernel != sim.KernelDefault {
-			cfg.Kernel = kernel
-		}
-		if err := cfg.Validate(); err != nil {
-			return sim.Config{}, err
-		}
-		return cfg, nil
-	}
-	if len(s.Workloads) == 0 {
-		return sim.Config{}, fmt.Errorf("serve: spec needs workloads (one per core) or a raw config")
-	}
-	scaleName := s.Scale
-	if scaleName == "" {
-		scaleName = "tiny"
-	}
-	scale, err := config.ParseScale(scaleName)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	sharingName := s.Sharing
-	if sharingName == "" {
-		sharingName = "+dwt"
-	}
-	sharing, err := config.ParseSharing(sharingName)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	cfg, err := sim.NewWorkloadConfig(scale, sharing, s.Workloads...)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	cfg.NoTranslation = s.NoTranslation
-	cfg.Kernel = kernel
-	return cfg, nil
-}
 
 // Job is one queued, running, or finished simulation.
 type Job struct {
@@ -156,23 +82,6 @@ type Job struct {
 	dump       []byte
 	dumpReason string
 	profile    []byte
-}
-
-// JobView is the JSON representation of a job's current state.
-type JobView struct {
-	ID     string `json:"id"`
-	Key    string `json:"key"`
-	Status Status `json:"status"`
-	// Cached reports the result was served from the content-addressed
-	// cache without running a simulation.
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
-	// Result is the simulation outcome, present once Status is "done".
-	Result json.RawMessage `json:"result,omitempty"`
-	// Attribution is the per-core stall-cycle breakdown (an
-	// attrib.Report), present once Status is "done" for jobs whose
-	// simulation produced one.
-	Attribution json.RawMessage `json:"attribution,omitempty"`
 }
 
 // View snapshots the job for JSON encoding. withResult controls whether

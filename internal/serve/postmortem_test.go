@@ -57,7 +57,7 @@ func TestWatchdogFiresOnceAndCaptures(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	reg := obs.NewRegistry()
-	s := New(Config{
+	s := mustNew(t, Config{
 		Workers:          1,
 		Registry:         reg,
 		WatchdogFraction: 0.2,

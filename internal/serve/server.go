@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST   /v1/jobs             submit a JobSpec; 202 with the job view
+//	GET    /v1/jobs             list jobs (status filter + cursor pages)
 //	GET    /v1/jobs/{id}        job status; result and stall-cycle
 //	                            attribution inlined when done
 //	GET    /v1/jobs/{id}/result raw canonical result JSON (bytes equal
@@ -22,10 +23,26 @@
 //	                            decode with mnputrace -mode postmortem)
 //	GET    /v1/jobs/{id}/profile CPU profile captured on watchdog fire
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/sweeps           submit a SweepSpec experiment grid
+//	GET    /v1/sweeps           list sweeps
+//	GET    /v1/sweeps/{id}      sweep rollup (+ per-unit detail with
+//	                            ?jobs=true, aggregated result when done)
+//	GET    /v1/sweeps/{id}/events SSE progress stream for a sweep
+//	DELETE /v1/sweeps/{id}      cancel a sweep and its outstanding units
+//	GET    /v1/fleet            fleet membership, health, ring shares
 //	GET    /v1/workloads        built-in workloads, scales, sharing levels
 //	GET    /v1/healthz          liveness and queue occupancy
 //	GET    /metrics             registry in the Prometheus text
 //	                            exposition format
+//
+// Every non-2xx /v1 response body is the structured envelope
+// {"error":{"code","message","retryable"}} (api.ErrorEnvelope).
+//
+// With Peers configured, daemons form a static fleet: each job key has
+// one consistent-hash owner, misrouted submissions are transparently
+// forwarded to it, and sweeps fan their expanded units out across the
+// members. A shared CacheDir lets any member serve any other member's
+// completed results from disk.
 package serve
 
 import (
@@ -38,11 +55,14 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"mnpusim/internal/obs"
 	"mnpusim/internal/obs/recorder"
+	"mnpusim/internal/serve/api"
+	"mnpusim/internal/serve/client"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/workloads"
 )
@@ -78,6 +98,27 @@ type Config struct {
 	// Logger receives the server's structured log, keyed by job ID.
 	// Nil discards it.
 	Logger *slog.Logger
+
+	// CacheDir, when set, backs the result cache with a persistent
+	// content-addressed store: one crash-safely written file per
+	// fingerprint, warmed on startup, shareable between instances
+	// pointed at the same directory. Empty keeps the cache in memory
+	// only.
+	CacheDir string
+	// Peers is the fleet membership: the base URL of every daemon,
+	// including this one, identically ordered and spelled on every
+	// member (the consistent-hash ring is built from these strings).
+	// Empty (or only Self) disables fleet routing.
+	Peers []string
+	// Self is this daemon's own URL within Peers. Required when Peers
+	// is set; must appear in Peers verbatim.
+	Self string
+	// MaxSweeps bounds retained sweep resources; the oldest terminal
+	// sweeps are forgotten beyond it. Zero means 256.
+	MaxSweeps int
+	// SweepParallel bounds a sweep's in-flight expanded units. Zero
+	// means 2x Workers.
+	SweepParallel int
 
 	// WatchdogFraction arms a per-job anomaly watchdog at this fraction
 	// of the job's timeout (e.g. 0.5 fires halfway to the deadline): a
@@ -120,15 +161,27 @@ type Server struct {
 	nextID   int
 	draining bool
 
+	sweeps      map[string]*Sweep
+	sweepOrder  []string
+	nextSweepID int
+	sweepWG     sync.WaitGroup
+
 	cache *resultCache
 
+	// ring is the fleet's consistent-hash ownership ring; nil when the
+	// daemon runs solo.
+	ring *hashRing
+
 	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *obs.Counter
-	cacheHits, simulations, watchdogFires              *obs.Counter
+	cacheHits, diskCacheHits, simulations              *obs.Counter
+	watchdogFires, forwarded, sweepsSubmitted          *obs.Counter
 	queueDepth, running                                *obs.Gauge
 }
 
-// New builds the service and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds the service and starts its worker pool. It fails when the
+// cache directory cannot be prepared or the fleet configuration is
+// inconsistent (Peers without Self, or Self missing from Peers).
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -140,6 +193,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 4096
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 256
+	}
+	if cfg.SweepParallel <= 0 {
+		cfg.SweepParallel = 2 * cfg.Workers
 	}
 	if cfg.EventInterval <= 0 {
 		cfg.EventInterval = 250 * time.Millisecond
@@ -153,6 +212,14 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	cache, err := newResultCache(cfg.CacheEntries, cfg.CacheDir, logger)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := newHashRing(cfg.Peers, cfg.Self)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -163,55 +230,62 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		jobs:       make(map[string]*Job),
-		cache:      newResultCache(cfg.CacheEntries),
+		sweeps:     make(map[string]*Sweep),
+		cache:      cache,
+		ring:       ring,
 
-		jobsSubmitted: reg.Counter("serve.jobs_submitted"),
-		jobsDone:      reg.Counter("serve.jobs_done"),
-		jobsFailed:    reg.Counter("serve.jobs_failed"),
-		jobsCancelled: reg.Counter("serve.jobs_cancelled"),
-		cacheHits:     reg.Counter("serve.cache_hits"),
-		simulations:   reg.Counter("serve.simulations"),
-		watchdogFires: reg.Counter("serve.watchdog_fires"),
-		queueDepth:    reg.Gauge("serve.queue_depth"),
-		running:       reg.Gauge("serve.running"),
+		jobsSubmitted:   reg.Counter("serve.jobs_submitted"),
+		jobsDone:        reg.Counter("serve.jobs_done"),
+		jobsFailed:      reg.Counter("serve.jobs_failed"),
+		jobsCancelled:   reg.Counter("serve.jobs_cancelled"),
+		cacheHits:       reg.Counter("serve.cache_hits"),
+		diskCacheHits:   reg.Counter("serve.disk_cache_hits"),
+		simulations:     reg.Counter("serve.simulations"),
+		watchdogFires:   reg.Counter("serve.watchdog_fires"),
+		forwarded:       reg.Counter("serve.forwarded"),
+		sweepsSubmitted: reg.Counter("serve.sweeps_submitted"),
+		queueDepth:      reg.Gauge("serve.queue_depth"),
+		running:         reg.Gauge("serve.running"),
 	}
+	cache.onDiskHit = func() { s.diskCacheHits.Inc() }
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
-}
-
-// apiError carries an HTTP status with a client-facing message.
-type apiError struct {
-	code int
-	msg  string
-}
-
-func (e *apiError) Error() string { return e.msg }
-
-func errf(code int, format string, args ...any) *apiError {
-	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+	return s, nil
 }
 
 // Submit validates the spec, consults the result cache, and either
 // finishes the job instantly from cache or enqueues it. The returned
 // job is registered and visible to GET immediately.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	cfg, key, err := resolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.submitPrepared(cfg, key, spec.TimeoutMS)
+}
+
+// resolveSpec builds and fingerprints a spec's configuration.
+func resolveSpec(spec JobSpec) (sim.Config, string, error) {
 	cfg, err := spec.BuildConfig()
 	if err != nil {
-		return nil, errf(http.StatusBadRequest, "%v", err)
+		return sim.Config{}, "", errf(http.StatusBadRequest, "%v", err)
 	}
 	key, err := cfg.Fingerprint()
 	if err != nil {
-		return nil, errf(http.StatusBadRequest, "%v", err)
+		return sim.Config{}, "", errf(http.StatusBadRequest, "%v", err)
 	}
+	return cfg, key, nil
+}
 
+// submitPrepared registers an already-resolved configuration as a job.
+func (s *Server) submitPrepared(cfg sim.Config, key string, timeoutMS int64) (*Job, error) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	job := &Job{
 		Key:     key,
 		cfg:     cfg,
-		timeout: time.Duration(spec.TimeoutMS) * time.Millisecond,
+		timeout: time.Duration(timeoutMS) * time.Millisecond,
 		ctx:     jctx,
 		cancel:  cancel,
 		status:  StatusQueued,
@@ -478,13 +552,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Sweep coordinators exit once their in-flight units resolve;
+		// units they could not submit after the drain began resolve as
+		// cancelled.
+		s.sweepWG.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		s.baseCancel() // abort in-flight simulations
+		s.baseCancel() // abort in-flight simulations and sweeps
 		<-done
 		return ctx.Err()
 	}
@@ -498,28 +576,25 @@ func (s *Server) Draining() bool {
 }
 
 // Stats is the healthz payload.
-type Stats struct {
-	Status  string `json:"status"`
-	Workers int    `json:"workers"`
-	Queued  int    `json:"queued"`
-	Running int64  `json:"running"`
-	Jobs    int    `json:"jobs"`
-	Cached  int    `json:"cached_results"`
-}
+type Stats = api.Stats
 
 // Stats snapshots queue occupancy.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	jobs := len(s.jobs)
+	sweeps := len(s.sweeps)
 	s.mu.Unlock()
 	st := Stats{
-		Status:  "ok",
-		Workers: s.cfg.Workers,
-		Queued:  len(s.queue),
-		Running: s.running.Value(),
-		Jobs:    jobs,
-		Cached:  s.cache.len(),
+		Status:     "ok",
+		Workers:    s.cfg.Workers,
+		Queued:     len(s.queue),
+		Running:    s.running.Value(),
+		Jobs:       jobs,
+		Cached:     s.cache.len(),
+		DiskCached: s.cache.diskLen(),
+		Sweeps:     sweeps,
+		Self:       s.cfg.Self,
 	}
 	if draining {
 		st.Status = "draining"
@@ -531,31 +606,23 @@ func (s *Server) Stats() Stats {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/dump", s.handleDump)
 	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, err error) {
-	var ae *apiError
-	if !errors.As(err, &ae) {
-		ae = errf(http.StatusInternalServerError, "%v", err)
-	}
-	writeJSON(w, ae.code, map[string]string{"error": ae.msg})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -566,7 +633,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, "decoding job spec: %v", err))
 		return
 	}
-	job, err := s.Submit(spec)
+	cfg, key, err := resolveSpec(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Fleet routing: a submission whose key another member owns is
+	// forwarded there, unless it already was forwarded once (the header
+	// breaks loops when members disagree about the ring).
+	if owner := s.owner(key); owner != "" && r.Header.Get(client.ForwardedHeader) == "" {
+		if view, ok := s.forwardJob(r.Context(), owner, spec); ok {
+			writeJSON(w, http.StatusAccepted, view)
+			return
+		}
+		// Owner unreachable: run it here rather than fail the submit.
+	}
+	job, err := s.submitPrepared(cfg, key, spec.TimeoutMS)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -576,6 +658,70 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK // served from cache
 	}
 	writeJSON(w, code, job.View(false))
+}
+
+// handleJobsList is GET /v1/jobs: jobs in submission order, optionally
+// filtered with ?status=, paged with ?cursor= (a job ID to resume
+// after) and ?limit= (default 100, max 1000).
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter Status
+	if v := q.Get("status"); v != "" {
+		filter = Status(v)
+		switch filter {
+		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+		default:
+			writeError(w, errf(http.StatusBadRequest, "unknown status filter %q", v))
+			return
+		}
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, errf(http.StatusBadRequest, "bad limit %q", v))
+			return
+		}
+		limit = min(n, 1000)
+	}
+	cursor := q.Get("cursor")
+
+	s.mu.Lock()
+	order := make([]string, len(s.order))
+	copy(order, s.order)
+	jobs := make(map[string]*Job, len(s.jobs))
+	for id, j := range s.jobs {
+		jobs[id] = j
+	}
+	s.mu.Unlock()
+
+	start := 0
+	if cursor != "" {
+		found := false
+		for i, id := range order {
+			if id == cursor {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			writeError(w, errf(http.StatusBadRequest, "unknown cursor %q", cursor))
+			return
+		}
+	}
+	list := api.JobList{Jobs: []JobView{}}
+	for _, id := range order[start:] {
+		j, ok := jobs[id]
+		if !ok || (filter != "" && j.Status() != filter) {
+			continue
+		}
+		if len(list.Jobs) == limit {
+			list.NextCursor = list.Jobs[limit-1].ID
+			break
+		}
+		list.Jobs = append(list.Jobs, j.View(false))
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -611,21 +757,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.View(false))
 }
 
-// workloadsView is the GET /v1/workloads payload: everything a client
-// needs to compose a preset JobSpec.
-type workloadsView struct {
-	Workloads []string `json:"workloads"`
-	Scales    []string `json:"scales"`
-	Sharing   []string `json:"sharing"`
-}
-
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	levels := sim.Levels()
 	names := make([]string, len(levels))
 	for i, lv := range levels {
 		names[i] = lv.String()
 	}
-	writeJSON(w, http.StatusOK, workloadsView{
+	writeJSON(w, http.StatusOK, api.Workloads{
 		Workloads: workloads.Names(),
 		Scales:    []string{"tiny", "small", "paper"},
 		Sharing:   names,

@@ -16,6 +16,7 @@ import (
 
 	"mnpusim/internal/obs"
 	"mnpusim/internal/obs/attrib"
+	"mnpusim/internal/serve/api"
 	"mnpusim/internal/sim"
 )
 
@@ -24,11 +25,24 @@ func fakeResult(cycles int64) sim.Result {
 	return sim.Result{GlobalCycles: cycles, Cores: []sim.CoreResult{{Net: "stub", Cycles: cycles}}}
 }
 
+// mustNew fails the test on a server construction error.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // newStubServer returns a server whose simulations are the given stub
 // instead of real runs.
 func newStubServer(t *testing.T, cfg Config, stub func(ctx context.Context, c sim.Config) (sim.Result, error)) *Server {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	s.simulate = stub
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -285,7 +299,7 @@ func TestQueueFullRejects(t *testing.T) {
 // new submits are rejected.
 func TestShutdownDrains(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	s.simulate = func(ctx context.Context, c sim.Config) (sim.Result, error) {
 		<-release
 		return fakeResult(7), nil
@@ -335,7 +349,7 @@ func TestShutdownDrains(t *testing.T) {
 // TestShutdownDeadlineCancelsInFlight verifies an expired drain
 // deadline aborts the running job rather than hanging.
 func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	s.simulate = func(ctx context.Context, c sim.Config) (sim.Result, error) {
 		<-ctx.Done()
 		return sim.Result{}, fmt.Errorf("stub: %w", ctx.Err())
@@ -399,7 +413,7 @@ func TestWorkloadsAndMetricsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wv workloadsView
+	var wv api.Workloads
 	if err := json.NewDecoder(resp.Body).Decode(&wv); err != nil {
 		t.Fatal(err)
 	}
@@ -616,7 +630,7 @@ func TestEndToEndRealSimulation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

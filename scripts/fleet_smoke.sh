@@ -1,0 +1,193 @@
+#!/bin/sh
+# fleet_smoke.sh: end-to-end exercise of the sweep fleet.
+#
+# Boots THREE mnpuserved daemons on one host sharing a persistent
+# --cache-dir and configured as a consistent-hash fleet, then:
+#
+#   1. submits a sampled quad sweep (POST /v1/sweeps) to one member and
+#      waits for the aggregated result, requiring forwarded units (the
+#      hash ring routed work to peers) and exactly one simulation per
+#      expanded unit across the whole fleet (the shared cache plus
+#      routing deduplicated everything);
+#   2. re-submits the identical sweep and requires every unit to be a
+#      cache hit with zero new simulations;
+#   3. asks every member for an already-computed job WITH the forwarded
+#      header set (suppressing re-routing) and requires each to answer
+#      from the shared disk cache;
+#   4. checks GET /v1/fleet shows 3 healthy members whose ring shares
+#      sum to 1;
+#   5. SIGKILLs one member mid-flight on a fresh sweep and requires the
+#      sweep to complete anyway (owner-unreachable units fall back to
+#      local execution);
+#   6. SIGTERMs the survivors and requires clean drains.
+#
+# Needs: curl. Uses only POSIX sh + grep/sed/awk so it runs in CI images.
+set -eu
+
+P1=18941
+P2=18942
+P3=18943
+U1="http://127.0.0.1:$P1"
+U2="http://127.0.0.1:$P2"
+U3="http://127.0.0.1:$P3"
+PEERS="$U1,$U2,$U3"
+TMP="${TMPDIR:-/tmp}/mnpusim_fleet_smoke.$$"
+mkdir -p "$TMP/cache"
+
+fail() {
+	echo "fleet-smoke: FAIL: $*" >&2
+	for n in 1 2 3; do
+		[ -f "$TMP/d$n.log" ] && sed "s/^/  daemon$n: /" "$TMP/d$n.log" >&2
+	done
+	exit 1
+}
+
+cleanup() {
+	for pid in "${PID1:-}" "${PID2:-}" "${PID3:-}"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# jfield FILE KEY -> value of a string field ("key":"value").
+jfield() {
+	sed -n 's/.*"'"$2"'":"\([^"]*\)".*/\1/p' "$1" | head -n 1
+}
+
+# jnum FILE KEY -> value of a numeric field ("key":123).
+jnum() {
+	sed -n 's/.*"'"$2"'":\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+# metric URL NAME -> the counter's value from /metrics (0 if absent).
+metric() {
+	curl -fsS "$1/metrics" | awk -v n="$2" '$1 == n { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+# sweep_wait URL ID -> polls until the sweep is terminal; echoes status.
+sweep_wait() {
+	i=0
+	while :; do
+		curl -fsS "$1/v1/sweeps/$2" >"$TMP/sweep_poll.json"
+		ST=$(jfield "$TMP/sweep_poll.json" status)
+		case "$ST" in
+		done | failed | cancelled)
+			echo "$ST"
+			return 0
+			;;
+		esac
+		i=$((i + 1))
+		[ "$i" -gt 1200 ] && fail "sweep $2 stuck in $ST"
+		sleep 0.1
+	done
+}
+
+echo "fleet-smoke: building mnpuserved"
+go build -o "$TMP/mnpuserved" ./cmd/mnpuserved
+
+echo "fleet-smoke: starting 3 daemons sharing $TMP/cache"
+n=1
+for port in $P1 $P2 $P3; do
+	"$TMP/mnpuserved" -addr "127.0.0.1:$port" -workers 2 -drain-timeout 60s \
+		-cache-dir "$TMP/cache" -peers "$PEERS" -self "http://127.0.0.1:$port" \
+		>"$TMP/d$n.log" 2>&1 &
+	eval "PID$n=$!"
+	n=$((n + 1))
+done
+for url in $U1 $U2 $U3; do
+	i=0
+	until curl -fsS "$url/v1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "daemon $url never became healthy"
+		sleep 0.1
+	done
+done
+
+SWEEP='{"cores":4,"workloads":["ncf","gpt2","alex"],"scale":"tiny","sample":3}'
+
+echo "fleet-smoke: submitting sampled quad sweep to $U1"
+curl -fsS -X POST -d "$SWEEP" "$U1/v1/sweeps" >"$TMP/sweep1.json" ||
+	fail "sweep submit rejected"
+SW1=$(jfield "$TMP/sweep1.json" id)
+TOTAL=$(jnum "$TMP/sweep1.json" total)
+[ -n "$SW1" ] || fail "no sweep id in $(cat "$TMP/sweep1.json")"
+[ "$TOTAL" = 15 ] || fail "sweep expanded to $TOTAL units, want 15 (3 mixes x 4 levels + 3 ideals)"
+
+ST=$(sweep_wait "$U1" "$SW1")
+[ "$ST" = done ] || fail "sweep1 ended $ST: $(cat "$TMP/sweep_poll.json")"
+grep -q '"result":{' "$TMP/sweep_poll.json" || fail "done sweep has no aggregated result"
+FWD=$(jnum "$TMP/sweep_poll.json" forwarded)
+[ "${FWD:-0}" -gt 0 ] || fail "no sweep units were forwarded to peers"
+
+SIMS=0
+for url in $U1 $U2 $U3; do
+	SIMS=$((SIMS + $(metric "$url" serve_simulations)))
+done
+[ "$SIMS" = "$TOTAL" ] ||
+	fail "fleet ran $SIMS simulations for $TOTAL distinct units (routing/cache dedup broken)"
+
+echo "fleet-smoke: re-submitting the identical sweep — must be all cache hits"
+curl -fsS -X POST -d "$SWEEP" "$U1/v1/sweeps" >"$TMP/sweep2.json"
+SW2=$(jfield "$TMP/sweep2.json" id)
+ST=$(sweep_wait "$U1" "$SW2")
+[ "$ST" = done ] || fail "sweep2 ended $ST"
+HITS=$(jnum "$TMP/sweep_poll.json" cache_hits)
+[ "$HITS" = "$TOTAL" ] || fail "repeat sweep cache hits = $HITS, want $TOTAL"
+SIMS2=0
+for url in $U1 $U2 $U3; do
+	SIMS2=$((SIMS2 + $(metric "$url" serve_simulations)))
+done
+[ "$SIMS2" = "$SIMS" ] || fail "repeat sweep ran new simulations ($SIMS -> $SIMS2)"
+
+echo "fleet-smoke: every member must answer a warm job from the shared cache"
+UNIT='{"workloads":["ncf"],"scale":"tiny","ideal":true}'
+for url in $U1 $U2 $U3; do
+	curl -fsS -X POST -H "X-Mnpu-Forwarded: smoke" -d "$UNIT" \
+		"$url/v1/jobs" >"$TMP/unit.json"
+	grep -q '"cached":true' "$TMP/unit.json" ||
+		fail "$url did not serve the warm unit from cache: $(cat "$TMP/unit.json")"
+done
+
+echo "fleet-smoke: checking /v1/fleet introspection"
+curl -fsS "$U2/v1/fleet" >"$TMP/fleet.json"
+for url in $U1 $U2 $U3; do
+	grep -q "\"url\":\"$url\"" "$TMP/fleet.json" || fail "fleet view missing $url"
+done
+HEALTHY=$(grep -o '"healthy":true' "$TMP/fleet.json" | wc -l)
+[ "$HEALTHY" -eq 3 ] || fail "fleet view shows $HEALTHY healthy members, want 3"
+SHARESUM=$(grep -o '"owned_share":[0-9.]*' "$TMP/fleet.json" |
+	awk -F: '{ s += $2 } END { printf "%.3f", s }')
+[ "$SHARESUM" = "1.000" ] || fail "ring shares sum to $SHARESUM, want 1.000"
+
+echo "fleet-smoke: killing member 2 mid-sweep — sweep must still complete"
+curl -fsS -X POST -d '{"cores":4,"workloads":["ncf","gpt2","dlrm"],"scale":"tiny","sample":3,"seed":7}' \
+	"$U1/v1/sweeps" >"$TMP/sweep3.json"
+SW3=$(jfield "$TMP/sweep3.json" id)
+kill -9 "$PID2"
+PID2=""
+ST=$(sweep_wait "$U1" "$SW3")
+[ "$ST" = done ] || fail "sweep after member death ended $ST: $(cat "$TMP/sweep_poll.json")"
+DONE=$(jnum "$TMP/sweep_poll.json" done)
+[ "$DONE" = "$(jnum "$TMP/sweep_poll.json" total)" ] ||
+	fail "sweep after member death completed $DONE units of $(jnum "$TMP/sweep_poll.json" total)"
+
+echo "fleet-smoke: SIGTERM drain of the survivors"
+for pid in "$PID1" "$PID3"; do
+	kill -TERM "$pid"
+done
+for pid in "$PID1" "$PID3"; do
+	i=0
+	while kill -0 "$pid" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -gt 300 ] && fail "daemon $pid did not exit after SIGTERM"
+		sleep 0.1
+	done
+	wait "$pid" || fail "daemon $pid exited non-zero"
+done
+grep -q "drained cleanly" "$TMP/d1.log" || fail "daemon 1: no clean-drain message"
+grep -q "drained cleanly" "$TMP/d3.log" || fail "daemon 3: no clean-drain message"
+PID1=""
+PID3=""
+
+echo "fleet-smoke: OK"

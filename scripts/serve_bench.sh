@@ -1,0 +1,74 @@
+#!/bin/sh
+# serve_bench.sh: measure the serving layer under load and record the
+# result as BENCH_serve.json.
+#
+# Boots one mnpuserved daemon with a persistent cache directory, then
+# replays a dual-core experiment grid (3 mixes x 4 levels + 2 ideals =
+# 14 distinct configurations) 25 times through cmd/mnpuload's worker
+# pool. Every round after the first is answered from the
+# content-addressed cache (concurrent first-round submissions of the
+# same configuration may each simulate, so a handful of extra misses
+# are tolerated), and the run fails if the recorded cache-hit rate
+# lands under 0.9 — the expected value is ~96%. The report
+# (latency percentiles, throughput, hit rate, simulation count) is
+# written to the path in $1 (default BENCH_serve.json).
+#
+# Needs: curl. Uses only POSIX sh + grep so it runs in CI images.
+set -eu
+
+OUT="${1:-BENCH_serve.json}"
+ADDR="127.0.0.1:18951"
+BASE="http://$ADDR"
+TMP="${TMPDIR:-/tmp}/mnpusim_serve_bench.$$"
+mkdir -p "$TMP/cache"
+
+fail() {
+	echo "serve-bench: FAIL: $*" >&2
+	[ -f "$TMP/served.log" ] && sed 's/^/  daemon: /' "$TMP/served.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "${SERVED_PID:-}" ] && kill "$SERVED_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "serve-bench: building binaries"
+go build -o "$TMP/mnpuserved" ./cmd/mnpuserved
+go build -o "$TMP/mnpuload" ./cmd/mnpuload
+
+echo "serve-bench: starting daemon on $ADDR"
+"$TMP/mnpuserved" -addr "$ADDR" -workers 4 -cache-dir "$TMP/cache" \
+	>"$TMP/served.log" 2>&1 &
+SERVED_PID=$!
+i=0
+until curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "daemon never became healthy"
+	sleep 0.1
+done
+
+echo "serve-bench: replaying the grid 25x through mnpuload"
+"$TMP/mnpuload" -addr "$BASE" -workloads ncf,gpt2 -cores 2 -rounds 25 \
+	-concurrency 8 -out "$OUT" || fail "load run failed"
+
+grep -q '"p50_ms"' "$OUT" || fail "$OUT missing latency percentiles"
+grep -q '"p99_ms"' "$OUT" || fail "$OUT missing latency percentiles"
+RATE=$(sed -n 's/.*"cache_hit_rate": \([0-9.]*\).*/\1/p' "$OUT")
+case "$RATE" in
+0.9* | 1 | 1.*) ;;
+*) fail "cache-hit rate $RATE under 0.9 (report: $(cat "$OUT"))" ;;
+esac
+
+kill -TERM "$SERVED_PID"
+i=0
+while kill -0 "$SERVED_PID" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -gt 300 ] && fail "daemon did not exit after SIGTERM"
+	sleep 0.1
+done
+wait "$SERVED_PID" || fail "daemon exited non-zero"
+SERVED_PID=""
+
+echo "serve-bench: OK ($OUT)"

@@ -1,13 +1,15 @@
 #!/bin/sh
 # serve_smoke.sh: end-to-end exercise of the simulation service.
 #
-# Boots mnpuserved, runs a tiny dual-core job to completion over HTTP,
-# checks the served result bytes equal `mnpusim -json` for the same
-# config, streams the job's SSE feed and requires the terminal "result"
-# event's payload to byte-match the result endpoint (plus an
-# "attribution" event carrying the stall-cycle breakdown), checks an
-# identical resubmission is answered from the content-addressed cache
-# (no second simulation), cancels an in-flight heavier job, and finally
+# Boots mnpuserved, runs a tiny dual-core job to completion through the
+# typed client (cmd/mnpuload -one), checks the served result bytes
+# equal `mnpusim -json` for the same config, finds the job through
+# GET /v1/jobs?status=done, streams its SSE feed and requires the
+# terminal "result" event's payload to byte-match the result endpoint
+# (plus an "attribution" event carrying the stall-cycle breakdown),
+# checks an identical resubmission is answered from the
+# content-addressed cache (no second simulation), spot-checks the /v1
+# error envelope, cancels an in-flight heavier job, and finally
 # SIGTERMs the daemon and requires a clean drain (exit 0).
 #
 # Needs: curl. Uses only POSIX sh + grep/sed so it runs in CI images.
@@ -38,6 +40,7 @@ jfield() {
 echo "serve-smoke: building binaries"
 go build -o "$TMP/mnpuserved" ./cmd/mnpuserved
 go build -o "$TMP/mnpusim" ./cmd/mnpusim
+go build -o "$TMP/mnpuload" ./cmd/mnpuload
 
 echo "serve-smoke: starting daemon on $ADDR"
 "$TMP/mnpuserved" -addr "$ADDR" -workers 1 -drain-timeout 60s \
@@ -54,31 +57,21 @@ done
 
 SPEC='{"workloads":["ncf","gpt2"],"scale":"tiny","sharing":"static"}'
 
-echo "serve-smoke: submitting tiny dual-core job"
-curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" >"$TMP/job1.json" ||
-	fail "submit rejected"
-JOB1=$(jfield "$TMP/job1.json" id)
-[ -n "$JOB1" ] || fail "no job id in $(cat "$TMP/job1.json")"
-
-i=0
-while :; do
-	curl -fsS "$BASE/v1/jobs/$JOB1" >"$TMP/poll.json"
-	ST=$(jfield "$TMP/poll.json" status)
-	case "$ST" in
-	done) break ;;
-	failed | cancelled) fail "job1 ended $ST: $(cat "$TMP/poll.json")" ;;
-	esac
-	i=$((i + 1))
-	[ "$i" -gt 600 ] && fail "job1 stuck in $ST"
-	sleep 0.1
-done
+echo "serve-smoke: running tiny dual-core job via the typed client"
+"$TMP/mnpuload" -addr "$BASE" -one -workloads ncf,gpt2 -scale tiny \
+	-sharing static >"$TMP/served_result.json" ||
+	fail "mnpuload -one failed"
 
 echo "serve-smoke: comparing served result against mnpusim -json"
-curl -fsS "$BASE/v1/jobs/$JOB1/result" >"$TMP/served_result.json"
 "$TMP/mnpusim" -json -workloads ncf,gpt2 -scale tiny -sharing static \
 	>"$TMP/cli_result.json"
 cmp "$TMP/served_result.json" "$TMP/cli_result.json" ||
 	fail "served result differs from mnpusim -json"
+
+echo "serve-smoke: finding the job through GET /v1/jobs"
+curl -fsS "$BASE/v1/jobs?status=done" >"$TMP/list.json"
+JOB1=$(jfield "$TMP/list.json" id)
+[ -n "$JOB1" ] || fail "done job not listed: $(cat "$TMP/list.json")"
 
 echo "serve-smoke: streaming SSE events for the finished job"
 curl -fsS -N "$BASE/v1/jobs/$JOB1/events" >"$TMP/events.txt" ||
@@ -103,6 +96,14 @@ grep -q '"cached":true' "$TMP/job2.json" ||
 curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
 grep -q '^serve_simulations 1$' "$TMP/metrics.txt" ||
 	fail "expected exactly 1 simulation, got: $(grep '^serve_' "$TMP/metrics.txt" | tr '\n' ' ')"
+
+echo "serve-smoke: spot-checking the /v1 error envelope"
+curl -s "$BASE/v1/jobs/j999999" >"$TMP/err.json"
+grep -q '"error":{"code":"not_found"' "$TMP/err.json" ||
+	fail "404 body is not the error envelope: $(cat "$TMP/err.json")"
+curl -s -X POST -d '{"workloads":["bogus"]}' "$BASE/v1/jobs" >"$TMP/err2.json"
+grep -q '"code":"invalid_request"' "$TMP/err2.json" ||
+	fail "400 body is not the error envelope: $(cat "$TMP/err2.json")"
 
 echo "serve-smoke: cancelling an in-flight heavier job"
 curl -fsS -X POST -d '{"workloads":["ncf","gpt2"],"scale":"small","sharing":"+dwt"}' \
