@@ -1,7 +1,8 @@
 // Command mnpuload is the serving-layer load harness: it replays mixed
 // simulation traffic against one or more mnpuserved daemons through the
-// typed client and reports latency percentiles, throughput, and
-// cache-hit rate.
+// typed client and reports latency percentiles (client-observed and
+// server-side via the Server-Timing header), throughput, and cache-hit
+// rate.
 //
 //	mnpuload -addr http://localhost:8080 -rounds 3 -concurrency 8
 //
@@ -63,6 +64,12 @@ type benchReport struct {
 	DurationMs    float64      `json:"duration_ms"`
 	ThroughputRPS float64      `json:"throughput_rps"`
 	Latency       latencyStats `json:"latency"`
+	// ServerLatency summarizes the daemon's own Server-Timing header
+	// across every response of the run (submits and polls alike) — the
+	// in-handler time, with the client, network, and queue-poll cadence
+	// stripped away.
+	ServerLatency latencyStats `json:"server_latency"`
+	ServerSamples int          `json:"server_samples"`
 	CacheHits     int          `json:"cache_hits"`
 	CacheHitRate  float64      `json:"cache_hit_rate"`
 	Forwarded     int          `json:"forwarded"`
@@ -153,6 +160,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Every response carries the daemon's Server-Timing header; the
+	// client surfaces it through this hook, shared across the worker
+	// goroutines.
+	var (
+		stMu     sync.Mutex
+		serverMs []float64
+	)
+	c.OnServerTiming = func(ms float64) {
+		stMu.Lock()
+		serverMs = append(serverMs, ms)
+		stMu.Unlock()
+	}
+
 	type reqSample struct {
 		latency time.Duration
 		cached  bool
@@ -216,6 +236,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		rep.CacheHitRate = float64(rep.CacheHits) / float64(n)
 	}
 	rep.Latency = percentiles(lats)
+	rep.ServerLatency = percentiles(serverMs)
+	rep.ServerSamples = len(serverMs)
 	if v, ok, err := c.MetricValue(ctx, "serve_simulations"); err == nil && ok {
 		rep.Simulations = v
 	}

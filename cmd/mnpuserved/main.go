@@ -26,6 +26,13 @@
 // fleet that routes each configuration to one owner and forwards
 // misrouted submissions (GET /v1/fleet introspects the ring; see
 // API.md for the full endpoint reference).
+// Every request is tagged with an X-Request-Id, timed via a
+// Server-Timing header, and access-logged; submissions carry W3C
+// traceparent propagation end to end — fetch a federated trace with
+// GET /v1/traces/{id} (render it with mnputrace -mode spans), scrape
+// the whole fleet at once via GET /v1/fleet/metrics, and tune the
+// bounded span store with -trace-store/-trace-spans or turn tracing
+// off with -no-trace.
 // On SIGINT/SIGTERM the daemon stops accepting jobs, drains in-flight
 // work (bounded by -drain-timeout, after which remaining jobs are
 // cancelled), keeps status GETs answering throughout the drain, then
@@ -101,6 +108,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cacheDir     = fs.String("cache-dir", "", "persistent result-cache directory (empty = memory only); instances sharing one directory share results")
 		peersFlag    = fs.String("peers", "", "comma-separated fleet member base URLs (including this daemon's); enables consistent-hash job routing")
 		selfFlag     = fs.String("self", "", "this daemon's base URL within -peers (default http://<addr>)")
+		noTrace      = fs.Bool("no-trace", false, "disable distributed tracing (no spans recorded, no trace/request IDs minted)")
+		traceStore   = fs.Int("trace-store", 0, "max traces held in the in-memory span store (0 = default 256)")
+		traceSpans   = fs.Int("trace-spans", 0, "max spans retained per trace (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +163,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		CacheDir:          *cacheDir,
 		Peers:             peers,
 		Self:              self,
+		DisableTracing:    *noTrace,
+		TraceMaxTraces:    *traceStore,
+		TraceMaxSpans:     *traceSpans,
 	})
 	if err != nil {
 		return err

@@ -21,21 +21,32 @@
 // registry snapshot of the recorded window:
 //
 //	mnputrace -mode postmortem -in job.dump -obs window.json -obs-counters -
+//
+// Spans mode renders a federated distributed trace (the JSON body of
+// GET /v1/traces/{id}) into a validated Chrome trace with one process
+// per daemon and one thread per span kind, after printing a per-service
+// summary:
+//
+//	mnputrace -mode spans -in trace-s1.json -obs spans.json
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"mnpusim/internal/clock"
 	"mnpusim/internal/config"
 	"mnpusim/internal/experiments"
 	"mnpusim/internal/mem"
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/dtrace"
 	"mnpusim/internal/obs/recorder"
+	"mnpusim/internal/serve/api"
 	"mnpusim/internal/sim"
 	"mnpusim/internal/trace"
 )
@@ -50,7 +61,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mnputrace", flag.ContinueOnError)
 	var (
-		mode     = fs.String("mode", "rate", "trace mode: rate, bandwidth, log, validate, or postmortem")
+		mode     = fs.String("mode", "rate", "trace mode: rate, bandwidth, log, validate, postmortem, or spans")
 		workload = fs.String("workload", "ncf", "workload to trace")
 		co       = fs.String("co", "gpt2", "second workload (bandwidth mode)")
 		scaleF   = fs.String("scale", "tiny", "system scale")
@@ -70,6 +81,9 @@ func run(args []string) error {
 	}
 	if *mode == "postmortem" {
 		return postmortem(*inF, *obsF, *obsCtr)
+	}
+	if *mode == "spans" {
+		return spans(*inF, *obsF)
 	}
 
 	scale, err := config.ParseScale(*scaleF)
@@ -164,7 +178,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records\n", min(log.Lines(), *limit))
 	default:
-		return fmt.Errorf("unknown mode %q (want rate, bandwidth, log, validate, or postmortem)", *mode)
+		return fmt.Errorf("unknown mode %q (want rate, bandwidth, log, validate, postmortem, or spans)", *mode)
 	}
 
 	if chrome != nil {
@@ -253,6 +267,92 @@ func postmortem(inPath, obsPath, ctrPath string) error {
 		if ctrPath != "-" {
 			fmt.Printf("  counters:   %s\n", ctrPath)
 		}
+	}
+	return nil
+}
+
+// spans decodes a federated distributed trace (the GET /v1/traces/{id}
+// response), prints a per-service summary with parent/child linkage
+// checks, and optionally renders it as a Chrome trace (-obs, validated
+// before it hits disk). An empty or undecodable trace is an error, so
+// CI can gate on this mode.
+func spans(inPath, obsPath string) error {
+	if inPath == "" {
+		return fmt.Errorf("spans mode needs -in trace.json")
+	}
+	data, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	var view api.TraceView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return fmt.Errorf("%s: decoding trace view: %w", inPath, err)
+	}
+	if len(view.Spans) == 0 {
+		return fmt.Errorf("%s: trace %q has no spans", inPath, view.TraceID)
+	}
+
+	ids := make(map[string]bool, len(view.Spans))
+	perService := make(map[string]int)
+	var minNS, maxNS int64
+	for i, sp := range view.Spans {
+		ids[sp.SpanID] = true
+		perService[sp.Service]++
+		if i == 0 || sp.StartUnixNS < minNS {
+			minNS = sp.StartUnixNS
+		}
+		if end := sp.StartUnixNS + sp.DurNS; i == 0 || end > maxNS {
+			maxNS = end
+		}
+	}
+	// Orphans (a parent recorded on a member that died, or evicted from
+	// a bounded store) are reported, not fatal: partial traces are the
+	// point of federation.
+	orphans := 0
+	for _, sp := range view.Spans {
+		if sp.ParentID != "" && !ids[sp.ParentID] {
+			orphans++
+		}
+	}
+
+	fmt.Printf("%s: trace %s: %d spans, %d service(s), %.3f ms span\n",
+		inPath, view.TraceID, len(view.Spans), len(perService), float64(maxNS-minNS)/1e6)
+	services := make([]string, 0, len(perService))
+	for svc := range perService {
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+	for _, svc := range services {
+		fmt.Printf("  service %s: %d span(s)\n", svc, perService[svc])
+	}
+	if orphans > 0 {
+		fmt.Printf("  %d orphan span(s) reference parents not in the trace (partial trace)\n", orphans)
+	}
+	for _, m := range view.Members {
+		switch {
+		case m.Error != "":
+			fmt.Printf("  member %s: error: %s\n", m.URL, m.Error)
+		case m.Dropped > 0:
+			fmt.Printf("  member %s: %d span(s), %d dropped\n", m.URL, m.Spans, m.Dropped)
+		default:
+			fmt.Printf("  member %s: %d span(s)\n", m.URL, m.Spans)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := dtrace.WriteChromeTrace(&buf, view.Spans); err != nil {
+		return fmt.Errorf("rendering spans: %w", err)
+	}
+	sum, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("rendered trace failed validation: %w", err)
+	}
+	if obsPath != "" {
+		if err := os.WriteFile(obsPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  trace:      %s (valid: %d events, %d processes, %d tracks)\n",
+			obsPath, sum.Events, len(sum.ProcessNames), len(sum.ThreadNames))
 	}
 	return nil
 }

@@ -1,0 +1,95 @@
+package dtrace
+
+import "sync"
+
+// Store bound defaults: a daemon retains the most recent
+// DefaultMaxTraces traces, each capped at DefaultMaxSpans spans, so
+// the span store's memory is bounded regardless of load.
+const (
+	DefaultMaxTraces = 256
+	DefaultMaxSpans  = 4096
+)
+
+// Store is a bounded in-memory span store. Spans are grouped by trace
+// ID; when the trace cap is hit the oldest trace (by first-span
+// arrival) is evicted, and a trace that exceeds its span cap drops
+// further spans, counting them. All methods are safe for concurrent
+// use and nil-safe (a nil *Store records nothing).
+type Store struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxSpans  int
+	traces    map[string]*traceEntry
+	order     []string // trace IDs, oldest first
+}
+
+type traceEntry struct {
+	spans   []Span
+	dropped int
+}
+
+// NewStore returns a store retaining up to maxTraces traces of up to
+// maxSpans spans each; zero or negative values take the defaults.
+func NewStore(maxTraces, maxSpans int) *Store {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Store{
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+		traces:    make(map[string]*traceEntry),
+	}
+}
+
+// Add records one finished span.
+func (s *Store) Add(sp Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.traces[sp.TraceID]
+	if !ok {
+		if len(s.order) >= s.maxTraces {
+			delete(s.traces, s.order[0])
+			s.order = s.order[1:]
+		}
+		e = &traceEntry{}
+		s.traces[sp.TraceID] = e
+		s.order = append(s.order, sp.TraceID)
+	}
+	if len(e.spans) >= s.maxSpans {
+		e.dropped++
+		return
+	}
+	e.spans = append(e.spans, sp)
+}
+
+// Get returns a copy of the spans recorded for traceID (nil if the
+// trace is unknown or evicted) plus the count of spans dropped by the
+// per-trace cap.
+func (s *Store) Get(traceID string) (spans []Span, dropped int) {
+	if s == nil {
+		return nil, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.traces[traceID]
+	if !ok {
+		return nil, 0
+	}
+	return append([]Span(nil), e.spans...), e.dropped
+}
+
+// Len returns the number of retained traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traces)
+}

@@ -93,6 +93,19 @@ func Now() int64 {
 //lint:allow nodeterminism see Now: the single sanctioned wall-clock boundary
 var processStart = time.Now()
 
+// wallAnchor is processStart as Unix nanoseconds, captured once so
+// WallNow needs no further clock reads.
+var wallAnchor = processStart.UnixNano()
+
+// WallNow is Now anchored to the Unix epoch: a wall-clock nanosecond
+// timestamp that is comparable across processes (to clock-sync
+// accuracy) while still advancing on the monotonic clock. Distributed
+// tracing uses it to place spans from different daemons on one
+// timeline; like Now, it never feeds simulation state.
+func WallNow() int64 {
+	return wallAnchor + Now()
+}
+
 // Profiler accumulates per-section wall nanoseconds. All methods are
 // safe for concurrent use and nil-safe: a nil *Profiler is the disabled
 // state and every method is a no-op on it, so call sites need no guard

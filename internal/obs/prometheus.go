@@ -24,6 +24,7 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	mmu.walk_cycles.core0.leinf -> mmu_walk_cycles_bucket{core="0",le="+Inf"}
 //	mmu.walk_cycles.core0.count -> mmu_walk_cycles_count{core="0"}
 //	sim.host_ns.component.obs   -> sim_host_ns{component="obs"}
+//	serve.cache_lookup_ns.tier.memory.count -> serve_cache_lookup_ns_count{tier="memory"}
 //	serve.jobs_submitted        -> serve_jobs_submitted
 //
 // Component indices become labels so one logical metric stays one
@@ -112,6 +113,11 @@ func translateMetric(name string) promLine {
 		seg := segs[i]
 		if seg == "component" && i+1 < len(segs) {
 			line.labels = append(line.labels, promLabel{"component", segs[i+1]})
+			i++
+			continue
+		}
+		if seg == "tier" && i+1 < len(segs) {
+			line.labels = append(line.labels, promLabel{"tier", segs[i+1]})
 			i++
 			continue
 		}

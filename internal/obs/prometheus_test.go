@@ -57,6 +57,8 @@ func fullRegistry() *Registry {
 	}
 	reg.Counter("serve.jobs_submitted").Inc()
 	reg.Counter("serve.watchdog_fires").Inc()
+	reg.Histogram("serve.cache_lookup_ns.tier.memory", DefaultLatencyBounds()).Observe(9)
+	reg.Histogram("serve.queue_wait_ns", DefaultLatencyBounds()).Observe(40)
 	reg.Counter("experiments.grid_total").Add(6)
 	reg.Gauge("experiments.grid_eta_ms").Set(1500)
 	reg.Gauge("serve.jobs_running").Set(2)
@@ -127,6 +129,9 @@ func TestWritePrometheusTranslations(t *testing.T) {
 		`mmu_walk_cycles_sum{core="0"} 17`,
 		`sim_host_ns{component="obs"} 123`,
 		`sim_host_ns{component="kernel_heap"} 123`,
+		`serve_cache_lookup_ns_count{tier="memory"} 1`,
+		`serve_cache_lookup_ns_sum{tier="memory"} 9`,
+		"serve_queue_wait_ns_count 1",
 		"serve_jobs_submitted 1",
 		"experiments_grid_eta_ms 1500",
 		"experiments_grid_eta_ms_max 1500",

@@ -7,7 +7,8 @@
 // all marshal exactly these types.
 //
 // The package depends only on the simulation configuration layer
-// (internal/sim, internal/config, internal/workloads), never on the
+// (internal/sim, internal/config, internal/workloads) and the
+// distributed-tracing span type (internal/obs/dtrace), never on the
 // server, so clients embedding it stay free of serving machinery.
 package api
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 
 	"mnpusim/internal/config"
+	"mnpusim/internal/obs/dtrace"
 	"mnpusim/internal/sim"
 )
 
@@ -281,6 +283,43 @@ type SweepProgress struct {
 	Forwarded int    `json:"forwarded"`
 }
 
+// SweepList is the GET /v1/sweeps response: one page of sweeps in
+// submission order (pagination parity with GET /v1/jobs).
+type SweepList struct {
+	Sweeps []SweepView `json:"sweeps"`
+	// NextCursor, when non-empty, is the cursor of the next page: pass
+	// it back as ?cursor= to continue after the last sweep listed.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// TraceMemberView is one fleet member's contribution to a federated
+// trace.
+type TraceMemberView struct {
+	// URL is the member's base URL ("self" entries use the fleet URL;
+	// a solo daemon reports its service name).
+	URL string `json:"url"`
+	// Spans counts the spans this member contributed.
+	Spans int `json:"spans"`
+	// Dropped counts spans the member's bounded store discarded once
+	// the trace hit its per-trace span cap.
+	Dropped int `json:"dropped,omitempty"`
+	// Error is set when the member could not be reached; the trace is
+	// then partial but still valid.
+	Error string `json:"error,omitempty"`
+}
+
+// TraceView is the GET /v1/traces/{id} payload: every span the fleet
+// recorded for one trace ID, merged and sorted by start time.
+type TraceView struct {
+	TraceID string `json:"trace_id"`
+	// Spans is the federated span list, sorted by start time then span
+	// ID so equal inputs render identically.
+	Spans []dtrace.Span `json:"spans"`
+	// Members describes each fleet member's contribution, including
+	// unreachable ones. Omitted on local-only reads.
+	Members []TraceMemberView `json:"members,omitempty"`
+}
+
 // Workloads is the GET /v1/workloads payload: everything a client
 // needs to compose a preset JobSpec or SweepSpec.
 type Workloads struct {
@@ -360,6 +399,9 @@ type ErrorBody struct {
 	// Retryable hints that the identical request may succeed later
 	// (queue-full and draining rejections).
 	Retryable bool `json:"retryable"`
+	// RequestID echoes the X-Request-Id header of the failed request,
+	// so an error report can be matched to the daemon's access log.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrorEnvelope wraps ErrorBody under the "error" key.

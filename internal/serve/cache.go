@@ -138,29 +138,45 @@ func (c *resultCache) logf(msg string, args ...any) {
 	}
 }
 
+// Cache-lookup tiers, reported by getTier and carried as the "tier"
+// label on the serve.cache_lookup_ns histogram and the cache_lookup
+// span attribute.
+const (
+	tierMemory = "memory"
+	tierDisk   = "disk"
+	tierMiss   = "miss"
+)
+
 // get returns the entry for key, consulting memory first and then the
 // persistent tier. A disk hit is promoted into the memory LRU.
 func (c *resultCache) get(key string) (cachedResult, bool) {
+	v, _, ok := c.getTier(key)
+	return v, ok
+}
+
+// getTier is get plus which tier answered: tierMemory, tierDisk, or
+// tierMiss.
+func (c *resultCache) getTier(key string) (cachedResult, string, bool) {
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
 		c.lru.MoveToFront(el)
 		v := el.Value.(*lruEntry).val
 		c.mu.Unlock()
-		return v, true
+		return v, tierMemory, true
 	}
 	c.mu.Unlock()
 	if c.dir == "" {
-		return cachedResult{}, false
+		return cachedResult{}, tierMiss, false
 	}
 	v, err := c.readFile(key)
 	if err != nil {
-		return cachedResult{}, false
+		return cachedResult{}, tierMiss, false
 	}
 	if c.onDiskHit != nil {
 		c.onDiskHit()
 	}
 	c.insertMem(key, v)
-	return v, true
+	return v, tierDisk, true
 }
 
 // put stores an entry in both tiers. Re-putting an existing key is a

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"mnpusim/internal/obs/dtrace"
 	"mnpusim/internal/serve/api"
 )
 
@@ -68,6 +69,12 @@ type Client struct {
 	// ForwardedHeader (set to the forwarding daemon's own URL). Only
 	// fleet members forwarding misrouted submissions set this.
 	Forwarded string
+	// OnServerTiming, when set, receives the total;dur value (in
+	// milliseconds) of every response carrying a Server-Timing header —
+	// the server-side handling time, as opposed to the client-observed
+	// round trip. Called inline from do; keep it fast and, under
+	// concurrent use of one Client, safe for concurrent calls.
+	OnServerTiming func(ms float64)
 }
 
 // New returns a client for the daemon at base (scheme://host:port,
@@ -78,6 +85,11 @@ func New(base string) *Client {
 
 // do performs one request and decodes a non-2xx body as an APIError.
 // The caller owns the returned body reader.
+//
+// A span context carried by ctx (dtrace.With) is propagated as a W3C
+// traceparent header — on POST and DELETE only, so that WaitJob /
+// WaitSweep polling does not flood the servers' bounded span stores
+// with one HTTP span per poll.
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
 	if err != nil {
@@ -89,9 +101,19 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	if c.Forwarded != "" {
 		req.Header.Set(ForwardedHeader, c.Forwarded)
 	}
+	if method == http.MethodPost || method == http.MethodDelete {
+		if sc, ok := dtrace.From(ctx); ok {
+			req.Header.Set(dtrace.Header, sc.Traceparent())
+		}
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
+	}
+	if c.OnServerTiming != nil {
+		if ms, ok := parseServerTiming(resp.Header.Get("Server-Timing")); ok {
+			c.OnServerTiming(ms)
+		}
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return resp, nil
@@ -145,6 +167,7 @@ func (c *Client) ForJob(v api.JobView) *Client {
 	}
 	peer := New(v.Peer)
 	peer.HTTP = c.HTTP
+	peer.OnServerTiming = c.OnServerTiming
 	return peer
 }
 
@@ -262,11 +285,27 @@ func (c *Client) Sweep(ctx context.Context, id string, withJobs bool) (api.Sweep
 	return v, err
 }
 
-// ListSweeps fetches every retained sweep's summary view.
-func (c *Client) ListSweeps(ctx context.Context) ([]api.SweepView, error) {
-	var vs []api.SweepView
-	err := c.getJSON(ctx, http.MethodGet, "/v1/sweeps", nil, &vs)
-	return vs, err
+// ListSweeps pages through sweeps in submission order; the parameters
+// mirror ListJobs (status filter, resume-after cursor, page size with
+// 0 = server default).
+func (c *Client) ListSweeps(ctx context.Context, status api.Status, cursor string, limit int) (api.SweepList, error) {
+	q := url.Values{}
+	if status != "" {
+		q.Set("status", string(status))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/sweeps"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var l api.SweepList
+	err := c.getJSON(ctx, http.MethodGet, path, nil, &l)
+	return l, err
 }
 
 // CancelSweep cancels a sweep and every expanded job still in flight.
@@ -328,6 +367,41 @@ func (c *Client) Fleet(ctx context.Context) (api.FleetView, error) {
 	var v api.FleetView
 	err := c.getJSON(ctx, http.MethodGet, "/v1/fleet", nil, &v)
 	return v, err
+}
+
+// Trace fetches a federated trace by ID. localOnly restricts the read
+// to the answering daemon's own span store (the fan-out itself uses
+// this to avoid recursing across the fleet).
+func (c *Client) Trace(ctx context.Context, traceID string, localOnly bool) (api.TraceView, error) {
+	path := "/v1/traces/" + url.PathEscape(traceID)
+	if localOnly {
+		path += "?local=true"
+	}
+	var v api.TraceView
+	err := c.getJSON(ctx, http.MethodGet, path, nil, &v)
+	return v, err
+}
+
+// Registry fetches the daemon's metric registry as a flat
+// name -> value object (the GET /v1/registry payload) — the
+// machine-readable form /v1/fleet/metrics aggregates across members.
+func (c *Client) Registry(ctx context.Context) (map[string]int64, error) {
+	var m map[string]int64
+	err := c.getJSON(ctx, http.MethodGet, "/v1/registry", nil, &m)
+	return m, err
+}
+
+// parseServerTiming extracts the first dur= value (milliseconds) from
+// a Server-Timing header like "total;dur=1.234".
+func parseServerTiming(h string) (float64, bool) {
+	for _, part := range strings.FieldsFunc(h, func(r rune) bool { return r == ';' || r == ',' }) {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(part), "dur="); ok {
+			if v, err := strconv.ParseFloat(rest, 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // MetricValue scrapes /metrics (Prometheus text exposition) and

@@ -32,8 +32,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeError renders err as the structured envelope
-// {"error":{"code","message","retryable"}}. Non-apiError values map to
-// 500/internal.
+// {"error":{"code","message","retryable","request_id"}}. Non-apiError
+// values map to 500/internal. The request ID comes from the response
+// header the middleware stamped, so every handler gets the echo
+// without threading it through.
 func writeError(w http.ResponseWriter, err error) {
 	var ae *apiError
 	if !errors.As(err, &ae) {
@@ -43,5 +45,6 @@ func writeError(w http.ResponseWriter, err error) {
 		Code:      api.CodeForStatus(ae.code),
 		Message:   ae.msg,
 		Retryable: api.RetryableStatus(ae.code),
+		RequestID: w.Header().Get(RequestIDHeader),
 	}})
 }

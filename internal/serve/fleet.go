@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"mnpusim/internal/obs/dtrace"
 	"mnpusim/internal/serve/api"
 	"mnpusim/internal/serve/client"
 )
@@ -141,8 +142,17 @@ func (s *Server) fleetClient(peer string) *client.Client {
 // forwardJob relays a misrouted submission to its owner and returns
 // the owner's view with Peer set, so the submitter knows where to
 // poll. ok=false (owner unreachable or rejecting) tells the caller to
-// fall back to local execution.
+// fall back to local execution. When ctx carries a trace, the hop is
+// recorded as a "forward" span whose context rides the relayed
+// submit's traceparent — so the owner's spans parent under it.
 func (s *Server) forwardJob(ctx context.Context, owner string, spec JobSpec) (JobView, bool) {
+	if parent, ok := dtrace.From(ctx); ok {
+		if fa := s.tracer.StartChild(parent, "forward submit"); fa != nil {
+			fa.SetAttr("owner", owner)
+			ctx = dtrace.With(ctx, fa.Context())
+			defer fa.End()
+		}
+	}
 	view, err := s.fleetClient(owner).SubmitJob(ctx, spec)
 	if err != nil {
 		s.log.Warn("forward failed, running locally", "owner", owner, "err", err)

@@ -296,7 +296,7 @@ func TestFleetSweepSurvivesMemberDeath(t *testing.T) {
 	})
 	coord := h.servers[0]
 
-	sw, err := coord.StartSweep(SweepSpec{Cores: 2, Workloads: []string{"ncf", "gpt2", "alex"}})
+	sw, err := coord.StartSweep(context.Background(), SweepSpec{Cores: 2, Workloads: []string{"ncf", "gpt2", "alex"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestFleetSweepMatchesSolo(t *testing.T) {
 	spec := SweepSpec{Cores: 4, Workloads: []string{"ncf", "gpt2", "alex"}, Sample: 5, Seed: 3}
 
 	h := newFleetHarness(t, 3, Config{Workers: 2}, kern)
-	fsw, err := h.servers[0].StartSweep(spec)
+	fsw, err := h.servers[0].StartSweep(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestFleetSweepMatchesSolo(t *testing.T) {
 	}
 
 	solo := newStubServer(t, Config{Workers: 2}, kern)
-	ssw, err := solo.StartSweep(spec)
+	ssw, err := solo.StartSweep(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mnpusim/internal/obs/dtrace"
 	"mnpusim/internal/obs/recorder"
 	"mnpusim/internal/serve/api"
 	"mnpusim/internal/sim"
@@ -63,6 +64,16 @@ type Job struct {
 	// eventSeq numbers the job's SSE events; it lives on the job, not
 	// the stream, so ids stay monotonic across client reconnects.
 	eventSeq atomic.Int64
+
+	// traceSC is the distributed-tracing parent of the job's spans
+	// (cache lookup, queue wait, sim run) — the submitting request's
+	// HTTP span or a sweep's per-unit span. Invalid (zero) for untraced
+	// jobs; set once at submit, read by the worker.
+	traceSC dtrace.SpanContext
+	// enqueuedNS stamps when the job entered the queue
+	// (hostprof.WallNow), for the queue-wait histogram and span. Zero
+	// for cache-served jobs that never queued.
+	enqueuedNS int64
 
 	mu       sync.Mutex
 	status   Status

@@ -60,6 +60,8 @@ import (
 	"time"
 
 	"mnpusim/internal/obs"
+	"mnpusim/internal/obs/dtrace"
+	"mnpusim/internal/obs/hostprof"
 	"mnpusim/internal/obs/recorder"
 	"mnpusim/internal/serve/api"
 	"mnpusim/internal/serve/client"
@@ -133,6 +135,19 @@ type Config struct {
 	// events. Zero means recorder.DefaultRingCap.
 	RecorderRingCap int
 
+	// DisableTracing turns the distributed-tracing layer off entirely:
+	// no spans are recorded and GET /v1/traces answers 404 for every
+	// ID. Results are byte-identical either way (tracing is observation
+	// only); the switch exists for that proof and for memory-austere
+	// deployments.
+	DisableTracing bool
+	// TraceMaxTraces bounds the in-memory span store's retained traces;
+	// zero means dtrace.DefaultMaxTraces.
+	TraceMaxTraces int
+	// TraceMaxSpans bounds the spans kept per trace; zero means
+	// dtrace.DefaultMaxSpans.
+	TraceMaxSpans int
+
 	// snapshotEvery emits one registry-snapshot SSE event per this many
 	// progress ticks; New defaults it to 4.
 	snapshotEvery int
@@ -172,10 +187,19 @@ type Server struct {
 	// daemon runs solo.
 	ring *hashRing
 
+	// tracer and spans are the distributed-tracing layer: the tracer
+	// mints IDs and the bounded store retains finished spans for
+	// GET /v1/traces/{id}. Both nil when Config.DisableTracing is set
+	// (every dtrace entry point is nil-safe).
+	tracer *dtrace.Tracer
+	spans  *dtrace.Store
+
 	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *obs.Counter
 	cacheHits, diskCacheHits, simulations              *obs.Counter
 	watchdogFires, forwarded, sweepsSubmitted          *obs.Counter
 	queueDepth, running                                *obs.Gauge
+	queueWait                                          *obs.Histogram
+	cacheLookup                                        map[string]*obs.Histogram // by tier
 }
 
 // New builds the service and starts its worker pool. It fails when the
@@ -246,6 +270,20 @@ func New(cfg Config) (*Server, error) {
 		sweepsSubmitted: reg.Counter("serve.sweeps_submitted"),
 		queueDepth:      reg.Gauge("serve.queue_depth"),
 		running:         reg.Gauge("serve.running"),
+		queueWait:       reg.Histogram("serve.queue_wait_ns", serveLatencyBounds()),
+		cacheLookup: map[string]*obs.Histogram{
+			tierMemory: reg.Histogram("serve.cache_lookup_ns.tier.memory", serveLatencyBounds()),
+			tierDisk:   reg.Histogram("serve.cache_lookup_ns.tier.disk", serveLatencyBounds()),
+			tierMiss:   reg.Histogram("serve.cache_lookup_ns.tier.miss", serveLatencyBounds()),
+		},
+	}
+	if !cfg.DisableTracing {
+		service := cfg.Self
+		if service == "" {
+			service = "mnpuserved"
+		}
+		s.spans = dtrace.NewStore(cfg.TraceMaxTraces, cfg.TraceMaxSpans)
+		s.tracer = dtrace.NewTracer(service, s.spans)
 	}
 	cache.onDiskHit = func() { s.diskCacheHits.Inc() }
 	for i := 0; i < cfg.Workers; i++ {
@@ -253,6 +291,15 @@ func New(cfg Config) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// serveLatencyBounds are the bucket upper bounds of the serving-layer
+// host-latency histograms (queue wait, cache lookup), in nanoseconds:
+// 1µs to 10s in powers of ten. A memory-tier lookup lands in the first
+// buckets, a disk-tier read in the middle, and a queue wait behind a
+// long simulation at the top.
+func serveLatencyBounds() []int64 {
+	return []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000}
 }
 
 // Submit validates the spec, consults the result cache, and either
@@ -263,7 +310,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.submitPrepared(cfg, key, spec.TimeoutMS)
+	return s.submitPrepared(context.Background(), cfg, key, spec.TimeoutMS)
 }
 
 // resolveSpec builds and fingerprints a spec's configuration.
@@ -280,7 +327,12 @@ func resolveSpec(spec JobSpec) (sim.Config, string, error) {
 }
 
 // submitPrepared registers an already-resolved configuration as a job.
-func (s *Server) submitPrepared(cfg sim.Config, key string, timeoutMS int64) (*Job, error) {
+// A span context carried by ctx (the middleware's HTTP span, or a
+// sweep's per-unit span) makes the job traced: its cache lookup, queue
+// wait, and simulation run are recorded as child spans. ctx carries
+// trace identity only — the job's lifetime is governed by s.baseCtx as
+// before.
+func (s *Server) submitPrepared(ctx context.Context, cfg sim.Config, key string, timeoutMS int64) (*Job, error) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	job := &Job{
 		Key:     key,
@@ -294,6 +346,9 @@ func (s *Server) submitPrepared(cfg sim.Config, key string, timeoutMS int64) (*J
 	if job.timeout <= 0 {
 		job.timeout = s.cfg.DefaultJobTimeout
 	}
+	if sc, ok := dtrace.From(ctx); ok {
+		job.traceSC = sc
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -304,7 +359,16 @@ func (s *Server) submitPrepared(cfg sim.Config, key string, timeoutMS int64) (*J
 	s.nextID++
 	job.ID = fmt.Sprintf("j%d", s.nextID)
 
-	if cached, ok := s.cache.get(key); ok {
+	lookupStart := hostprof.WallNow()
+	cached, tier, hit := s.cache.getTier(key)
+	s.cacheLookup[tier].Observe(hostprof.WallNow() - lookupStart)
+	if la := s.tracer.StartChild(job.traceSC, "cache_lookup"); la != nil {
+		la.SetStart(lookupStart)
+		la.SetAttr("tier", tier)
+		la.SetAttr("job", job.ID)
+		la.End()
+	}
+	if hit {
 		s.register(job)
 		s.mu.Unlock()
 		job.cached = true
@@ -315,6 +379,7 @@ func (s *Server) submitPrepared(cfg sim.Config, key string, timeoutMS int64) (*J
 		s.log.Info("job served from cache", "job", job.ID, "key", job.Key)
 		return job, nil
 	}
+	job.enqueuedNS = hostprof.WallNow()
 
 	// Reserve the queue slot while holding the lock so draining and
 	// queue-full rejections cannot race with Shutdown closing the
@@ -411,6 +476,16 @@ func (s *Server) runJob(job *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
+	// Queue wait is measured from the enqueue stamp to this dequeue;
+	// the retrospective span uses the same two readings.
+	dequeuedNS := hostprof.WallNow()
+	s.queueWait.Observe(dequeuedNS - job.enqueuedNS)
+	if qa := s.tracer.StartChild(job.traceSC, "queue_wait"); qa != nil {
+		qa.SetStart(job.enqueuedNS)
+		qa.SetAttr("job", job.ID)
+		qa.End()
+	}
+
 	ctx := job.ctx
 	if job.timeout > 0 {
 		var cancel context.CancelFunc
@@ -441,9 +516,22 @@ func (s *Server) runJob(job *Job) {
 
 	s.simulations.Inc()
 	s.log.Info("job running", "job", job.ID, "cores", cfg.Cores())
+	// The sim_run span carries the config fingerprint, linking this
+	// trace to the cycle-domain Chrome trace and attribution buckets
+	// recorded for the same configuration.
+	sa := s.tracer.StartChild(job.traceSC, "sim_run")
+	sa.SetAttr("job", job.ID)
+	sa.SetAttr("fingerprint", job.Key)
+	sa.SetAttr("cores", strconv.Itoa(cfg.Cores()))
 	start := time.Now()
 	res, err := s.runSimulation(ctx, job, cfg)
 	elapsed := time.Since(start)
+	if err == nil {
+		sa.SetAttr("outcome", "ok")
+	} else {
+		sa.SetAttr("outcome", "error")
+	}
+	sa.End()
 	switch {
 	case err == nil:
 		b, merr := json.Marshal(res)
@@ -619,10 +707,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /v1/fleet/metrics", s.handleFleetMetrics)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.withObservability(mux)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -648,7 +739,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		// Owner unreachable: run it here rather than fail the submit.
 	}
-	job, err := s.submitPrepared(cfg, key, spec.TimeoutMS)
+	job, err := s.submitPrepared(r.Context(), cfg, key, spec.TimeoutMS)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -10,9 +10,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strconv"
+	"strings"
+
 	"mnpusim/internal/config"
 	"mnpusim/internal/experiments"
 	"mnpusim/internal/metrics"
+	"mnpusim/internal/obs/dtrace"
 	"mnpusim/internal/serve/api"
 	"mnpusim/internal/serve/client"
 	"mnpusim/internal/sim"
@@ -60,6 +64,13 @@ type Sweep struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// span is the sweep-coordination span (nil when the submission was
+	// untraced); traceSC is its context, the parent of every per-unit
+	// span. Both are set before the coordinator goroutine starts and
+	// never written again.
+	span    *dtrace.Active
+	traceSC dtrace.SpanContext
 
 	eventSeq atomic.Int64
 
@@ -240,8 +251,10 @@ func expandSweep(spec SweepSpec) (*Sweep, error) {
 	return sw, nil
 }
 
-// StartSweep expands and launches a sweep.
-func (s *Server) StartSweep(spec SweepSpec) (*Sweep, error) {
+// StartSweep expands and launches a sweep. A trace context carried in
+// ctx (dtrace.With) parents the sweep-coordination span and, through
+// it, every per-unit and job span the fan-out produces.
+func (s *Server) StartSweep(ctx context.Context, spec SweepSpec) (*Sweep, error) {
 	sw, err := expandSweep(spec)
 	if err != nil {
 		return nil, err
@@ -257,6 +270,14 @@ func (s *Server) StartSweep(spec SweepSpec) (*Sweep, error) {
 	sw.status = StatusRunning
 	s.registerSweep(sw)
 	s.mu.Unlock()
+
+	parent, _ := dtrace.From(ctx)
+	if a := s.tracer.StartChild(parent, "sweep coordinate"); a != nil {
+		a.SetAttr("sweep", sw.ID)
+		a.SetAttr("cores", strconv.Itoa(sw.cores))
+		a.SetAttr("units", strconv.Itoa(len(sw.units)))
+		sw.span, sw.traceSC = a, a.Context()
+	}
 
 	s.sweepsSubmitted.Inc()
 	s.log.Info("sweep started", "sweep", sw.ID, "cores", sw.cores,
@@ -351,23 +372,48 @@ func (s *Server) runSweepUnit(sw *Sweep, u *sweepUnit) {
 		sw.setUnit(u, StatusCancelled, "sweep cancelled")
 		return
 	}
+	// The per-unit dispatch span parents the unit's job spans: locally
+	// through the context handed to submitPrepared, remotely through the
+	// traceparent header the client injects on the forwarded submit.
+	uctx := sw.ctx
+	if ua := s.tracer.StartChild(sw.traceSC, "unit "+strings.Join(u.workloads, "+")); ua != nil {
+		ua.SetAttr("sweep", sw.ID)
+		ua.SetAttr("key", u.key)
+		if u.ideal {
+			ua.SetAttr("ideal", "true")
+		} else {
+			ua.SetAttr("sharing", u.sharing)
+		}
+		uctx = dtrace.With(sw.ctx, ua.Context())
+		defer func() {
+			sw.mu.Lock()
+			st, peer := u.status, u.peer
+			sw.mu.Unlock()
+			ua.SetAttr("status", string(st))
+			if peer != "" {
+				ua.SetAttr("peer", peer)
+			}
+			ua.End()
+		}()
+	}
 	if owner := s.owner(u.key); owner != "" {
-		if s.runUnitRemote(sw, u, owner) {
+		if s.runUnitRemote(uctx, sw, u, owner) {
 			return
 		}
 		s.log.Warn("sweep unit falling back to local run", "sweep", sw.ID, "key", u.key, "owner", owner)
 	}
-	s.runUnitLocal(sw, u)
+	s.runUnitLocal(uctx, sw, u)
 }
 
 // runUnitRemote executes a unit on its owning peer. It reports whether
 // the unit was fully resolved there; false means the caller should run
-// it locally (owner unreachable, rejecting, or drained mid-run).
-func (s *Server) runUnitRemote(sw *Sweep, u *sweepUnit, owner string) bool {
+// it locally (owner unreachable, rejecting, or drained mid-run). ctx
+// is the unit's trace-carrying context (same cancellation as sw.ctx).
+func (s *Server) runUnitRemote(ctx context.Context, sw *Sweep, u *sweepUnit, owner string) bool {
 	c := s.fleetClient(owner)
 	var view JobView
 	for attempt := 0; ; attempt++ {
-		v, err := c.SubmitJob(sw.ctx, u.spec)
+		v, err := c.SubmitJob(ctx, u.spec)
 		if err == nil {
 			view = v
 			break
@@ -401,7 +447,7 @@ func (s *Server) runUnitRemote(sw *Sweep, u *sweepUnit, owner string) bool {
 	}
 	sw.mu.Unlock()
 
-	final, err := c.ForJob(view).WaitJob(sw.ctx, view.ID, 0)
+	final, err := c.ForJob(view).WaitJob(ctx, view.ID, 0)
 	if err != nil {
 		if sw.ctx.Err() != nil {
 			// Our cancellation, not the peer's failure: release the remote
@@ -433,11 +479,12 @@ func (s *Server) runUnitRemote(sw *Sweep, u *sweepUnit, owner string) bool {
 }
 
 // runUnitLocal executes a unit on this daemon's own worker pool,
-// retrying queue-full rejections.
-func (s *Server) runUnitLocal(sw *Sweep, u *sweepUnit) {
+// retrying queue-full rejections. ctx carries the unit's trace context
+// into the job's spans.
+func (s *Server) runUnitLocal(ctx context.Context, sw *Sweep, u *sweepUnit) {
 	var job *Job
 	for {
-		j, err := s.submitPrepared(u.cfg, u.key, sw.spec.TimeoutMS)
+		j, err := s.submitPrepared(ctx, u.cfg, u.key, sw.spec.TimeoutMS)
 		if err == nil {
 			job = j
 			break
@@ -496,9 +543,14 @@ func statusForSubmitErr(ae *apiError, draining bool) Status {
 // all-done case into the experiments.SharingResult.
 func (s *Server) finishSweep(sw *Sweep) {
 	p := sw.Progress()
+	var (
+		st     Status
+		result []byte
+		msg    string
+	)
 	switch {
 	case p.Failed > 0:
-		msg := ""
+		st = StatusFailed
 		sw.mu.Lock()
 		for _, u := range sw.units {
 			if u.status == StatusFailed {
@@ -507,18 +559,25 @@ func (s *Server) finishSweep(sw *Sweep) {
 			}
 		}
 		sw.mu.Unlock()
-		sw.finish(StatusFailed, nil, msg)
 	case p.Cancelled > 0:
-		sw.finish(StatusCancelled, nil, "sweep cancelled")
+		st, msg = StatusCancelled, "sweep cancelled"
 	default:
 		b, err := sw.aggregate()
 		if err != nil {
-			sw.finish(StatusFailed, nil, fmt.Sprintf("aggregating: %v", err))
+			st, msg = StatusFailed, fmt.Sprintf("aggregating: %v", err)
 		} else {
-			sw.finish(StatusDone, b, "")
+			st, result = StatusDone, b
 		}
 	}
-	p = sw.Progress()
+	// End the coordination span before the done channel closes, so a
+	// trace fetched the instant the sweep resolves already contains it.
+	if sw.span != nil {
+		sw.span.SetAttr("status", string(st))
+		sw.span.SetAttr("cache_hits", strconv.Itoa(p.CacheHits))
+		sw.span.SetAttr("forwarded", strconv.Itoa(p.Forwarded))
+		sw.span.End()
+	}
+	sw.finish(st, result, msg)
 	s.log.Info("sweep finished", "sweep", sw.ID, "status", sw.Status(),
 		"done", p.Done, "failed", p.Failed, "cancelled", p.Cancelled,
 		"cache_hits", p.CacheHits, "forwarded", p.Forwarded)
@@ -581,7 +640,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, "decoding sweep spec: %v", err))
 		return
 	}
-	sw, err := s.StartSweep(spec)
+	sw, err := s.StartSweep(r.Context(), spec)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -598,7 +657,33 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sw.View(r.URL.Query().Get("jobs") == "true"))
 }
 
-func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+// handleSweepList is GET /v1/sweeps: sweeps in submission order,
+// optionally filtered with ?status=, paged with ?cursor= (a sweep ID
+// to resume after) and ?limit= (default 100, max 1000) — the same
+// shape as GET /v1/jobs.
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter Status
+	if v := q.Get("status"); v != "" {
+		filter = Status(v)
+		switch filter {
+		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+		default:
+			writeError(w, errf(http.StatusBadRequest, "unknown status filter %q", v))
+			return
+		}
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, errf(http.StatusBadRequest, "bad limit %q", v))
+			return
+		}
+		limit = min(n, 1000)
+	}
+	cursor := q.Get("cursor")
+
 	s.mu.Lock()
 	order := make([]string, len(s.sweepOrder))
 	copy(order, s.sweepOrder)
@@ -607,13 +692,34 @@ func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
 		sweeps[id] = sw
 	}
 	s.mu.Unlock()
-	views := []api.SweepView{}
-	for _, id := range order {
-		if sw, ok := sweeps[id]; ok {
-			views = append(views, sw.View(false))
+
+	start := 0
+	if cursor != "" {
+		found := false
+		for i, id := range order {
+			if id == cursor {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			writeError(w, errf(http.StatusBadRequest, "unknown cursor %q", cursor))
+			return
 		}
 	}
-	writeJSON(w, http.StatusOK, views)
+	list := api.SweepList{Sweeps: []api.SweepView{}}
+	for _, id := range order[start:] {
+		sw, ok := sweeps[id]
+		if !ok || (filter != "" && sw.Status() != filter) {
+			continue
+		}
+		if len(list.Sweeps) == limit {
+			list.NextCursor = list.Sweeps[limit-1].ID
+			break
+		}
+		list.Sweeps = append(list.Sweeps, sw.View(false))
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {

@@ -96,7 +96,7 @@ func TestSweepLifecycleStubbed(t *testing.T) {
 		return dualResult(100, 200), nil
 	})
 	spec := SweepSpec{Cores: 2, Workloads: []string{"ncf", "gpt2"}}
-	sw, err := s.StartSweep(spec)
+	sw, err := s.StartSweep(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("StartSweep: %v", err)
 	}
@@ -126,7 +126,7 @@ func TestSweepLifecycleStubbed(t *testing.T) {
 	}
 
 	// Same grid again: every unit's config is already cached.
-	sw2, err := s.StartSweep(spec)
+	sw2, err := s.StartSweep(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("StartSweep (repeat): %v", err)
 	}
@@ -242,7 +242,7 @@ func TestSweepMatchesExperiments(t *testing.T) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	})
-	sw, err := s.StartSweep(SweepSpec{Cores: 2, Workloads: names})
+	sw, err := s.StartSweep(context.Background(), SweepSpec{Cores: 2, Workloads: names})
 	if err != nil {
 		t.Fatalf("StartSweep: %v", err)
 	}

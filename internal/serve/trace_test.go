@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mnpusim/internal/obs/dtrace"
+	"mnpusim/internal/serve/api"
+	"mnpusim/internal/serve/client"
+	"mnpusim/internal/sim"
+)
+
+// testRoot is a fixed, sampled W3C trace context (the traceparent
+// spec's own example IDs) used as the incoming parent in these tests.
+func testRoot() dtrace.SpanContext {
+	return dtrace.SpanContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+		Sampled: true,
+	}
+}
+
+// spanIndex maps span IDs to spans and groups them by service.
+type spanIndex struct {
+	byID      map[string]dtrace.Span
+	byService map[string][]dtrace.Span
+}
+
+func indexSpans(t *testing.T, spans []dtrace.Span, wantTrace string) spanIndex {
+	t.Helper()
+	idx := spanIndex{byID: map[string]dtrace.Span{}, byService: map[string][]dtrace.Span{}}
+	for _, sp := range spans {
+		if sp.TraceID != wantTrace {
+			t.Fatalf("span %q has trace ID %s, want %s", sp.Name, sp.TraceID, wantTrace)
+		}
+		idx.byID[sp.SpanID] = sp
+		idx.byService[sp.Service] = append(idx.byService[sp.Service], sp)
+	}
+	return idx
+}
+
+// find returns the unique span of service whose name starts with
+// prefix.
+func (idx spanIndex) find(t *testing.T, service, prefix string) dtrace.Span {
+	t.Helper()
+	var found []dtrace.Span
+	for _, sp := range idx.byService[service] {
+		if strings.HasPrefix(sp.Name, prefix) {
+			found = append(found, sp)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("service %s: %d spans named %q*, want 1 (have %v)", service, len(found), prefix, idx.byService[service])
+	}
+	return found[0]
+}
+
+// TestTraceparentSurvivesForwardedHop submits a traced job to the
+// non-owning fleet member and verifies the trace crosses the forward
+// hop: one trace ID end to end, the submitter records the HTTP and
+// forward spans, the owner records its HTTP handling plus cache
+// lookup, queue wait, and the sim run, and every parent edge links.
+func TestTraceparentSurvivesForwardedHop(t *testing.T) {
+	h := newFleetHarness(t, 2, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return fakeResult(7), nil
+	})
+
+	spec := ncfSpec()
+	_, key, err := resolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerIdx, otherIdx := 0, 1
+	if h.servers[0].ring.ownerOf(key) == h.urls[1] {
+		ownerIdx, otherIdx = 1, 0
+	}
+
+	root := testRoot()
+	ctx := dtrace.With(context.Background(), root)
+	cl := client.New(h.urls[otherIdx])
+	v, err := cl.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Peer != h.urls[ownerIdx] {
+		t.Fatalf("view.Peer = %q, want owner %q", v.Peer, h.urls[ownerIdx])
+	}
+	if final, err := cl.ForJob(v).WaitJob(ctx, v.ID, 2*time.Millisecond); err != nil || final.Status != StatusDone {
+		t.Fatalf("job: %v %v", final.Status, err)
+	}
+
+	// Federated fetch from the submitter must see both members' spans.
+	view, err := cl.Trace(ctx, root.TraceID, false)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	idx := indexSpans(t, view.Spans, root.TraceID)
+	if len(idx.byService) != 2 {
+		t.Fatalf("spans from %d services, want 2: %v", len(idx.byService), idx.byService)
+	}
+
+	subHTTP := idx.find(t, h.urls[otherIdx], "http POST /v1/jobs")
+	if subHTTP.ParentID != root.SpanID {
+		t.Errorf("submitter http span parent = %q, want incoming traceparent span %q", subHTTP.ParentID, root.SpanID)
+	}
+	fwd := idx.find(t, h.urls[otherIdx], "forward submit")
+	if fwd.ParentID != subHTTP.SpanID {
+		t.Errorf("forward span parent = %q, want submitter http span %q", fwd.ParentID, subHTTP.SpanID)
+	}
+	if fwd.Attrs["owner"] != h.urls[ownerIdx] {
+		t.Errorf("forward span owner attr = %q, want %q", fwd.Attrs["owner"], h.urls[ownerIdx])
+	}
+	ownHTTP := idx.find(t, h.urls[ownerIdx], "http POST /v1/jobs")
+	if ownHTTP.ParentID != fwd.SpanID {
+		t.Errorf("owner http span parent = %q, want forward span %q", ownHTTP.ParentID, fwd.SpanID)
+	}
+	for _, name := range []string{"cache_lookup", "queue_wait", "sim_run"} {
+		sp := idx.find(t, h.urls[ownerIdx], name)
+		if sp.ParentID != ownHTTP.SpanID {
+			t.Errorf("%s span parent = %q, want owner http span %q", name, sp.ParentID, ownHTTP.SpanID)
+		}
+	}
+	if sr := idx.find(t, h.urls[ownerIdx], "sim_run"); sr.Attrs["fingerprint"] != key {
+		t.Errorf("sim_run fingerprint = %q, want job key %q", sr.Attrs["fingerprint"], key)
+	}
+
+	// Member views: both present, neither errored.
+	if len(view.Members) != 2 {
+		t.Fatalf("members = %v, want 2 entries", view.Members)
+	}
+	for _, m := range view.Members {
+		if m.Error != "" {
+			t.Errorf("member %s reported error %q", m.URL, m.Error)
+		}
+	}
+}
+
+// TestTraceSweepFanOutThreeMembers drives a traced sweep through a
+// three-member fleet and checks the federated trace: one trace ID, a
+// coordination span parented on the submitting request, one unit span
+// per grid cell, every parent edge resolving, and spans present from
+// every member that executed a unit. It then kills one member and
+// verifies the surviving members still serve a valid partial trace.
+func TestTraceSweepFanOutThreeMembers(t *testing.T) {
+	h := newFleetHarness(t, 3, Config{Workers: 2, SweepParallel: 4}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		res := sim.Result{GlobalCycles: 200}
+		for i := 0; i < c.Cores(); i++ {
+			res.Cores = append(res.Cores, sim.CoreResult{Net: "stub", Cycles: int64(100 + 10*i)})
+		}
+		return res, nil
+	})
+
+	root := testRoot()
+	ctx := dtrace.With(context.Background(), root)
+	coord := client.New(h.urls[0])
+	sv, err := coord.SubmitSweep(ctx, SweepSpec{
+		Cores: 2, Workloads: []string{"ncf", "gpt2", "alex"}, Sharing: []string{"static"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := coord.WaitSweep(ctx, sv.ID, 5*time.Millisecond)
+	if err != nil || final.Status != StatusDone {
+		t.Fatalf("sweep: %v %v (%s)", final.Status, err, final.Error)
+	}
+	// 6 mixes (pairs with repetition) x 1 level + 3 ideal baselines.
+	if final.Total != 9 {
+		t.Fatalf("sweep ran %d units, want 9", final.Total)
+	}
+
+	detail, err := coord.Sweep(ctx, sv.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectServices := map[string]bool{h.urls[0]: true}
+	for _, u := range detail.Jobs {
+		if u.Peer != "" {
+			expectServices[u.Peer] = true
+		}
+	}
+
+	view, err := coord.Trace(ctx, root.TraceID, false)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	idx := indexSpans(t, view.Spans, root.TraceID)
+
+	httpSpan := idx.find(t, h.urls[0], "http POST /v1/sweeps")
+	if httpSpan.ParentID != root.SpanID {
+		t.Errorf("sweep http span parent = %q, want %q", httpSpan.ParentID, root.SpanID)
+	}
+	sweepSpan := idx.find(t, h.urls[0], "sweep coordinate")
+	if sweepSpan.ParentID != httpSpan.SpanID {
+		t.Errorf("sweep span parent = %q, want http span %q", sweepSpan.ParentID, httpSpan.SpanID)
+	}
+	if sweepSpan.Attrs["status"] != string(StatusDone) {
+		t.Errorf("sweep span status attr = %q, want done", sweepSpan.Attrs["status"])
+	}
+	units, sims := 0, 0
+	for _, sp := range view.Spans {
+		switch {
+		case strings.HasPrefix(sp.Name, "unit "):
+			units++
+			if sp.ParentID != sweepSpan.SpanID {
+				t.Errorf("unit span %q parent = %q, want sweep span %q", sp.Name, sp.ParentID, sweepSpan.SpanID)
+			}
+		case sp.Name == "sim_run":
+			sims++
+		}
+		if sp.ParentID != "" && sp.ParentID != root.SpanID {
+			if _, ok := idx.byID[sp.ParentID]; !ok {
+				t.Errorf("span %q (service %s) references missing parent %s", sp.Name, sp.Service, sp.ParentID)
+			}
+		}
+	}
+	if units != 9 {
+		t.Errorf("unit spans = %d, want 9", units)
+	}
+	if sims != 9 {
+		t.Errorf("sim_run spans = %d, want 9 (all units distinct, no cache hits)", sims)
+	}
+	for svc := range expectServices {
+		if len(idx.byService[svc]) == 0 {
+			t.Errorf("no spans from member %s, which executed units", svc)
+		}
+	}
+
+	// Kill a remote member: the federated trace stays serveable, the
+	// dead member surfaces as an errored entry, and the survivors'
+	// spans still share the one trace ID.
+	h.ts[2].Close()
+	partial, err := coord.Trace(ctx, root.TraceID, false)
+	if err != nil {
+		t.Fatalf("Trace after member death: %v", err)
+	}
+	pidx := indexSpans(t, partial.Spans, root.TraceID)
+	if len(pidx.byService[h.urls[0]]) == 0 {
+		t.Error("coordinator spans missing from partial trace")
+	}
+	if len(pidx.byService[h.urls[2]]) != 0 {
+		t.Error("dead member's spans present in partial trace")
+	}
+	deadSeen := false
+	for _, m := range partial.Members {
+		if m.URL == h.urls[2] {
+			deadSeen = true
+			if m.Error == "" {
+				t.Error("dead member entry carries no error")
+			}
+		}
+	}
+	if !deadSeen {
+		t.Error("dead member absent from members list")
+	}
+}
+
+// TestTracingOffByteIdenticalResults is the non-perturbation proof:
+// the same real simulation, run through a traced daemon and a
+// tracing-disabled daemon, produces byte-identical result payloads —
+// tracing observes host time only and never touches simulated state.
+func TestTracingOffByteIdenticalResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation")
+	}
+	run := func(cfg Config) []byte {
+		t.Helper()
+		s := mustNew(t, cfg)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		ctx := dtrace.With(context.Background(), testRoot())
+		cl := client.New(ts.URL)
+		v, err := cl.SubmitJob(ctx, ncfSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err = cl.WaitJob(ctx, v.ID, 5*time.Millisecond); err != nil || v.Status != StatusDone {
+			t.Fatalf("job: %v %v (%s)", v.Status, err, v.Error)
+		}
+		b, err := cl.JobResult(ctx, v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	traced := run(Config{Workers: 1})
+	untraced := run(Config{Workers: 1, DisableTracing: true})
+	if !bytes.Equal(traced, untraced) {
+		t.Fatalf("results differ with tracing on vs off:\n on: %s\noff: %s", traced, untraced)
+	}
+}
+
+// TestTraceEndpointValidation covers the ID shape check and the
+// not-found path.
+func TestTraceEndpointValidation(t *testing.T) {
+	s := newStubServer(t, Config{}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, id := range []string{"xyz", strings.Repeat("0", 32), strings.Repeat("A", 32)} {
+		resp, err := http.Get(ts.URL + "/v1/traces/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/traces/%s = %d, want 400", id, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/traces/" + strings.Repeat("ab", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetMetricsAggregates checks /v1/fleet/metrics sums the
+// members' registries into one scrape-legal exposition.
+func TestFleetMetricsAggregates(t *testing.T) {
+	h := newFleetHarness(t, 2, Config{Workers: 1}, func(ctx context.Context, c sim.Config) (sim.Result, error) {
+		return fakeResult(3), nil
+	})
+	// One job on each member, submitted directly so neither forwards.
+	for i := range h.servers {
+		spec := api.JobSpec{Workloads: []string{"ncf"}, Scale: "tiny", Sharing: "static"}
+		if i == 1 {
+			spec.Sharing, spec.Ideal = "", true
+		}
+		job, err := h.servers[i].Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatal("job stuck")
+		}
+	}
+	resp, err := http.Get(h.urls[0] + "/v1/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if !strings.Contains(out, "# fleet-metrics: aggregated 2 member(s)") {
+		t.Errorf("exposition missing 2-member aggregation comment:\n%s", out)
+	}
+	// Each member ran one simulation; the fleet-wide counter is their
+	// sum, which no single member's /metrics shows.
+	if !strings.Contains(out, "serve_simulations 2\n") {
+		t.Errorf("exposition missing summed serve_simulations 2:\n%s", out)
+	}
+	if !strings.Contains(out, `serve_cache_lookup_ns_count{tier="miss"} 2`) {
+		t.Errorf("exposition missing tier-labelled cache lookup histogram:\n%s", out)
+	}
+}

@@ -16,10 +16,16 @@
 #      from the shared disk cache;
 #   4. checks GET /v1/fleet shows 3 healthy members whose ring shares
 #      sum to 1;
-#   5. SIGKILLs one member mid-flight on a fresh sweep and requires the
+#   5. submits a sweep carrying a fixed W3C traceparent, fetches the
+#      federated trace (GET /v1/traces/{id}), renders and validates it
+#      with mnputrace -mode spans, and requires spans from every live
+#      member plus the sweep-coordination span; also checks the
+#      request-ID/Server-Timing response headers and that
+#      GET /v1/fleet/metrics aggregates all three registries;
+#   6. SIGKILLs one member mid-flight on a fresh sweep and requires the
 #      sweep to complete anyway (owner-unreachable units fall back to
 #      local execution);
-#   6. SIGTERMs the survivors and requires clean drains.
+#   7. SIGTERMs the survivors and requires clean drains.
 #
 # Needs: curl. Uses only POSIX sh + grep/sed/awk so it runs in CI images.
 set -eu
@@ -159,6 +165,45 @@ HEALTHY=$(grep -o '"healthy":true' "$TMP/fleet.json" | wc -l)
 SHARESUM=$(grep -o '"owned_share":[0-9.]*' "$TMP/fleet.json" |
 	awk -F: '{ s += $2 } END { printf "%.3f", s }')
 [ "$SHARESUM" = "1.000" ] || fail "ring shares sum to $SHARESUM, want 1.000"
+
+echo "fleet-smoke: tracing a sweep across the fleet"
+TRACE=4bf92f3577b34da6a3ce929d0e0e4736
+curl -fsS -X POST -H "traceparent: 00-$TRACE-00f067aa0ba902b7-01" \
+	-d '{"cores":4,"workloads":["ncf","gpt2","alex","dlrm"],"scale":"tiny","sample":5,"seed":3}' \
+	"$U2/v1/sweeps" >"$TMP/sweep_t.json" || fail "traced sweep submit rejected"
+SWT=$(jfield "$TMP/sweep_t.json" id)
+ST=$(sweep_wait "$U2" "$SWT")
+[ "$ST" = done ] || fail "traced sweep ended $ST: $(cat "$TMP/sweep_poll.json")"
+
+curl -fsS "$U2/v1/traces/$TRACE" >"$TMP/trace.json" ||
+	fail "GET /v1/traces/$TRACE failed"
+grep -q '"name":"sweep coordinate"' "$TMP/trace.json" ||
+	fail "federated trace missing the sweep-coordination span"
+
+go build -o "$TMP/mnputrace" ./cmd/mnputrace
+"$TMP/mnputrace" -mode spans -in "$TMP/trace.json" -obs "$TMP/spans.json" \
+	>"$TMP/spans.txt" || fail "mnputrace -mode spans rejected the federated trace"
+sed 's/^/  /' "$TMP/spans.txt"
+for url in $U1 $U2 $U3; do
+	grep -q "service $url: " "$TMP/spans.txt" ||
+		fail "federated trace has no spans from member $url"
+done
+
+echo "fleet-smoke: checking response headers and fleet-wide metrics"
+curl -fsSi "$U1/v1/healthz" >"$TMP/headers.txt"
+grep -qi '^x-request-id:' "$TMP/headers.txt" || fail "response missing X-Request-Id"
+grep -qi '^server-timing: total;dur=' "$TMP/headers.txt" || fail "response missing Server-Timing"
+
+curl -fsS "$U3/v1/fleet/metrics" >"$TMP/fleet_metrics.txt"
+grep -q "aggregated 3 member(s)" "$TMP/fleet_metrics.txt" ||
+	fail "/v1/fleet/metrics did not aggregate 3 members"
+MSIMS=0
+for url in $U1 $U2 $U3; do
+	MSIMS=$((MSIMS + $(metric "$url" serve_simulations)))
+done
+FSIMS=$(awk '$1 == "serve_simulations" { print $2 }' "$TMP/fleet_metrics.txt")
+[ "${FSIMS:-0}" = "$MSIMS" ] ||
+	fail "fleet-wide serve_simulations = $FSIMS, members sum to $MSIMS"
 
 echo "fleet-smoke: killing member 2 mid-sweep — sweep must still complete"
 curl -fsS -X POST -d '{"cores":4,"workloads":["ncf","gpt2","dlrm"],"scale":"tiny","sample":3,"seed":7}' \
